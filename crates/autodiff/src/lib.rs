@@ -1,0 +1,21 @@
+//! # perforad-autodiff
+//!
+//! Conventional reverse-mode AD for **PerforAD-rs** — the baseline the
+//! paper compares against (Tapenade/ADIC stand-in) and the independent
+//! reference for §3.6 verification:
+//!
+//! * [`tape`] — operator-overloading tape AD ([`Tape`], [`Var`]); `Var`
+//!   implements the symbolic crate's `Scalar`, so a whole stencil loop can
+//!   be executed over the tape;
+//! * [`reverse`] — [`tape_adjoint`]: run a primal nest on the tape, reverse
+//!   once, and read back adjoints of every active input;
+//! * [`stack`] — Tapenade's intermediate-value stack mode for piecewise
+//!   bodies (the sequential Burgers baseline of Fig. 15).
+
+pub mod reverse;
+pub mod stack;
+pub mod tape;
+
+pub use reverse::tape_adjoint;
+pub use stack::{stack_mode_adjoint, StackModeResult};
+pub use tape::{Tape, Var};

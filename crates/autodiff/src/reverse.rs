@@ -1,0 +1,253 @@
+//! Conventional whole-loop adjoints via the tape — the §3.6 verification
+//! reference (standing in for ADIC/Tapenade).
+//!
+//! The primal loop nest is *executed* over [`Var`] values; every scalar
+//! operation lands on the tape; one reverse sweep yields the adjoint of all
+//! inputs at once. This is mechanically independent of the symbolic
+//! transformation in `perforad-core`, so agreement between the two is a
+//! strong correctness check.
+
+use crate::tape::{Tape, Var};
+use perforad_core::{ActivityMap, AssignOp, LoopNest};
+use perforad_symbolic::eval::{eval, EvalContext};
+use perforad_symbolic::{MapCtx, Scalar, SymError, Symbol};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+struct TapeCtx<'t, 'a> {
+    /// Taped storage for active arrays.
+    active: BTreeMap<Symbol, Vec<Var<'t>>>,
+    /// Passive values (parameters, passive arrays, sizes).
+    passive: &'a MapCtx,
+    counters: RefCell<BTreeMap<Symbol, i64>>,
+}
+
+impl<'t> EvalContext<Var<'t>> for TapeCtx<'t, '_> {
+    fn scalar(&self, s: &Symbol) -> Result<Var<'t>, SymError> {
+        self.passive
+            .scalars
+            .get(s)
+            .map(|v| Tape::constant(*v))
+            .ok_or_else(|| SymError::UnboundSymbol(s.name().to_string()))
+    }
+
+    fn index_value(&self, s: &Symbol) -> Result<i64, SymError> {
+        if let Some(v) = self.counters.borrow().get(s) {
+            return Ok(*v);
+        }
+        self.passive
+            .indices
+            .get(s)
+            .copied()
+            .ok_or_else(|| SymError::UnboundIndex(s.name().to_string()))
+    }
+
+    fn load(&self, array: &Symbol, indices: &[i64]) -> Result<Var<'t>, SymError> {
+        let (dims, lin) = self.linear(array, indices)?;
+        let _ = dims;
+        if let Some(vars) = self.active.get(array) {
+            Ok(vars[lin])
+        } else {
+            let (_, data) = self
+                .passive
+                .arrays
+                .get(array)
+                .ok_or_else(|| SymError::UnboundArray(array.name().to_string()))?;
+            Ok(Tape::constant(data[lin]))
+        }
+    }
+}
+
+impl TapeCtx<'_, '_> {
+    fn linear(&self, array: &Symbol, indices: &[i64]) -> Result<(Vec<usize>, usize), SymError> {
+        let (dims, _) = self
+            .passive
+            .arrays
+            .get(array)
+            .ok_or_else(|| SymError::UnboundArray(array.name().to_string()))?;
+        let mut lin = 0usize;
+        for (ix, d) in indices.iter().zip(dims) {
+            if *ix < 0 || *ix as usize >= *d {
+                return Err(SymError::Eval(format!(
+                    "index {ix} out of range 0..{d} on `{array}`"
+                )));
+            }
+            lin = lin * d + *ix as usize;
+        }
+        Ok((dims.clone(), lin))
+    }
+}
+
+/// Run the primal nest over the tape and return, for each active *input*
+/// array, the adjoint seeded by `seeds[output_adjoint_name]`.
+///
+/// `store` supplies every primal array (active inputs included), parameters
+/// and size bindings; `seeds` maps output-array names to flat seed buffers.
+pub fn tape_adjoint(
+    nest: &LoopNest,
+    act: &ActivityMap,
+    store: &MapCtx,
+    seeds: &BTreeMap<Symbol, Vec<f64>>,
+) -> Result<BTreeMap<Symbol, Vec<f64>>, String> {
+    perforad_core::validate(nest).map_err(|e| e.to_string())?;
+    let tape = Tape::new();
+
+    // Tape inputs for every active array that is read by the body.
+    let inputs = nest.inputs();
+    let mut active: BTreeMap<Symbol, Vec<Var<'_>>> = BTreeMap::new();
+    for arr in &inputs {
+        if act.is_active(arr) {
+            let (_, data) = store
+                .arrays
+                .get(arr)
+                .ok_or_else(|| format!("active array `{arr}` missing from store"))?;
+            active.insert(arr.clone(), data.iter().map(|v| tape.input(*v)).collect());
+        }
+    }
+    let ctx = TapeCtx {
+        active,
+        passive: store,
+        counters: RefCell::new(BTreeMap::new()),
+    };
+
+    // Resolve bounds.
+    let mut lo = Vec::new();
+    let mut hi = Vec::new();
+    for b in &nest.bounds {
+        lo.push(
+            b.lo.eval(&store.indices)
+                .ok_or("unbound symbol in loop bound")?,
+        );
+        hi.push(
+            b.hi.eval(&store.indices)
+                .ok_or("unbound symbol in loop bound")?,
+        );
+    }
+
+    // Objective: J = sum over points, statements of seed[w][p] * rhs(p).
+    // (For `+=` primals the pre-existing output values are constants and do
+    // not affect the gradient; for `=` primals they are overwritten.)
+    let mut objective = Tape::constant(0.0);
+    let rank = nest.rank();
+    let mut point = lo.clone();
+    if point.iter().zip(&hi).all(|(p, h)| p <= h) {
+        loop {
+            {
+                let mut c = ctx.counters.borrow_mut();
+                for (d, s) in nest.counters.iter().enumerate() {
+                    c.insert(s.clone(), point[d]);
+                }
+            }
+            for stmt in &nest.body {
+                let w = &stmt.lhs.array;
+                let seed = seeds
+                    .get(w)
+                    .ok_or_else(|| format!("no seed for output `{w}`"))?;
+                let (dims, _) = store
+                    .arrays
+                    .get(w)
+                    .ok_or_else(|| format!("output array `{w}` missing from store"))?;
+                let mut lin = 0usize;
+                for (ix, d) in point.iter().zip(dims) {
+                    lin = lin * d + *ix as usize;
+                }
+                let _ = stmt.op == AssignOp::Assign; // same gradient either way here
+                let v: Var<'_> = eval(&stmt.rhs, &ctx).map_err(|e| e.to_string())?;
+                let weighted = v.mul(&Tape::constant(seed[lin]));
+                objective = objective.add(&weighted);
+            }
+            // Odometer.
+            let mut d = rank;
+            let mut done = false;
+            loop {
+                if d == 0 {
+                    done = true;
+                    break;
+                }
+                d -= 1;
+                point[d] += 1;
+                if point[d] <= hi[d] {
+                    break;
+                }
+                point[d] = lo[d];
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    let grad = tape.gradient(&objective);
+    let mut out = BTreeMap::new();
+    for (arr, vars) in &ctx.active {
+        let g: Vec<f64> = vars
+            .iter()
+            .map(|v| v.tape_index().map(|i| grad[i as usize]).unwrap_or(0.0))
+            .collect();
+        let name = act.adjoint_of(arr).expect("active array has adjoint");
+        out.insert(name.clone(), g);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::make_loop_nest;
+    use perforad_symbolic::{ix, Array, Idx};
+
+    #[test]
+    fn matches_hand_computed_adjoint() {
+        // r[i] = c[i]*(2 u[i-1] - 3 u[i] + 4 u[i+1]), i in [1, 3], n = 4.
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
+        let nest = make_loop_nest(
+            &r.at(ix![&i]),
+            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let store = MapCtx::new()
+            .index("n", 4)
+            .array1("u", vec![1.0, 2.0, 3.0, 4.0, 5.0])
+            .array1("c", vec![1.0, 1.0, 1.0, 1.0, 1.0])
+            .array1("r", vec![0.0; 5]);
+        let mut seeds = BTreeMap::new();
+        seeds.insert(Symbol::new("r"), vec![0.0, 1.0, 1.0, 1.0, 0.0]);
+        let adj = tape_adjoint(&nest, &act, &store, &seeds).unwrap();
+        let ub = &adj[&Symbol::new("u_b")];
+        // ub[0] = 2 (from i=1); ub[1] = -3 + 2; ub[2] = 4 - 3 + 2;
+        // ub[3] = 4 - 3; ub[4] = 4.
+        assert_eq!(ub.as_slice(), &[2.0, -1.0, 3.0, 1.0, 4.0]);
+    }
+
+    #[test]
+    fn nonlinear_piecewise_body() {
+        // r[i] = max(u[i], 0) * u[i+1]
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, r) = (Array::new("u"), Array::new("r"));
+        let nest = make_loop_nest(
+            &r.at(ix![&i]),
+            u.at(ix![&i]).max(perforad_symbolic::Expr::zero()) * u.at(ix![&i + 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(0), Idx::sym(n) - 1)],
+        )
+        .unwrap();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let store = MapCtx::new()
+            .index("n", 2)
+            .array1("u", vec![-1.0, 2.0, 3.0])
+            .array1("r", vec![0.0; 3]);
+        let mut seeds = BTreeMap::new();
+        seeds.insert(Symbol::new("r"), vec![1.0, 1.0, 0.0]);
+        let adj = tape_adjoint(&nest, &act, &store, &seeds).unwrap();
+        let ub = &adj[&Symbol::new("u_b")];
+        // i=0: r0 = max(-1,0)*u1 = 0; d/du0 = 0 (branch), d/du1 = max(-1,0)=0
+        // i=1: r1 = max(2,0)*u2 = 2*3; d/du1 = u2 = 3, d/du2 = 2
+        assert_eq!(ub.as_slice(), &[0.0, 3.0, 2.0]);
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benches for the *transformation* itself: symbolic
+//! differentiation + shifting + region decomposition, and plan compilation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perforad_core::{split_disjoint, AdjointOptions, Bound};
+use perforad_exec::compile_adjoint;
+use perforad_pde::{burgers, heat2d, wave3d};
+use perforad_symbolic::{Idx, Symbol};
+
+fn adjoint_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform");
+    g.bench_function("wave3d_adjoint", |b| {
+        let nest = wave3d::nest();
+        let act = wave3d::activity();
+        b.iter(|| nest.adjoint(&act, &AdjointOptions::default()).unwrap())
+    });
+    g.bench_function("burgers_adjoint", |b| {
+        let nest = burgers::nest();
+        let act = burgers::activity();
+        b.iter(|| nest.adjoint(&act, &AdjointOptions::default()).unwrap())
+    });
+    g.bench_function("heat2d_adjoint", |b| {
+        let nest = heat2d::nest();
+        let act = heat2d::activity();
+        b.iter(|| nest.adjoint(&act, &AdjointOptions::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn region_split(c: &mut Criterion) {
+    let n = Symbol::new("n");
+    let bounds: Vec<Bound> = (0..3).map(|_| Bound::new(1, Idx::sym(n.clone()) - 2)).collect();
+    let mut dense = vec![vec![]];
+    for _ in 0..3 {
+        dense = dense
+            .iter()
+            .flat_map(|p: &Vec<i64>| {
+                [-1i64, 0, 1].iter().map(move |s| {
+                    let mut q = p.clone();
+                    q.push(*s);
+                    q
+                })
+            })
+            .collect();
+    }
+    c.bench_function("split_disjoint_dense3d_125", |b| {
+        b.iter(|| split_disjoint(&bounds, &dense))
+    });
+}
+
+fn plan_compile(c: &mut Criterion) {
+    let (ws, bind) = wave3d::workspace(16, 0.1);
+    let adj = wave3d::nest()
+        .adjoint(&wave3d::activity(), &AdjointOptions::default())
+        .unwrap();
+    c.bench_function("compile_adjoint_wave3d_53_nests", |b| {
+        b.iter(|| compile_adjoint(&adj, &ws, &bind).unwrap())
+    });
+}
+
+criterion_group!(benches, adjoint_transform, region_split, plan_compile);
+criterion_main!(benches);

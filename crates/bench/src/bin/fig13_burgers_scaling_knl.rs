@@ -1,0 +1,7 @@
+//! Figure 13: speedups of the Burgers solvers, KNL, 1–256 threads.
+fn main() {
+    let n = perforad_bench::env_size("PERFORAD_N", 2_000_000);
+    let mut case = perforad_bench::Case::burgers(n);
+    let machine = perforad_perfmodel::knl();
+    perforad_bench::run_scaling(&mut case, &machine, 1_000_000_000, "Figure 13: Scalability of the Burgers Equation on KNL");
+}

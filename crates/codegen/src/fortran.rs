@@ -1,0 +1,279 @@
+//! Fortran 90 back-end.
+//!
+//! The paper's §3.1 names Fortran back-ends as a design goal of PerforAD's
+//! modular architecture ("to print Fortran or C code"); this back-end
+//! demonstrates the extension point. Gather nests get
+//! `!$omp parallel do`, loops are emitted innermost-first (column-major
+//! order convention: the innermost C loop becomes the first Fortran index),
+//! and piecewise derivatives print via `merge(…)`.
+
+use perforad_core::{AssignOp, LoopNest};
+use perforad_symbolic::{Expr, Func, Idx, Node, Number};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+fn f_number(n: &Number) -> String {
+    match n {
+        Number::Int(i) => format!("{i}"),
+        Number::Rat(r) => format!("({}.0d0/{}.0d0)", r.numer(), r.denom()),
+        Number::Float(x) => {
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{x:.1}d0")
+            } else {
+                format!("{x}d0")
+            }
+        }
+    }
+}
+
+fn f_idx(ix: &Idx) -> String {
+    format!("{ix}")
+}
+
+/// Render an expression as Fortran.
+pub fn f_expr(e: &Expr) -> String {
+    match e.node() {
+        Node::Num(n) => f_number(n),
+        Node::Sym(s) => s.name().to_string(),
+        Node::Access(a) => {
+            // Fortran is column-major: reverse the index order so that the
+            // fastest-varying (innermost C) index comes first.
+            let idx: Vec<String> = a.indices.iter().rev().map(f_idx).collect();
+            format!("{}({})", a.array.name(), idx.join(", "))
+        }
+        Node::Add(ts) => {
+            let parts: Vec<String> = ts.iter().map(f_expr).collect();
+            format!("({})", parts.join(" + "))
+        }
+        Node::Mul(fs) => {
+            let parts: Vec<String> = fs.iter().map(f_expr).collect();
+            format!("({})", parts.join("*"))
+        }
+        Node::Pow(b, x) => format!("({}**{})", f_expr(b), f_expr(x)),
+        Node::Call(f, args) => {
+            let name = match f {
+                Func::Sin => "sin",
+                Func::Cos => "cos",
+                Func::Tan => "tan",
+                Func::Exp => "exp",
+                Func::Ln => "log",
+                Func::Sqrt => "sqrt",
+                Func::Abs => "abs",
+                Func::Sign => {
+                    return format!("sign(1.0d0, {})", f_expr(&args[0]));
+                }
+                Func::Tanh => "tanh",
+                Func::Max => "max",
+                Func::Min => "min",
+            };
+            let parts: Vec<String> = args.iter().map(f_expr).collect();
+            format!("{name}({})", parts.join(", "))
+        }
+        Node::Select(c, a, b) => format!(
+            "merge({}, {}, {} {} {})",
+            f_expr(a),
+            f_expr(b),
+            f_expr(&c.lhs),
+            match c.rel {
+                perforad_symbolic::Rel::Le => "<=",
+                perforad_symbolic::Rel::Lt => "<",
+                perforad_symbolic::Rel::Ge => ">=",
+                perforad_symbolic::Rel::Gt => ">",
+                perforad_symbolic::Rel::Eq => "==",
+                perforad_symbolic::Rel::Ne => "/=",
+            },
+            f_expr(&c.rhs)
+        ),
+        Node::UFun(app) => {
+            let parts: Vec<String> = app.args.iter().map(f_expr).collect();
+            format!("{}({})", app.name, parts.join(", "))
+        }
+        Node::UDeriv(app, wrt) => {
+            let parts: Vec<String> = app.args.iter().map(f_expr).collect();
+            format!("{}_d{}({})", app.name, app.params[*wrt], parts.join(", "))
+        }
+    }
+}
+
+/// Emit one loop nest as Fortran (inside a subroutine body).
+pub fn f_nest(nest: &LoopNest, openmp: bool, indent: usize) -> String {
+    let mut out = String::new();
+    let pad = |d: usize| "  ".repeat(d);
+    // Column-major: iterate the last C counter innermost -> in Fortran the
+    // loop order is reversed so the first stored index varies fastest.
+    let loops: Vec<_> = nest.counters.iter().zip(&nest.bounds).collect();
+    if openmp && nest.is_gather() {
+        let privates: Vec<&str> = nest.counters.iter().map(|c| c.name()).collect();
+        let _ = writeln!(out, "{}!$omp parallel do private({})", pad(indent), privates.join(","));
+    }
+    for (d, (c, b)) in loops.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{}do {c} = {}, {}",
+            pad(indent + d),
+            f_idx(&b.lo),
+            f_idx(&b.hi)
+        );
+    }
+    let body_pad = pad(indent + loops.len());
+    for s in &nest.body {
+        if let Some(g) = &s.guard {
+            let conds: Vec<String> = g
+                .ranges
+                .iter()
+                .map(|(c, b)| format!("{c} >= {} .and. {c} <= {}", f_idx(&b.lo), f_idx(&b.hi)))
+                .collect();
+            let _ = writeln!(out, "{body_pad}if ({}) then", conds.join(" .and. "));
+        }
+        let idx: Vec<String> = s.lhs.indices.iter().rev().map(f_idx).collect();
+        let lhs = format!("{}({})", s.lhs.array.name(), idx.join(", "));
+        let rhs = f_expr(&s.rhs);
+        match s.op {
+            AssignOp::Assign => {
+                let _ = writeln!(out, "{body_pad}{lhs} = {rhs}");
+            }
+            AssignOp::AddAssign => {
+                let _ = writeln!(out, "{body_pad}{lhs} = {lhs} + {rhs}");
+            }
+        }
+        if s.guard.is_some() {
+            let _ = writeln!(out, "{body_pad}end if");
+        }
+    }
+    for d in (0..loops.len()).rev() {
+        let _ = writeln!(out, "{}end do", pad(indent + d));
+    }
+    if openmp && nest.is_gather() {
+        let _ = writeln!(out, "{}!$omp end parallel do", pad(indent));
+    }
+    out
+}
+
+/// Emit a complete subroutine around a list of loop nests.
+pub fn print_subroutine(name: &str, nests: &[LoopNest]) -> String {
+    let mut outputs = BTreeSet::new();
+    let mut inputs = BTreeSet::new();
+    let mut params = BTreeSet::new();
+    let mut sizes = BTreeSet::new();
+    let mut counters = BTreeSet::new();
+    let mut rank = 0usize;
+    for nest in nests {
+        rank = rank.max(nest.rank());
+        outputs.extend(nest.outputs());
+        inputs.extend(nest.inputs());
+        params.extend(nest.parameters());
+        sizes.extend(nest.bound_symbols());
+        counters.extend(nest.counters.iter().map(|c| c.name().to_string()));
+    }
+    for o in &outputs {
+        inputs.remove(o);
+    }
+    let mut args: Vec<String> = Vec::new();
+    for a in outputs.iter().chain(inputs.iter()) {
+        args.push(a.name().to_string());
+    }
+    for p in &params {
+        args.push(p.name().to_string());
+    }
+    for s in &sizes {
+        args.push(s.name().to_string());
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "subroutine {name}({})", args.join(", "));
+    let _ = writeln!(out, "  implicit none");
+    let dim_spec = format!("({})", vec![":"; rank].join(","));
+    for s in &sizes {
+        let _ = writeln!(out, "  integer, intent(in) :: {}", s.name());
+    }
+    for p in &params {
+        let _ = writeln!(out, "  real(kind=8), intent(in) :: {}", p.name());
+    }
+    for o in &outputs {
+        let _ = writeln!(out, "  real(kind=8), intent(inout) :: {}{dim_spec}", o.name());
+    }
+    for i in &inputs {
+        let _ = writeln!(out, "  real(kind=8), intent(in) :: {}{dim_spec}", i.name());
+    }
+    let _ = writeln!(
+        out,
+        "  integer :: {}",
+        counters.into_iter().collect::<Vec<_>>().join(", ")
+    );
+    for nest in nests {
+        let _ = writeln!(out);
+        out.push_str(&f_nest(nest, true, 1));
+    }
+    let _ = writeln!(out, "end subroutine {name}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+    use perforad_symbolic::{ix, Array, Symbol};
+
+    fn paper_1d() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
+        make_loop_nest(
+            &r.at(ix![&i]),
+            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn emits_do_loops_and_omp() {
+        let code = f_nest(&paper_1d(), true, 0);
+        assert!(code.contains("!$omp parallel do private(i)"), "{code}");
+        assert!(code.contains("do i = 1, n - 1"), "{code}");
+        assert!(code.contains("end do"), "{code}");
+        assert!(code.contains("r(i) = "), "{code}");
+    }
+
+    #[test]
+    fn subroutine_signature_declares_intents() {
+        let code = print_subroutine("stencil1d", &[paper_1d()]);
+        assert!(code.contains("subroutine stencil1d(r, c, u, n)"), "{code}");
+        assert!(code.contains("real(kind=8), intent(inout) :: r(:)"), "{code}");
+        assert!(code.contains("real(kind=8), intent(in) :: u(:)"), "{code}");
+        assert!(code.contains("integer, intent(in) :: n"), "{code}");
+        assert!(code.contains("end subroutine stencil1d"), "{code}");
+    }
+
+    #[test]
+    fn adjoint_emits_increments() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_1d()
+            .adjoint(&act, &AdjointOptions::default().merged())
+            .unwrap();
+        let code = f_nest(adj.core_nest().unwrap(), true, 0);
+        assert!(code.contains("u_b(i) = u_b(i) + "), "{code}");
+    }
+
+    #[test]
+    fn piecewise_uses_merge() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let acc = match u.at(ix![&i]).node() {
+            Node::Access(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let e = u.at(ix![&i]).max(Expr::zero());
+        let d = perforad_symbolic::diff(&e, &perforad_symbolic::DiffVar::Access(acc)).unwrap();
+        assert_eq!(f_expr(&d), "merge(1, 0, u(i) >= 0)");
+    }
+
+    #[test]
+    fn multidim_indices_are_column_major() {
+        let (i, j) = (Symbol::new("i"), Symbol::new("j"));
+        let u = Array::new("u");
+        // C order u[i-1][j] becomes Fortran u(j, i - 1).
+        assert_eq!(f_expr(&u.at(ix![&i - 1, &j])), "u(j, i - 1)");
+    }
+}

@@ -1,0 +1,152 @@
+//! Ergonomic construction mirroring PerforAD's Python interface.
+//!
+//! The original scripts (Fig. 4 and Fig. 6 of the paper) call
+//! `makeLoopNest(lhs=…, rhs=…, counters=…, bounds=…)`; [`make_loop_nest`]
+//! is the Rust equivalent, and [`StencilSpec`] offers a builder for callers
+//! who prefer incremental construction.
+
+use crate::error::CoreError;
+use crate::nest::{Bound, LoopNest, Statement};
+use crate::validate::validate;
+use perforad_symbolic::{Access, Expr, Idx, Node, Symbol};
+
+/// Build (and validate) a single-statement gather stencil nest, exactly like
+/// PerforAD's `makeLoopNest`. The `lhs` must be an access expression.
+pub fn make_loop_nest(
+    lhs: &Expr,
+    rhs: Expr,
+    counters: Vec<Symbol>,
+    bounds: Vec<(Idx, Idx)>,
+) -> Result<LoopNest, CoreError> {
+    let access = match lhs.node() {
+        Node::Access(a) => a.clone(),
+        _ => {
+            return Err(CoreError::BadWriteIndex {
+                array: lhs.to_string(),
+                detail: "left-hand side must be an array access".to_string(),
+            })
+        }
+    };
+    let bounds = bounds
+        .into_iter()
+        .map(|(lo, hi)| Bound { lo, hi })
+        .collect();
+    let nest = LoopNest::new(counters, bounds, vec![Statement::assign(access, rhs)]);
+    validate(&nest)?;
+    Ok(nest)
+}
+
+/// Incremental builder for stencil loop nests.
+///
+/// ```
+/// use perforad_core::StencilSpec;
+/// use perforad_symbolic::{Array, Symbol, Idx, ix};
+///
+/// let i = Symbol::new("i");
+/// let n = Symbol::new("n");
+/// let (u, r) = (Array::new("u"), Array::new("r"));
+/// let nest = StencilSpec::new()
+///     .counter(i.clone(), 1, Idx::sym(n) - 2)
+///     .assign(r.at(ix![&i]), u.at(ix![&i - 1]) + u.at(ix![&i + 1]))
+///     .build()
+///     .unwrap();
+/// assert!(nest.is_gather());
+/// ```
+#[derive(Default, Clone)]
+pub struct StencilSpec {
+    counters: Vec<Symbol>,
+    bounds: Vec<Bound>,
+    body: Vec<Statement>,
+}
+
+impl StencilSpec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a loop dimension with inclusive bounds.
+    pub fn counter(mut self, c: impl Into<Symbol>, lo: impl Into<Idx>, hi: impl Into<Idx>) -> Self {
+        self.counters.push(c.into());
+        self.bounds.push(Bound::new(lo, hi));
+        self
+    }
+
+    /// Add an assignment statement `lhs = rhs`.
+    pub fn assign(mut self, lhs: Expr, rhs: Expr) -> Self {
+        self.push(lhs, rhs, false);
+        self
+    }
+
+    /// Add an increment statement `lhs += rhs`.
+    pub fn add_assign(mut self, lhs: Expr, rhs: Expr) -> Self {
+        self.push(lhs, rhs, true);
+        self
+    }
+
+    fn push(&mut self, lhs: Expr, rhs: Expr, increment: bool) {
+        let access = match lhs.node() {
+            Node::Access(a) => a.clone(),
+            _ => Access::new(lhs.to_string(), vec![]),
+        };
+        self.body.push(if increment {
+            Statement::add_assign(access, rhs)
+        } else {
+            Statement::assign(access, rhs)
+        });
+    }
+
+    /// Validate and produce the nest.
+    pub fn build(self) -> Result<LoopNest, CoreError> {
+        let nest = LoopNest::new(self.counters, self.bounds, self.body);
+        validate(&nest)?;
+        Ok(nest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_symbolic::{ix, Array};
+
+    #[test]
+    fn make_loop_nest_mirrors_perforad() {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        let r = Array::new("r");
+        let nest = make_loop_nest(
+            &r.at(ix![&i]),
+            u.at(ix![&i - 1]) + u.at(ix![&i + 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 2)],
+        )
+        .unwrap();
+        assert_eq!(nest.rank(), 1);
+        assert!(nest.is_gather());
+    }
+
+    #[test]
+    fn non_access_lhs_is_rejected() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let err = make_loop_nest(
+            &Expr::int(3),
+            u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(0), Idx::constant(5))],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn builder_validates() {
+        let i = Symbol::new("i");
+        let r = Array::new("r");
+        // reads and writes r -> invalid
+        let err = StencilSpec::new()
+            .counter(i.clone(), 0, 5)
+            .assign(r.at(ix![&i]), r.at(ix![&i - 1]))
+            .build();
+        assert!(err.is_err());
+    }
+}

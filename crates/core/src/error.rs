@@ -1,0 +1,92 @@
+//! Errors raised by IR validation and the adjoint transformation.
+
+use perforad_symbolic::SymError;
+use std::fmt;
+
+/// Why a loop nest was rejected or a transformation failed.
+///
+/// These correspond to the restrictions of §3.4 of the paper: disjoint
+/// read/write sets, outputs indexed by the loop counters, inputs read at
+/// constant offsets of the counters, perfect nests and affine bounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The loop body is empty.
+    EmptyBody,
+    /// Number of bounds does not match number of counters.
+    BoundsMismatch { counters: usize, bounds: usize },
+    /// The same counter appears twice in the nest.
+    DuplicateCounter(String),
+    /// A loop bound references one of the loop counters (non-rectangular
+    /// primal iteration spaces are not supported).
+    NonRectangularBounds(String),
+    /// An array is both read and written in the nest.
+    ReadWriteOverlap(String),
+    /// Two statements write to the same array.
+    MultipleWrites(String),
+    /// An output array is indexed by something other than the loop counters
+    /// in order (permuted/partial write indices are not supported yet).
+    BadWriteIndex { array: String, detail: String },
+    /// An input array access index is not `counter + constant`.
+    BadReadIndex { array: String, index: String },
+    /// The output array of a statement is not in the activity map, so no
+    /// adjoint seed exists for it.
+    InactiveOutput(String),
+    /// Differentiation failed in the symbolic layer.
+    Symbolic(SymError),
+    /// The transformation currently handles single-statement nests
+    /// (like PerforAD); this nest has several.
+    MultiStatementUnsupported(usize),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::EmptyBody => write!(f, "loop nest has an empty body"),
+            CoreError::BoundsMismatch { counters, bounds } => write!(
+                f,
+                "loop nest has {counters} counters but {bounds} bounds"
+            ),
+            CoreError::DuplicateCounter(c) => write!(f, "duplicate loop counter `{c}`"),
+            CoreError::NonRectangularBounds(c) => write!(
+                f,
+                "loop bounds reference counter `{c}`; the primal iteration space must be rectangular"
+            ),
+            CoreError::ReadWriteOverlap(a) => write!(
+                f,
+                "array `{a}` is both read and written (§3.4 requires disjoint read/write sets)"
+            ),
+            CoreError::MultipleWrites(a) => write!(f, "array `{a}` is written by more than one statement"),
+            CoreError::BadWriteIndex { array, detail } => {
+                write!(f, "output `{array}` must be indexed by the loop counters: {detail}")
+            }
+            CoreError::BadReadIndex { array, index } => write!(
+                f,
+                "input `{array}` read at `{index}`, which is not a constant offset of a loop counter"
+            ),
+            CoreError::InactiveOutput(a) => write!(
+                f,
+                "output array `{a}` has no adjoint counterpart in the activity map"
+            ),
+            CoreError::Symbolic(e) => write!(f, "symbolic differentiation failed: {e}"),
+            CoreError::MultiStatementUnsupported(n) => write!(
+                f,
+                "adjoint transformation supports single-statement bodies (got {n} statements)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Symbolic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SymError> for CoreError {
+    fn from(e: SymError) -> Self {
+        CoreError::Symbolic(e)
+    }
+}

@@ -1,0 +1,83 @@
+//! Statement merging: collapse all updates to the same output into one
+//! `+=` statement (the merged core loop of §3.2).
+
+use crate::nest::{AssignOp, LoopNest, Statement};
+use perforad_symbolic::{Access, Expr};
+
+/// Merge consecutive-compatible statements writing the same array (same
+/// operator, same guard) into a single statement whose right-hand side is
+/// the canonical sum of the originals.
+pub fn merge_statements(nest: &LoopNest) -> LoopNest {
+    let mut groups: Vec<(Access, AssignOp, Option<crate::nest::Guard>, Vec<Expr>)> = Vec::new();
+    for s in &nest.body {
+        match groups
+            .iter_mut()
+            .find(|(lhs, op, guard, _)| lhs == &s.lhs && *op == s.op && guard == &s.guard)
+        {
+            Some((_, _, _, exprs)) => exprs.push(s.rhs.clone()),
+            None => groups.push((s.lhs.clone(), s.op, s.guard.clone(), vec![s.rhs.clone()])),
+        }
+    }
+    let body = groups
+        .into_iter()
+        .map(|(lhs, op, guard, exprs)| Statement {
+            lhs,
+            op,
+            rhs: Expr::add_all(exprs),
+            guard,
+        })
+        .collect();
+    LoopNest::new(nest.counters.clone(), nest.bounds.clone(), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::Bound;
+    use perforad_symbolic::{ix, Array, Symbol};
+
+    #[test]
+    fn merges_same_lhs() {
+        let i = Symbol::new("i");
+        let rb = Array::new("rb");
+        let body = vec![
+            Statement::add_assign(Access::new("ub", ix![&i]), 2.0 * rb.at(ix![&i + 1])),
+            Statement::add_assign(Access::new("ub", ix![&i]), -3.0 * rb.at(ix![&i])),
+            Statement::add_assign(Access::new("vb", ix![&i]), rb.at(ix![&i])),
+        ];
+        let nest = LoopNest::new(vec![i.clone()], vec![Bound::new(0, 9)], body);
+        let merged = merge_statements(&nest);
+        assert_eq!(merged.body.len(), 2);
+        assert_eq!(
+            merged.body[0].rhs,
+            -3.0 * rb.at(ix![&i]) + 2.0 * rb.at(ix![&i + 1])
+        );
+    }
+
+    #[test]
+    fn different_ops_do_not_merge() {
+        let i = Symbol::new("i");
+        let rb = Array::new("rb");
+        let body = vec![
+            Statement::assign(Access::new("ub", ix![&i]), rb.at(ix![&i])),
+            Statement::add_assign(Access::new("ub", ix![&i]), rb.at(ix![&i])),
+        ];
+        let nest = LoopNest::new(vec![i.clone()], vec![Bound::new(0, 9)], body);
+        assert_eq!(merge_statements(&nest).body.len(), 2);
+    }
+
+    #[test]
+    fn merging_preserves_mathematical_sum() {
+        // x + x merges to 2x through canonical Add.
+        let i = Symbol::new("i");
+        let rb = Array::new("rb");
+        let body = vec![
+            Statement::add_assign(Access::new("ub", ix![&i]), rb.at(ix![&i])),
+            Statement::add_assign(Access::new("ub", ix![&i]), rb.at(ix![&i])),
+        ];
+        let nest = LoopNest::new(vec![i.clone()], vec![Bound::new(0, 9)], body);
+        let merged = merge_statements(&nest);
+        assert_eq!(merged.body.len(), 1);
+        assert_eq!(merged.body[0].rhs, 2 * rb.at(ix![&i]));
+    }
+}

@@ -1,0 +1,321 @@
+//! The stencil loop-nest intermediate representation.
+//!
+//! A [`LoopNest`] is a perfect nest of counted loops with inclusive affine
+//! bounds and a list of assignment statements in the innermost body — the
+//! same abstraction PerforAD's `LoopNest` Python class encapsulates.
+//! Gather loops (primal stencils and PerforAD adjoints) write at the loop
+//! counters; scatter loops (conventional adjoints) write at constant offsets
+//! of the counters. Both shapes are representable and executable.
+
+use perforad_symbolic::{Access, Expr, Idx, Symbol};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Inclusive per-dimension loop bounds `for c in [lo, hi]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Bound {
+    pub lo: Idx,
+    pub hi: Idx,
+}
+
+impl Bound {
+    pub fn new(lo: impl Into<Idx>, hi: impl Into<Idx>) -> Self {
+        Bound {
+            lo: lo.into(),
+            hi: hi.into(),
+        }
+    }
+
+    /// Translate both ends by a constant.
+    pub fn shift(&self, delta: i64) -> Bound {
+        Bound {
+            lo: self.lo.shift(delta),
+            hi: self.hi.shift(delta),
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Assignment operator of a statement.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AssignOp {
+    /// `lhs = rhs`
+    Assign,
+    /// `lhs += rhs`
+    AddAssign,
+}
+
+/// A guard restricting a statement to a sub-box of the iteration space.
+///
+/// Used by the *guarded* boundary strategy (§3.3.4 discusses this
+/// alternative): each entry constrains one counter to `[lo, hi]`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Guard {
+    pub ranges: Vec<(Symbol, Bound)>,
+}
+
+impl fmt::Display for Guard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, (c, b)) in self.ranges.iter().enumerate() {
+            if k > 0 {
+                write!(f, " && ")?;
+            }
+            write!(f, "{} <= {c} && {c} <= {}", b.lo, b.hi)?;
+        }
+        Ok(())
+    }
+}
+
+/// One assignment in the innermost loop body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Statement {
+    pub lhs: Access,
+    pub op: AssignOp,
+    pub rhs: Expr,
+    /// `None` for unconditional statements.
+    pub guard: Option<Guard>,
+}
+
+impl Statement {
+    pub fn assign(lhs: Access, rhs: Expr) -> Self {
+        Statement {
+            lhs,
+            op: AssignOp::Assign,
+            rhs,
+            guard: None,
+        }
+    }
+
+    pub fn add_assign(lhs: Access, rhs: Expr) -> Self {
+        Statement {
+            lhs,
+            op: AssignOp::AddAssign,
+            rhs,
+            guard: None,
+        }
+    }
+
+    pub fn with_guard(mut self, guard: Guard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = &self.guard {
+            write!(f, "if ({g}) ")?;
+        }
+        let op = match self.op {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+        };
+        write!(f, "{} {op} {}", self.lhs, self.rhs)
+    }
+}
+
+/// A perfect loop nest with a straight-line innermost body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LoopNest {
+    /// Loop counters, outermost first.
+    pub counters: Vec<Symbol>,
+    /// Inclusive bounds, aligned with `counters`.
+    pub bounds: Vec<Bound>,
+    /// Innermost-body statements, executed in order.
+    pub body: Vec<Statement>,
+}
+
+impl LoopNest {
+    pub fn new(counters: Vec<Symbol>, bounds: Vec<Bound>, body: Vec<Statement>) -> Self {
+        LoopNest {
+            counters,
+            bounds,
+            body,
+        }
+    }
+
+    /// Dimensionality of the nest.
+    pub fn rank(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Names of all arrays written by the body.
+    pub fn outputs(&self) -> BTreeSet<Symbol> {
+        self.body.iter().map(|s| s.lhs.array.clone()).collect()
+    }
+
+    /// Names of all arrays read by the body (guards included).
+    pub fn inputs(&self) -> BTreeSet<Symbol> {
+        let mut set = BTreeSet::new();
+        for s in &self.body {
+            set.extend(perforad_symbolic::visit::arrays(&s.rhs));
+        }
+        set
+    }
+
+    /// Scalar symbols referenced by the body (excludes counters).
+    pub fn parameters(&self) -> BTreeSet<Symbol> {
+        let mut set = BTreeSet::new();
+        for s in &self.body {
+            set.extend(perforad_symbolic::visit::scalar_symbols(&s.rhs));
+        }
+        for c in &self.counters {
+            set.remove(c);
+        }
+        set
+    }
+
+    /// Symbols used by the loop bounds (e.g. the grid extent `n`).
+    pub fn bound_symbols(&self) -> BTreeSet<Symbol> {
+        let mut set = BTreeSet::new();
+        for b in &self.bounds {
+            set.extend(b.lo.symbols().cloned());
+            set.extend(b.hi.symbols().cloned());
+        }
+        for c in &self.counters {
+            set.remove(c);
+        }
+        set
+    }
+
+    /// True if every statement writes at exactly the loop counters
+    /// (a *gather* nest, parallelisable over any counter).
+    pub fn is_gather(&self) -> bool {
+        self.body.iter().all(|s| {
+            s.lhs.indices.len() == self.counters.len()
+                && s.lhs
+                    .indices
+                    .iter()
+                    .zip(&self.counters)
+                    .all(|(ix, c)| ix.is_offset_of(c) == Some(0))
+        })
+    }
+
+    /// The distinct write offsets of the body relative to the counters, if
+    /// all writes are at constant offsets (`None` otherwise). A gather nest
+    /// returns only the zero offset.
+    pub fn write_offsets(&self) -> Option<Vec<Vec<i64>>> {
+        let mut set = BTreeSet::new();
+        for s in &self.body {
+            if s.lhs.indices.len() != self.counters.len() {
+                return None;
+            }
+            let mut off = Vec::with_capacity(self.counters.len());
+            for (ix, c) in s.lhs.indices.iter().zip(&self.counters) {
+                off.push(ix.is_offset_of(c)?);
+            }
+            set.insert(off);
+        }
+        Some(set.into_iter().collect())
+    }
+
+    /// Number of points in the iteration space given integer bindings for
+    /// the bound symbols; `None` if a symbol is unbound.
+    pub fn iteration_count(&self, env: &std::collections::BTreeMap<Symbol, i64>) -> Option<u64> {
+        let mut total: u64 = 1;
+        for b in &self.bounds {
+            let lo = b.lo.eval(env)?;
+            let hi = b.hi.eval(env)?;
+            if hi < lo {
+                return Some(0);
+            }
+            total = total.saturating_mul((hi - lo + 1) as u64);
+        }
+        Some(total)
+    }
+}
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (d, (c, b)) in self.counters.iter().zip(&self.bounds).enumerate() {
+            writeln!(f, "{:indent$}for {c} in {b} {{", "", indent = d * 2)?;
+        }
+        let indent = self.counters.len() * 2;
+        for s in &self.body {
+            writeln!(f, "{:indent$}{s}", "", indent = indent)?;
+        }
+        for d in (0..self.counters.len()).rev() {
+            writeln!(f, "{:indent$}}}", "", indent = d * 2)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_symbolic::{ix, Array};
+
+    fn three_point() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        let c = Array::new("c");
+        let rhs =
+            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
+        LoopNest::new(
+            vec![i.clone()],
+            vec![Bound::new(1, Idx::sym(n) - 1)],
+            vec![Statement::assign(Access::new("r", ix![&i]), rhs)],
+        )
+    }
+
+    #[test]
+    fn classification() {
+        let nest = three_point();
+        assert!(nest.is_gather());
+        assert_eq!(nest.rank(), 1);
+        assert_eq!(nest.outputs().len(), 1);
+        assert!(nest.inputs().contains(&Symbol::new("u")));
+        assert!(nest.inputs().contains(&Symbol::new("c")));
+        assert_eq!(nest.write_offsets(), Some(vec![vec![0]]));
+    }
+
+    #[test]
+    fn scatter_write_offsets() {
+        let i = Symbol::new("i");
+        let ub = Array::new("ub");
+        let rb = Array::new("rb");
+        let body = vec![
+            Statement::add_assign(Access::new("ub", ix![&i - 1]), rb.at(ix![&i])),
+            Statement::add_assign(Access::new("ub", ix![&i + 1]), rb.at(ix![&i])),
+        ];
+        let nest = LoopNest::new(vec![i.clone()], vec![Bound::new(1, 8)], body);
+        assert!(!nest.is_gather());
+        assert_eq!(nest.write_offsets(), Some(vec![vec![-1], vec![1]]));
+        let _ = ub;
+    }
+
+    #[test]
+    fn iteration_count() {
+        let nest = three_point();
+        let mut env = std::collections::BTreeMap::new();
+        env.insert(Symbol::new("n"), 11i64);
+        assert_eq!(nest.iteration_count(&env), Some(10)); // i in [1, 10]
+        env.insert(Symbol::new("n"), 1i64);
+        assert_eq!(nest.iteration_count(&env), Some(0)); // empty range
+    }
+
+    #[test]
+    fn display_shape() {
+        let nest = three_point();
+        let s = nest.to_string();
+        assert!(s.contains("for i in [1, n - 1]"), "{s}");
+        assert!(s.contains("r(i) ="), "{s}");
+    }
+
+    #[test]
+    fn parameters_and_bound_symbols() {
+        let nest = three_point();
+        assert!(nest.parameters().is_empty());
+        assert_eq!(
+            nest.bound_symbols().into_iter().collect::<Vec<_>>(),
+            vec![Symbol::new("n")]
+        );
+    }
+}

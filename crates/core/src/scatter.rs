@@ -1,0 +1,107 @@
+//! The conventional *scatter* adjoint — the baseline a source-to-source AD
+//! tool like Tapenade produces (§1, Fig. 5 right).
+//!
+//! For `w[c] = f(u[c+o], ...)` the reverse sweep is
+//! `ub[c+o] += ∂f/∂u[c+o](c) · wb[c]` over the primal iteration space: a
+//! scatter update whose parallelisation needs atomics (or colouring, or
+//! privatised reductions). `perforad-exec` runs these nests serially and in
+//! parallel-with-atomics so the paper's baselines can be measured.
+
+use crate::adjoint::ActivityMap;
+use crate::error::CoreError;
+use crate::nest::{LoopNest, Statement};
+use crate::validate::{access_offsets, validate};
+use perforad_symbolic::{diff, visit, Access, DiffVar, Expr, Idx};
+
+impl LoopNest {
+    /// Produce the conventional scatter adjoint of this gather nest as a
+    /// single loop nest over the *primal* iteration space.
+    pub fn scatter_adjoint(&self, act: &ActivityMap) -> Result<LoopNest, CoreError> {
+        validate(self)?;
+        let counter_ix: Vec<Idx> = self.counters.iter().map(Idx::from).collect();
+        let mut body = Vec::new();
+        for stmt in &self.body {
+            let wb = act
+                .adjoint_of(&stmt.lhs.array)
+                .ok_or_else(|| CoreError::InactiveOutput(stmt.lhs.array.name().to_string()))?;
+            let wb_access = Expr::access(Access::new(wb.clone(), counter_ix.clone()));
+            for access in visit::accesses(&stmt.rhs) {
+                let Some(ub) = act.adjoint_of(&access.array) else {
+                    continue;
+                };
+                let offset = access_offsets(self, &access)?;
+                let partial = diff(&stmt.rhs, &DiffVar::Access(access.clone()))?;
+                if partial.is_zero() {
+                    continue;
+                }
+                let lhs_indices: Vec<Idx> = self
+                    .counters
+                    .iter()
+                    .zip(&offset)
+                    .map(|(c, &o)| Idx::sym(c.clone()) + o)
+                    .collect();
+                body.push(Statement::add_assign(
+                    Access::new(ub.clone(), lhs_indices),
+                    partial * &wb_access,
+                ));
+            }
+        }
+        Ok(LoopNest::new(
+            self.counters.clone(),
+            self.bounds.clone(),
+            body,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::Bound;
+    use perforad_symbolic::{ix, Array, Symbol};
+
+    fn paper_1d() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        let c = Array::new("c");
+        let rhs =
+            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
+        LoopNest::new(
+            vec![i.clone()],
+            vec![Bound::new(1, Idx::sym(n) - 1)],
+            vec![Statement::assign(Access::new("r", ix![&i]), rhs)],
+        )
+    }
+
+    #[test]
+    fn scatter_adjoint_matches_paper_form() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_1d().scatter_adjoint(&act).unwrap();
+        // Same iteration space as the primal.
+        assert_eq!(format!("{}", adj.bounds[0]), "[1, n - 1]");
+        // Three scatter statements: ub[i-1], ub[i], ub[i+1].
+        assert_eq!(adj.body.len(), 3);
+        assert!(!adj.is_gather());
+        let texts: Vec<String> = adj.body.iter().map(|s| s.to_string()).collect();
+        assert!(texts.contains(&"u_b(i - 1) += 2.0*c(i)*r_b(i)".to_string()), "{texts:?}");
+        assert!(texts.contains(&"u_b(i) += -3.0*c(i)*r_b(i)".to_string()), "{texts:?}");
+        assert!(texts.contains(&"u_b(i + 1) += 4.0*c(i)*r_b(i)".to_string()), "{texts:?}");
+    }
+
+    #[test]
+    fn write_offsets_reflect_scatter() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_1d().scatter_adjoint(&act).unwrap();
+        assert_eq!(
+            adj.write_offsets(),
+            Some(vec![vec![-1], vec![0], vec![1]])
+        );
+    }
+
+    #[test]
+    fn requires_active_output() {
+        let act = ActivityMap::new().with_suffixed("u");
+        assert!(paper_1d().scatter_adjoint(&act).is_err());
+    }
+}

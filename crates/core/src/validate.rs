@@ -1,0 +1,235 @@
+//! Loop-nest validation — the restrictions of §3.4 of the paper.
+//!
+//! The adjoint stencil transformation requires:
+//!
+//! * read and write array sets are disjoint (`+=` self-reads excepted,
+//!   because they contribute the identity to the adjoint);
+//! * output arrays are indexed by exactly the loop counters, in order;
+//! * input arrays are read at constant integer offsets of the counters;
+//! * the nest is perfect and rectangular with affine bounds (affinity is
+//!   guaranteed structurally by [`Idx`]).
+//!
+//! [`Idx`]: perforad_symbolic::Idx
+
+use crate::error::CoreError;
+use crate::nest::LoopNest;
+use perforad_symbolic::visit;
+use std::collections::BTreeSet;
+
+/// Per-access constant offsets of a read, aligned with the nest counters.
+pub fn access_offsets(nest: &LoopNest, a: &perforad_symbolic::Access) -> Result<Vec<i64>, CoreError> {
+    if a.indices.len() != nest.counters.len() {
+        return Err(CoreError::BadReadIndex {
+            array: a.array.name().to_string(),
+            index: format!("{a}"),
+        });
+    }
+    let mut off = Vec::with_capacity(a.indices.len());
+    for (ix, c) in a.indices.iter().zip(&nest.counters) {
+        match ix.is_offset_of(c) {
+            Some(o) => off.push(o),
+            None => {
+                return Err(CoreError::BadReadIndex {
+                    array: a.array.name().to_string(),
+                    index: format!("{a}"),
+                })
+            }
+        }
+    }
+    Ok(off)
+}
+
+/// Validate a *gather* stencil nest as a transformation input.
+pub fn validate(nest: &LoopNest) -> Result<(), CoreError> {
+    if nest.body.is_empty() {
+        return Err(CoreError::EmptyBody);
+    }
+    if nest.counters.len() != nest.bounds.len() {
+        return Err(CoreError::BoundsMismatch {
+            counters: nest.counters.len(),
+            bounds: nest.bounds.len(),
+        });
+    }
+    // Distinct counters.
+    let mut seen = BTreeSet::new();
+    for c in &nest.counters {
+        if !seen.insert(c.clone()) {
+            return Err(CoreError::DuplicateCounter(c.name().to_string()));
+        }
+    }
+    // Rectangular bounds: no counter may appear in any bound.
+    for b in &nest.bounds {
+        for c in &nest.counters {
+            if b.lo.coeff(c) != 0 || b.hi.coeff(c) != 0 {
+                return Err(CoreError::NonRectangularBounds(c.name().to_string()));
+            }
+        }
+    }
+    // One write per array.
+    let mut written = BTreeSet::new();
+    for s in &nest.body {
+        if !written.insert(s.lhs.array.clone()) {
+            return Err(CoreError::MultipleWrites(s.lhs.array.name().to_string()));
+        }
+    }
+    // Reads and writes must be disjoint.
+    for s in &nest.body {
+        for arr in visit::arrays(&s.rhs) {
+            if written.contains(&arr) {
+                return Err(CoreError::ReadWriteOverlap(arr.name().to_string()));
+            }
+        }
+    }
+    // Writes at exactly the counters, in order.
+    for s in &nest.body {
+        if s.lhs.indices.len() != nest.counters.len() {
+            return Err(CoreError::BadWriteIndex {
+                array: s.lhs.array.name().to_string(),
+                detail: format!(
+                    "{} indices for a {}-deep nest",
+                    s.lhs.indices.len(),
+                    nest.counters.len()
+                ),
+            });
+        }
+        for (ix, c) in s.lhs.indices.iter().zip(&nest.counters) {
+            if ix.is_offset_of(c) != Some(0) {
+                return Err(CoreError::BadWriteIndex {
+                    array: s.lhs.array.name().to_string(),
+                    detail: format!("index `{ix}` is not counter `{c}`"),
+                });
+            }
+        }
+    }
+    // Reads at constant offsets of the counters.
+    for s in &nest.body {
+        for a in visit::accesses(&s.rhs) {
+            access_offsets(nest, &a)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::{Bound, Statement};
+    use perforad_symbolic::{ix, Access, Array, Idx, Symbol};
+
+    fn i() -> Symbol {
+        Symbol::new("i")
+    }
+
+    fn simple(rhs: perforad_symbolic::Expr, lhs: Access) -> LoopNest {
+        LoopNest::new(
+            vec![i()],
+            vec![Bound::new(1, Idx::sym(Symbol::new("n")) - 2)],
+            vec![Statement::assign(lhs, rhs)],
+        )
+    }
+
+    #[test]
+    fn accepts_valid_stencil() {
+        let u = Array::new("u");
+        let nest = simple(u.at(ix![&i() - 1]) + u.at(ix![&i() + 1]), Access::new("r", ix![&i()]));
+        assert!(validate(&nest).is_ok());
+    }
+
+    #[test]
+    fn rejects_read_write_overlap() {
+        let r = Array::new("r");
+        let nest = simple(r.at(ix![&i() - 1]), Access::new("r", ix![&i()]));
+        assert_eq!(
+            validate(&nest),
+            Err(CoreError::ReadWriteOverlap("r".into()))
+        );
+    }
+
+    #[test]
+    fn rejects_scaled_write_index() {
+        let u = Array::new("u");
+        let nest = simple(
+            u.at(ix![&i()]),
+            Access::new("r", vec![Idx::scaled(i(), 2)]),
+        );
+        assert!(matches!(validate(&nest), Err(CoreError::BadWriteIndex { .. })));
+    }
+
+    #[test]
+    fn rejects_nonconstant_read_offset() {
+        let u = Array::new("u");
+        // u[2i] is not counter + constant
+        let nest = simple(u.at(vec![Idx::scaled(i(), 2)]), Access::new("r", ix![&i()]));
+        assert!(matches!(validate(&nest), Err(CoreError::BadReadIndex { .. })));
+    }
+
+    #[test]
+    fn rejects_read_using_extent_symbol() {
+        let u = Array::new("u");
+        // u[n-1] — constant in the counters, still rejected (not a stencil read).
+        let nest = simple(
+            u.at(vec![Idx::sym(Symbol::new("n")) - 1]),
+            Access::new("r", ix![&i()]),
+        );
+        assert!(matches!(validate(&nest), Err(CoreError::BadReadIndex { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_counters() {
+        let u = Array::new("u");
+        let nest = LoopNest::new(
+            vec![i(), i()],
+            vec![Bound::new(0, 1), Bound::new(0, 1)],
+            vec![Statement::assign(
+                Access::new("r", ix![&i(), &i()]),
+                u.at(ix![&i(), &i()]),
+            )],
+        );
+        assert_eq!(validate(&nest), Err(CoreError::DuplicateCounter("i".into())));
+    }
+
+    #[test]
+    fn rejects_triangular_bounds() {
+        let u = Array::new("u");
+        let j = Symbol::new("j");
+        let nest = LoopNest::new(
+            vec![i(), j.clone()],
+            vec![Bound::new(0, 10), Bound::new(0, Idx::sym(i()))],
+            vec![Statement::assign(
+                Access::new("r", ix![&i(), &j]),
+                u.at(ix![&i(), &j]),
+            )],
+        );
+        assert!(matches!(
+            validate(&nest),
+            Err(CoreError::NonRectangularBounds(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_body_and_bound_mismatch() {
+        let nest = LoopNest::new(vec![i()], vec![Bound::new(0, 1)], vec![]);
+        assert_eq!(validate(&nest), Err(CoreError::EmptyBody));
+        let u = Array::new("u");
+        let nest = LoopNest::new(
+            vec![i()],
+            vec![],
+            vec![Statement::assign(Access::new("r", ix![&i()]), u.at(ix![&i()]))],
+        );
+        assert!(matches!(validate(&nest), Err(CoreError::BoundsMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_two_writes_to_same_array() {
+        let u = Array::new("u");
+        let nest = LoopNest::new(
+            vec![i()],
+            vec![Bound::new(0, 1)],
+            vec![
+                Statement::assign(Access::new("r", ix![&i()]), u.at(ix![&i()])),
+                Statement::assign(Access::new("r", ix![&i()]), u.at(ix![&i()])),
+            ],
+        );
+        assert_eq!(validate(&nest), Err(CoreError::MultipleWrites("r".into())));
+    }
+}

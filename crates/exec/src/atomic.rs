@@ -1,0 +1,98 @@
+//! Atomic `f64` accumulation — the `#pragma omp atomic` stand-in.
+//!
+//! The conventional scatter adjoint needs concurrent `+=` on doubles. Like
+//! OpenMP on x86, this is a compare-and-swap loop over the bit pattern in a
+//! 64-bit atomic. The paper's evaluation shows exactly this mechanism
+//! destroying scalability (Figs. 8–15, "Atomics" series); we reproduce the
+//! mechanism faithfully so the benchmark measures the same effect.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` supporting atomic fetch-add via CAS.
+#[repr(transparent)]
+pub struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    pub fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    pub fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    pub fn store(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed)
+    }
+
+    /// Atomically `self += v`; returns the previous value.
+    ///
+    /// Relaxed ordering suffices: adjoint accumulation is commutative and
+    /// the executor joins all threads (a synchronising operation) before the
+    /// results are read.
+    pub fn fetch_add(&self, v: f64) -> f64 {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return f64::from_bits(cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+/// Reinterpret a mutable `f64` slice as a slice of [`AtomicF64`].
+///
+/// Sound because `AtomicF64` is `#[repr(transparent)]` over `AtomicU64`,
+/// which has the same size and alignment as `u64`/`f64`, and the exclusive
+/// borrow guarantees no other non-atomic access for the lifetime.
+pub fn as_atomic_slice(data: &mut [f64]) -> &[AtomicF64] {
+    unsafe { &*(data as *mut [f64] as *const [AtomicF64]) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_add_accumulates() {
+        let a = AtomicF64::new(1.5);
+        assert_eq!(a.fetch_add(2.0), 1.5);
+        assert_eq!(a.load(), 3.5);
+        a.store(-1.0);
+        assert_eq!(a.load(), -1.0);
+    }
+
+    #[test]
+    fn atomic_slice_view_roundtrips() {
+        let mut v = vec![0.0f64; 4];
+        {
+            let atoms = as_atomic_slice(&mut v);
+            atoms[2].fetch_add(5.0);
+            atoms[2].fetch_add(0.5);
+        }
+        assert_eq!(v, vec![0.0, 0.0, 5.5, 0.0]);
+    }
+
+    #[test]
+    fn concurrent_accumulation_is_exact_for_integers() {
+        // Sum of integers is exact in f64, so the result is deterministic
+        // regardless of interleaving.
+        let mut v = vec![0.0f64; 1];
+        let atoms = as_atomic_slice(&mut v);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        atoms[0].fetch_add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(v[0], 40_000.0);
+    }
+}

@@ -1,0 +1,525 @@
+//! Kernel plans: loop nests bound to storage and compiled for execution.
+//!
+//! A [`Plan`] fixes everything the inner loops need: resolved integer
+//! bounds, array slots, bytecode programs with parameters inlined, write
+//! offsets, guards. Building a plan also proves memory safety (every access
+//! of every iteration is in range, write arrays don't alias read arrays), so
+//! the execution loops in [`crate::run`] can use unchecked loads.
+
+use crate::bytecode::{compile, compile_with_bindings, CompileCtx, Program};
+use crate::error::ExecError;
+use crate::workspace::{Binding, Workspace};
+use perforad_core::{Adjoint, AssignOp, BoundaryStrategy, LoopNest};
+use perforad_symbolic::{subst, visit, Expr, Idx, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One compiled statement.
+#[derive(Clone, Debug)]
+pub struct StmtPlan {
+    /// Slot of the array being written.
+    pub out_slot: usize,
+    /// Linear offset of the write relative to the centre point.
+    pub write_rel: isize,
+    /// Per-dimension write offsets (zero for gather statements).
+    pub write_offsets: Vec<i64>,
+    /// True for `=`, false for `+=`.
+    pub overwrite: bool,
+    /// Optional per-dimension inclusive counter ranges (guarded strategy).
+    pub guard: Option<Vec<(i64, i64)>>,
+    /// Compiled right-hand side.
+    pub prog: Program,
+}
+
+/// One compiled loop nest.
+#[derive(Clone, Debug)]
+pub struct NestPlan {
+    /// Inclusive resolved bounds, outermost first.
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+    pub stmts: Vec<StmtPlan>,
+    /// True when some dimension has an empty range.
+    pub empty: bool,
+}
+
+impl NestPlan {
+    /// Number of iteration points.
+    pub fn points(&self) -> u64 {
+        if self.empty {
+            return 0;
+        }
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l + 1) as u64)
+            .product()
+    }
+}
+
+/// A fully bound, validated, executable set of loop nests.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    pub rank: usize,
+    pub dims: Vec<usize>,
+    pub strides: Vec<usize>,
+    /// Array slot order.
+    pub arrays: Vec<Symbol>,
+    pub nests: Vec<NestPlan>,
+    /// All statements write at the centre point (parallel-safe without atomics).
+    pub gather_only: bool,
+    /// Loads use zero-padding semantics.
+    pub padded: bool,
+}
+
+impl Plan {
+    /// Total iteration points over all nests.
+    pub fn points(&self) -> u64 {
+        self.nests.iter().map(NestPlan::points).sum()
+    }
+
+    /// Slots that are written by at least one statement.
+    pub fn write_slots(&self) -> BTreeSet<usize> {
+        self.nests
+            .iter()
+            .flat_map(|n| n.stmts.iter().map(|s| s.out_slot))
+            .collect()
+    }
+}
+
+fn resolve_idx(ix: &Idx, sizes: &BTreeMap<Symbol, i64>) -> Result<i64, ExecError> {
+    ix.eval(sizes).ok_or_else(|| {
+        let missing = ix
+            .symbols()
+            .find(|s| !sizes.contains_key(s))
+            .map(|s| s.name().to_string())
+            .unwrap_or_default();
+        ExecError::UnboundSize(missing)
+    })
+}
+
+/// Plan compilation options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PlanOptions {
+    /// Zero-padding load semantics (the Padded boundary strategy).
+    pub padded: bool,
+    /// Apply common-subexpression elimination per statement (closes the
+    /// redundant-computation gap §4 of the paper attributes to PerforAD).
+    pub cse: bool,
+}
+
+/// Compile a list of loop nests (sharing counters) against a workspace.
+pub fn compile_nests(
+    nests: &[LoopNest],
+    ws: &Workspace,
+    binding: &Binding,
+    padded: bool,
+) -> Result<Plan, ExecError> {
+    compile_nests_opts(nests, ws, binding, PlanOptions { padded, cse: false })
+}
+
+/// Compile with full [`PlanOptions`].
+pub fn compile_nests_opts(
+    nests: &[LoopNest],
+    ws: &Workspace,
+    binding: &Binding,
+    opts: PlanOptions,
+) -> Result<Plan, ExecError> {
+    let padded = opts.padded;
+    assert!(!nests.is_empty(), "no nests to compile");
+    let counters = nests[0].counters.clone();
+    let rank = counters.len();
+
+    // Collect every array referenced anywhere, in deterministic order.
+    let mut names: BTreeSet<Symbol> = BTreeSet::new();
+    let mut read_names: BTreeSet<Symbol> = BTreeSet::new();
+    let mut write_names: BTreeSet<Symbol> = BTreeSet::new();
+    for nest in nests {
+        for s in &nest.body {
+            write_names.insert(s.lhs.array.clone());
+            names.insert(s.lhs.array.clone());
+            for a in visit::arrays(&s.rhs) {
+                read_names.insert(a.clone());
+                names.insert(a);
+            }
+        }
+    }
+    for w in &write_names {
+        if read_names.contains(w) {
+            return Err(ExecError::AliasedWrite(w.name().to_string()));
+        }
+    }
+    let arrays: Vec<Symbol> = names.into_iter().collect();
+
+    // All arrays must exist and share extents matching the nest rank.
+    let first = ws
+        .get(&arrays[0])
+        .ok_or_else(|| crate::error::unknown(&arrays[0]))?;
+    let dims = first.dims().to_vec();
+    let strides = first.strides().to_vec();
+    if dims.len() != rank {
+        return Err(ExecError::RankMismatch {
+            array: arrays[0].name().to_string(),
+            rank: dims.len(),
+            nest: rank,
+        });
+    }
+    for name in &arrays {
+        let g = ws.get(name).ok_or_else(|| crate::error::unknown(name))?;
+        if g.dims() != dims.as_slice() {
+            return Err(ExecError::DimsMismatch {
+                array: name.name().to_string(),
+                expected: dims.clone(),
+                got: g.dims().to_vec(),
+            });
+        }
+    }
+
+    // Substitution map: parameters and sizes become literals.
+    let mut sub: BTreeMap<Symbol, Expr> = BTreeMap::new();
+    for (s, v) in &binding.params {
+        sub.insert(s.clone(), Expr::float(*v));
+    }
+    for (s, v) in &binding.sizes {
+        sub.insert(s.clone(), Expr::int(*v));
+    }
+
+    let cctx = CompileCtx {
+        arrays: &arrays,
+        counters: &counters,
+        strides: &strides,
+        padded,
+        temps: &[],
+    };
+
+    let mut nest_plans = Vec::with_capacity(nests.len());
+    let mut gather_only = true;
+    for nest in nests {
+        debug_assert_eq!(nest.counters, counters, "nests must share counters");
+        let mut lo = Vec::with_capacity(rank);
+        let mut hi = Vec::with_capacity(rank);
+        for b in &nest.bounds {
+            lo.push(resolve_idx(&b.lo, &binding.sizes)?);
+            hi.push(resolve_idx(&b.hi, &binding.sizes)?);
+        }
+        let empty = lo.iter().zip(&hi).any(|(l, h)| l > h);
+
+        let mut stmts = Vec::with_capacity(nest.body.len());
+        for s in &nest.body {
+            // Write offsets relative to the counters.
+            let mut write_offsets = Vec::with_capacity(rank);
+            for (d, ix) in s.lhs.indices.iter().enumerate() {
+                let o = ix.is_offset_of(&counters[d]).ok_or_else(|| {
+                    ExecError::Unsupported(format!("non-constant write index `{ix}`"))
+                })?;
+                write_offsets.push(o);
+            }
+            if write_offsets.iter().any(|&o| o != 0) {
+                gather_only = false;
+            }
+            let write_rel: isize = write_offsets
+                .iter()
+                .zip(&strides)
+                .map(|(&o, &st)| o as isize * st as isize)
+                .sum();
+
+            // Resolve the guard first: a guarded statement only executes on
+            // the intersection of the nest bounds with its guard box, so
+            // range validation must use that effective range.
+            let guard = match &s.guard {
+                None => None,
+                Some(g) => {
+                    let mut ranges = vec![(i64::MIN, i64::MAX); rank];
+                    for (c, b) in &g.ranges {
+                        let d = counters
+                            .iter()
+                            .position(|x| x == c)
+                            .expect("guard counter belongs to nest");
+                        ranges[d] = (
+                            resolve_idx(&b.lo, &binding.sizes)?,
+                            resolve_idx(&b.hi, &binding.sizes)?,
+                        );
+                    }
+                    Some(ranges)
+                }
+            };
+            let mut eff_lo = lo.clone();
+            let mut eff_hi = hi.clone();
+            if let Some(g) = &guard {
+                for d in 0..rank {
+                    eff_lo[d] = eff_lo[d].max(g[d].0);
+                    eff_hi[d] = eff_hi[d].min(g[d].1);
+                }
+            }
+            let never_runs = eff_lo.iter().zip(&eff_hi).any(|(l, h)| l > h);
+
+            // Range-validate the write and (when not padded) every read.
+            if !empty && !never_runs {
+                let out_slot_name = &s.lhs.array;
+                for d in 0..rank {
+                    let r = (eff_lo[d] + write_offsets[d], eff_hi[d] + write_offsets[d]);
+                    if r.0 < 0 || r.1 >= dims[d] as i64 {
+                        return Err(ExecError::OutOfRange {
+                            array: out_slot_name.name().to_string(),
+                            dim: d,
+                            index_range: r,
+                            extent: dims[d],
+                        });
+                    }
+                }
+                if !padded {
+                    for a in visit::accesses(&s.rhs) {
+                        for (d, ix) in a.indices.iter().enumerate() {
+                            let o = ix.is_offset_of(&counters[d]).ok_or_else(|| {
+                                ExecError::Unsupported(format!("non-stencil access `{a}`"))
+                            })?;
+                            let r = (eff_lo[d] + o, eff_hi[d] + o);
+                            if r.0 < 0 || r.1 >= dims[d] as i64 {
+                                return Err(ExecError::OutOfRange {
+                                    array: a.array.name().to_string(),
+                                    dim: d,
+                                    index_range: r,
+                                    extent: dims[d],
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+
+            let out_slot = arrays.binary_search(&s.lhs.array).expect("slot exists");
+            let rhs = subst::subst_sym(&s.rhs, &sub);
+            let prog = if opts.cse {
+                let (bindings, rewritten) = perforad_symbolic::cse::eliminate_one(&rhs, "__cse");
+                compile_with_bindings(&bindings, &rewritten, &cctx)?
+            } else {
+                compile(&rhs, &cctx)?
+            };
+
+            stmts.push(StmtPlan {
+                out_slot,
+                write_rel,
+                write_offsets,
+                overwrite: s.op == AssignOp::Assign,
+                guard,
+                prog,
+            });
+        }
+        nest_plans.push(NestPlan {
+            lo,
+            hi,
+            stmts,
+            empty,
+        });
+    }
+
+    Ok(Plan {
+        rank,
+        dims,
+        strides,
+        arrays,
+        nests: nest_plans,
+        gather_only,
+        padded,
+    })
+}
+
+/// Compile a single nest.
+pub fn compile_nest(
+    nest: &LoopNest,
+    ws: &Workspace,
+    binding: &Binding,
+) -> Result<Plan, ExecError> {
+    compile_nests(std::slice::from_ref(nest), ws, binding, false)
+}
+
+/// Compile a full adjoint (all generated nests), checking the minimum-extent
+/// requirement of the disjoint decomposition and selecting padded loads when
+/// the adjoint was built with [`BoundaryStrategy::Padded`].
+pub fn compile_adjoint(
+    adj: &Adjoint,
+    ws: &Workspace,
+    binding: &Binding,
+) -> Result<Plan, ExecError> {
+    compile_adjoint_opts(adj, ws, binding, false)
+}
+
+/// Compile a full adjoint with optional per-statement CSE.
+pub fn compile_adjoint_opts(
+    adj: &Adjoint,
+    ws: &Workspace,
+    binding: &Binding,
+    cse: bool,
+) -> Result<Plan, ExecError> {
+    for (d, b) in adj.primal_bounds.iter().enumerate() {
+        let lo = resolve_idx(&b.lo, &binding.sizes)?;
+        let hi = resolve_idx(&b.hi, &binding.sizes)?;
+        let extent = hi - lo + 1;
+        if extent < adj.required_extent[d] {
+            return Err(ExecError::ExtentTooSmall {
+                dim: d,
+                extent,
+                required: adj.required_extent[d],
+            });
+        }
+    }
+    let padded = adj.strategy == BoundaryStrategy::Padded;
+    compile_nests_opts(&adj.nests, ws, binding, PlanOptions { padded, cse })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+    use perforad_symbolic::{ix, Array};
+
+    fn paper_nest() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
+        make_loop_nest(
+            &r.at(ix![&i]),
+            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    fn ws(n: usize) -> Workspace {
+        Workspace::new()
+            .with("u", Grid::zeros(&[n + 1]))
+            .with("c", Grid::zeros(&[n + 1]))
+            .with("r", Grid::zeros(&[n + 1]))
+    }
+
+    #[test]
+    fn compiles_primal() {
+        let plan = compile_nest(&paper_nest(), &ws(10), &Binding::new().size("n", 10)).unwrap();
+        assert_eq!(plan.rank, 1);
+        assert!(plan.gather_only);
+        assert_eq!(plan.nests[0].lo, vec![1]);
+        assert_eq!(plan.nests[0].hi, vec![9]);
+        assert_eq!(plan.points(), 9);
+    }
+
+    #[test]
+    fn missing_size_is_reported() {
+        let err = compile_nest(&paper_nest(), &ws(10), &Binding::new()).unwrap_err();
+        assert_eq!(err, ExecError::UnboundSize("n".into()));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        // n = 12 but arrays only have 11 entries -> u[i+1] at i=11 is index 12.
+        let err = compile_nest(&paper_nest(), &ws(10), &Binding::new().size("n", 12)).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfRange { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn aliased_write_detected() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        // r = u and also writes u: build manually (validation in core would
+        // reject; the executor must too since it can run raw nest lists).
+        let nest = LoopNest::new(
+            vec![i.clone()],
+            vec![perforad_core::Bound::new(1, 5)],
+            vec![perforad_core::Statement::assign(
+                perforad_symbolic::Access::new("u", ix![&i]),
+                u.at(ix![&i - 1]),
+            )],
+        );
+        let err = compile_nest(&nest, &ws(10), &Binding::new()).unwrap_err();
+        assert_eq!(err, ExecError::AliasedWrite("u".into()));
+    }
+
+    #[test]
+    fn adjoint_extent_check() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest().adjoint(&act, &AdjointOptions::default()).unwrap();
+        let mut w = ws(10);
+        w.insert("u_b", Grid::zeros(&[11]));
+        w.insert("r_b", Grid::zeros(&[11]));
+        assert!(compile_adjoint(&adj, &w, &Binding::new().size("n", 10)).is_ok());
+        // n = 2 gives primal i in [1,1], extent 1 < spread 2.
+        let err = compile_adjoint(&adj, &w, &Binding::new().size("n", 2)).unwrap_err();
+        assert!(matches!(err, ExecError::ExtentTooSmall { .. }));
+    }
+
+    #[test]
+    fn scatter_plan_is_not_gather_only() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let sc = paper_nest().scatter_adjoint(&act).unwrap();
+        let mut w = ws(10);
+        w.insert("u_b", Grid::zeros(&[11]));
+        w.insert("r_b", Grid::zeros(&[11]));
+        let plan = compile_nest(&sc, &w, &Binding::new().size("n", 10)).unwrap();
+        assert!(!plan.gather_only);
+    }
+
+    #[test]
+    fn cse_plan_matches_plain_plan() {
+        use crate::run::run_serial;
+        // Nonlinear body with shared subexpressions: r = sin(u[i]*u[i+1])
+        //   + sin(u[i]*u[i+1]) * u[i-1].
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = perforad_symbolic::Array::new("u");
+        use perforad_symbolic::ix;
+        let shared = (u.at(ix![&i]) * u.at(ix![&i + 1])).sin();
+        let nest = make_loop_nest(
+            &perforad_symbolic::Array::new("r").at(ix![&i]),
+            &shared + &shared * u.at(ix![&i - 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap();
+        let build = || {
+            Workspace::new()
+                .with("u", crate::grid::Grid::from_fn(&[34], |ix| (ix[0] as f64 * 0.31).sin()))
+                .with("r", crate::grid::Grid::zeros(&[34]))
+        };
+        let bind = Binding::new().size("n", 33);
+        let mut ws1 = build();
+        let plain = compile_nest(&nest, &ws1, &bind).unwrap();
+        run_serial(&plain, &mut ws1).unwrap();
+        let mut ws2 = build();
+        let cse = compile_nests_opts(
+            std::slice::from_ref(&nest),
+            &ws2,
+            &bind,
+            PlanOptions { padded: false, cse: true },
+        )
+        .unwrap();
+        // The CSE plan must actually use temporaries...
+        assert!(cse.nests[0].stmts[0].prog.n_tmps() > 0);
+        run_serial(&cse, &mut ws2).unwrap();
+        // ...and produce identical results.
+        assert_eq!(ws1.grid("r").max_abs_diff(ws2.grid("r")), 0.0);
+    }
+
+    #[test]
+    fn cse_adjoint_matches_plain_adjoint() {
+        use crate::run::run_serial;
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest().adjoint(&act, &AdjointOptions::default()).unwrap();
+        let bind = Binding::new().size("n", 10);
+        let mut w1 = ws(10);
+        w1.insert("u_b", Grid::zeros(&[11]));
+        w1.insert("r_b", Grid::from_fn(&[11], |ix| ix[0] as f64));
+        let mut w2 = w1.clone();
+        let p1 = compile_adjoint(&adj, &w1, &bind).unwrap();
+        run_serial(&p1, &mut w1).unwrap();
+        let p2 = compile_adjoint_opts(&adj, &w2, &bind, true).unwrap();
+        run_serial(&p2, &mut w2).unwrap();
+        assert_eq!(w1.grid("u_b").max_abs_diff(w2.grid("u_b")), 0.0);
+    }
+
+    #[test]
+    fn dims_mismatch_detected() {
+        let mut w = ws(10);
+        w.insert("c", Grid::zeros(&[5]));
+        let err = compile_nest(&paper_nest(), &w, &Binding::new().size("n", 10)).unwrap_err();
+        assert!(matches!(err, ExecError::DimsMismatch { .. }));
+    }
+}

@@ -1,0 +1,254 @@
+//! A persistent worker thread pool with exact thread-count control.
+//!
+//! The paper's experiments sweep OpenMP thread counts with static
+//! scheduling and pinned workers; Rayon's work-stealing pool neither fixes
+//! the worker count per region nor schedules statically. This pool is the
+//! OpenMP stand-in: `parallel_for` splits the range into one contiguous
+//! chunk per worker (`schedule(static)`), `parallel_dynamic` hands out jobs
+//! from an atomic counter (`schedule(dynamic,1)`).
+//!
+//! Workers are long-lived and parked on a condition variable between
+//! parallel regions, so a time-stepping loop pays thread-spawn cost once.
+
+use parking_lot::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct State {
+    job: Option<Job>,
+    epoch: u64,
+    active: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    lock: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A fixed-size pool of worker threads executing one parallel region at a
+/// time (like an OpenMP team).
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a pool with exactly `threads` workers (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            lock: Mutex::new(State {
+                job: None,
+                epoch: 0,
+                active: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("perforad-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// Number of workers.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Run `f(worker_id)` on every worker; blocks until all return.
+    pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        // SAFETY: the job pointer outlives its use because this function
+        // blocks until every worker has finished the epoch (active == 0)
+        // before returning, and the job slot is cleared below.
+        let job: Job = unsafe { std::mem::transmute(f) };
+        let mut st = self.shared.lock.lock();
+        st.job = Some(job);
+        st.epoch += 1;
+        st.active = self.workers.len();
+        st.panicked = false;
+        self.shared.work_cv.notify_all();
+        while st.active > 0 {
+            self.shared.done_cv.wait(&mut st);
+        }
+        st.job = None;
+        let panicked = st.panicked;
+        drop(st);
+        if panicked {
+            panic!("a pool worker panicked during a parallel region");
+        }
+    }
+
+    /// OpenMP-style `schedule(static)`: split `[lo, hi)` into one contiguous
+    /// chunk per worker and run `f(chunk_lo, chunk_hi)` in parallel.
+    pub fn parallel_for(&self, lo: i64, hi: i64, f: impl Fn(i64, i64) + Sync) {
+        let total = hi - lo;
+        if total <= 0 {
+            return;
+        }
+        let n = self.size() as i64;
+        if n == 1 {
+            f(lo, hi);
+            return;
+        }
+        let chunk = (total + n - 1) / n;
+        self.run(&move |tid| {
+            let s = lo + tid as i64 * chunk;
+            let e = (s + chunk).min(hi);
+            if s < e {
+                f(s, e);
+            }
+        });
+    }
+
+    /// OpenMP-style `schedule(dynamic, 1)`: workers pull job indices
+    /// `0..njobs` from a shared counter. Good for irregular work like the
+    /// boundary nests of an adjoint.
+    pub fn parallel_dynamic(&self, njobs: usize, f: impl Fn(usize) + Sync) {
+        if njobs == 0 {
+            return;
+        }
+        if self.size() == 1 {
+            for k in 0..njobs {
+                f(k);
+            }
+            return;
+        }
+        let counter = AtomicUsize::new(0);
+        self.run(&move |_tid| loop {
+            let k = counter.fetch_add(1, Ordering::Relaxed);
+            if k >= njobs {
+                break;
+            }
+            f(k);
+        });
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock.lock();
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, id: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.lock.lock();
+            while !st.shutdown && st.epoch == last_epoch {
+                shared.work_cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            last_epoch = st.epoch;
+            st.job.expect("epoch advanced without a job")
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| job(id)));
+        let mut st = shared.lock.lock();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_chunks_cover_range_disjointly() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0, 100, |lo, hi| {
+            for k in lo..hi {
+                hits[k as usize].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_jobs_all_run_once() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_dynamic(57, |k| {
+            hits[k].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_regions() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicUsize::new(0);
+        for _ in 0..50 {
+            pool.parallel_for(0, 10, |lo, hi| {
+                sum.fetch_add((hi - lo) as usize, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn empty_range_is_a_noop() {
+        let pool = ThreadPool::new(2);
+        pool.parallel_for(5, 5, |_, _| panic!("must not run"));
+        pool.parallel_dynamic(0, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let tid = std::thread::current().id();
+        pool.parallel_for(0, 3, |_, _| {
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0, 10, |lo, _| {
+                if lo == 0 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool still usable afterwards.
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(0, 4, |lo, hi| {
+            sum.fetch_add((hi - lo) as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4);
+    }
+}

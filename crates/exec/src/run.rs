@@ -1,0 +1,494 @@
+//! Plan execution: serial, pool-parallel (gather), pool-parallel with
+//! atomics (scatter), and Rayon.
+//!
+//! Parallelisation follows the paper's OpenMP usage: the outermost loop
+//! dimension is chunked across threads. Gather nests need no further care —
+//! every iteration writes its own centre point, and the nests of a disjoint
+//! adjoint never overlap, so all chunks of all nests go into one parallel
+//! region with no barriers (§3.3.4). Scatter nests are raced unless each
+//! update is atomic; [`run_scatter_atomic`] is the `#pragma omp atomic`
+//! equivalent whose cost the paper's "Atomics" series measures.
+
+use crate::atomic::AtomicF64;
+use crate::bytecode::{ArrayView, PointEnv};
+use crate::error::ExecError;
+use crate::kernel::{NestPlan, Plan};
+use crate::pool::ThreadPool;
+use crate::workspace::Workspace;
+use rayon::prelude::*;
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Iteration points executed (statements may be several per point).
+    pub points: u64,
+}
+
+/// How to run a plan.
+#[derive(Clone, Copy)]
+pub enum ExecMode<'a> {
+    /// Single thread, in nest order.
+    Serial,
+    /// Gather-parallel on the given pool (no atomics). Errors on scatter plans.
+    Parallel(&'a ThreadPool),
+    /// Scatter-parallel: every `+=` is an atomic CAS add.
+    ParallelAtomic(&'a ThreadPool),
+    /// Gather-parallel on Rayon's global pool.
+    Rayon,
+}
+
+struct Buffers {
+    views: Vec<ArrayView>,
+    write_ptrs: Vec<*mut f64>,
+    lens: Vec<usize>,
+}
+
+// SAFETY: `Buffers` is only shared across threads by the executors below,
+// which guarantee disjoint writes (gather chunking / disjoint nests) or
+// atomic writes. Reads never alias writes (checked at plan compile time).
+unsafe impl Sync for Buffers {}
+
+fn make_buffers(plan: &Plan, ws: &mut Workspace) -> Result<Buffers, ExecError> {
+    let mut views = Vec::with_capacity(plan.arrays.len());
+    let mut write_ptrs = Vec::with_capacity(plan.arrays.len());
+    let mut lens = Vec::with_capacity(plan.arrays.len());
+    for name in &plan.arrays {
+        let g = ws.get_mut(name).ok_or_else(|| crate::error::unknown(name))?;
+        if g.dims() != plan.dims.as_slice() {
+            return Err(ExecError::DimsMismatch {
+                array: name.name().to_string(),
+                expected: plan.dims.clone(),
+                got: g.dims().to_vec(),
+            });
+        }
+        let slice = g.as_mut_slice();
+        lens.push(slice.len());
+        views.push(ArrayView {
+            ptr: slice.as_ptr(),
+            len: slice.len(),
+        });
+        write_ptrs.push(slice.as_mut_ptr());
+    }
+    Ok(Buffers {
+        views,
+        write_ptrs,
+        lens,
+    })
+}
+
+#[inline]
+fn exec_point(
+    plan: &Plan,
+    nest: &NestPlan,
+    bufs: &Buffers,
+    counters: &[i64],
+    center: isize,
+    atomic: bool,
+    stack: &mut Vec<f64>,
+    tmps: &mut [f64],
+) {
+    'stmt: for st in &nest.stmts {
+        if let Some(g) = &st.guard {
+            for (d, &(l, h)) in g.iter().enumerate() {
+                if counters[d] < l || counters[d] > h {
+                    continue 'stmt;
+                }
+            }
+        }
+        let env = PointEnv {
+            arrays: &bufs.views,
+            counters,
+            dims: &plan.dims,
+            strides: &plan.strides,
+            center,
+        };
+        let v = st.prog.eval_with_tmps(&env, stack, tmps);
+        let target = center + st.write_rel;
+        debug_assert!(target >= 0 && (target as usize) < bufs.lens[st.out_slot]);
+        let ptr = bufs.write_ptrs[st.out_slot];
+        // SAFETY: target was proven in range by plan compilation; parallel
+        // callers guarantee disjoint or atomic writes (see `Buffers`).
+        unsafe {
+            let p = ptr.offset(target);
+            if st.overwrite {
+                *p = v;
+            } else if atomic {
+                (*(p as *const AtomicF64)).fetch_add(v);
+            } else {
+                *p += v;
+            }
+        }
+    }
+}
+
+/// Execute a nest over `[lo0, hi0]` of the outermost counter.
+fn exec_nest_range(
+    plan: &Plan,
+    nest: &NestPlan,
+    bufs: &Buffers,
+    lo0: i64,
+    hi0: i64,
+    atomic: bool,
+    counters: &mut [i64],
+    stack: &mut Vec<f64>,
+    tmps: &mut [f64],
+) {
+    walk(plan, nest, bufs, 0, 0, lo0, hi0, atomic, counters, stack, tmps);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    plan: &Plan,
+    nest: &NestPlan,
+    bufs: &Buffers,
+    dim: usize,
+    base: isize,
+    lo0: i64,
+    hi0: i64,
+    atomic: bool,
+    counters: &mut [i64],
+    stack: &mut Vec<f64>,
+    tmps: &mut [f64],
+) {
+    let rank = plan.rank;
+    let (lo, hi) = if dim == 0 {
+        (lo0, hi0)
+    } else {
+        (nest.lo[dim], nest.hi[dim])
+    };
+    let stride = plan.strides[dim] as isize;
+    if dim + 1 == rank {
+        for k in lo..=hi {
+            counters[dim] = k;
+            exec_point(plan, nest, bufs, counters, base + k as isize * stride, atomic, stack, tmps);
+        }
+    } else {
+        for k in lo..=hi {
+            counters[dim] = k;
+            walk(
+                plan,
+                nest,
+                bufs,
+                dim + 1,
+                base + k as isize * stride,
+                lo0,
+                hi0,
+                atomic,
+                counters,
+                stack,
+                tmps,
+            );
+        }
+    }
+}
+
+/// Chunked work items over the outermost dimension of every nest.
+fn make_jobs(plan: &Plan, threads: usize) -> Vec<(usize, i64, i64)> {
+    let mut jobs = Vec::new();
+    let target = (threads * 4).max(1) as i64;
+    for (k, nest) in plan.nests.iter().enumerate() {
+        if nest.empty {
+            continue;
+        }
+        let rows = nest.hi[0] - nest.lo[0] + 1;
+        let chunks = rows.min(target).max(1);
+        let size = (rows + chunks - 1) / chunks;
+        let mut s = nest.lo[0];
+        while s <= nest.hi[0] {
+            let e = (s + size - 1).min(nest.hi[0]);
+            jobs.push((k, s, e));
+            s = e + 1;
+        }
+    }
+    jobs
+}
+
+fn max_stack(plan: &Plan) -> usize {
+    plan.nests
+        .iter()
+        .flat_map(|n| n.stmts.iter())
+        .map(|s| s.prog.max_stack())
+        .max()
+        .unwrap_or(0)
+}
+
+fn max_tmps(plan: &Plan) -> usize {
+    plan.nests
+        .iter()
+        .flat_map(|n| n.stmts.iter())
+        .map(|s| s.prog.n_tmps())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Run single-threaded, nests in order.
+pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    let bufs = make_buffers(plan, ws)?;
+    let mut counters = vec![0i64; plan.rank];
+    let mut stack = Vec::with_capacity(max_stack(plan));
+    let mut tmps = vec![0.0; max_tmps(plan)];
+    for nest in &plan.nests {
+        if nest.empty {
+            continue;
+        }
+        exec_nest_range(
+            plan, nest, &bufs, nest.lo[0], nest.hi[0], false, &mut counters, &mut stack, &mut tmps,
+        );
+    }
+    Ok(ExecStats {
+        points: plan.points(),
+    })
+}
+
+/// Run gather-parallel on a pool. The plan must be gather-only; for adjoint
+/// plans produced by [`crate::kernel::compile_adjoint`] the nests are
+/// disjoint, so all chunks execute in one region without barriers.
+pub fn run_parallel(plan: &Plan, ws: &mut Workspace, pool: &ThreadPool) -> Result<ExecStats, ExecError> {
+    if !plan.gather_only {
+        return Err(ExecError::ScatterNeedsAtomics);
+    }
+    run_pool(plan, ws, pool, false)
+}
+
+/// Run scatter-parallel: every increment is an atomic CAS add
+/// (`#pragma omp atomic`). Correct for any plan; slow under contention —
+/// which is the point of the paper's baseline.
+pub fn run_scatter_atomic(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, ExecError> {
+    run_pool(plan, ws, pool, true)
+}
+
+fn run_pool(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+    atomic: bool,
+) -> Result<ExecStats, ExecError> {
+    let bufs = make_buffers(plan, ws)?;
+    let jobs = make_jobs(plan, pool.size());
+    let stack_cap = max_stack(plan);
+    let tmp_cap = max_tmps(plan);
+    pool.parallel_dynamic(jobs.len(), |j| {
+        let (k, s, e) = jobs[j];
+        let mut counters = vec![0i64; plan.rank];
+        let mut stack = Vec::with_capacity(stack_cap);
+        let mut tmps = vec![0.0; tmp_cap];
+        exec_nest_range(plan, &plan.nests[k], &bufs, s, e, atomic, &mut counters, &mut stack, &mut tmps);
+    });
+    Ok(ExecStats {
+        points: plan.points(),
+    })
+}
+
+/// Run gather-parallel on Rayon's global pool (the idiomatic Rust path; the
+/// explicit [`ThreadPool`] is used when an exact thread count is required).
+pub fn run_rayon(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    if !plan.gather_only {
+        return Err(ExecError::ScatterNeedsAtomics);
+    }
+    let bufs = make_buffers(plan, ws)?;
+    let jobs = make_jobs(plan, rayon::current_num_threads());
+    let stack_cap = max_stack(plan);
+    let tmp_cap = max_tmps(plan);
+    jobs.par_iter().for_each(|&(k, s, e)| {
+        let mut counters = vec![0i64; plan.rank];
+        let mut stack = Vec::with_capacity(stack_cap);
+        let mut tmps = vec![0.0; tmp_cap];
+        exec_nest_range(plan, &plan.nests[k], &bufs, s, e, false, &mut counters, &mut stack, &mut tmps);
+    });
+    Ok(ExecStats {
+        points: plan.points(),
+    })
+}
+
+/// Dispatch on an [`ExecMode`].
+pub fn run(plan: &Plan, ws: &mut Workspace, mode: ExecMode<'_>) -> Result<ExecStats, ExecError> {
+    match mode {
+        ExecMode::Serial => run_serial(plan, ws),
+        ExecMode::Parallel(pool) => run_parallel(plan, ws, pool),
+        ExecMode::ParallelAtomic(pool) => run_scatter_atomic(plan, ws, pool),
+        ExecMode::Rayon => run_rayon(plan, ws),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::kernel::{compile_adjoint, compile_nest};
+    use crate::workspace::Binding;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
+    use perforad_symbolic::{ix, Array, Idx, Symbol};
+
+    fn paper_nest() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
+        make_loop_nest(
+            &r.at(ix![&i]),
+            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    fn setup(n: usize) -> (Workspace, Binding) {
+        let mut ws = Workspace::new();
+        ws.insert("u", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5));
+        ws.insert("c", Grid::from_fn(&[n + 1], |ix| 0.5 + 0.1 * ix[0] as f64));
+        ws.insert("r", Grid::zeros(&[n + 1]));
+        ws.insert("u_b", Grid::zeros(&[n + 1]));
+        ws.insert("r_b", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).cos()));
+        (ws, Binding::new().size("n", n as i64))
+    }
+
+    #[test]
+    fn primal_matches_reference() {
+        let (mut ws, bind) = setup(32);
+        let plan = compile_nest(&paper_nest(), &ws, &bind).unwrap();
+        let stats = run_serial(&plan, &mut ws).unwrap();
+        assert_eq!(stats.points, 31);
+        // Reference computation.
+        let u = ws.grid("u").clone();
+        let c = ws.grid("c").clone();
+        let r = ws.grid("r");
+        for i in 1..=31usize {
+            let expect = c.get(&[i])
+                * (2.0 * u.get(&[i - 1]) - 3.0 * u.get(&[i]) + 4.0 * u.get(&[i + 1]));
+            assert!((r.get(&[i]) - expect).abs() < 1e-14);
+        }
+        assert_eq!(r.get(&[0]), 0.0, "boundary untouched");
+    }
+
+    #[test]
+    fn parallel_gather_is_bitwise_deterministic() {
+        let (mut ws1, bind) = setup(101);
+        let plan = compile_nest(&paper_nest(), &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = setup(101);
+        let pool = ThreadPool::new(4);
+        run_parallel(&plan, &mut ws2, &pool).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws2.grid("r")), 0.0);
+
+        let (mut ws3, _) = setup(101);
+        run_rayon(&plan, &mut ws3).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws3.grid("r")), 0.0);
+    }
+
+    #[test]
+    fn gather_adjoint_equals_scatter_adjoint() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let nest = paper_nest();
+        let n = 64usize;
+
+        // Gather adjoint (PerforAD) in parallel.
+        let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+        let (mut ws_g, bind) = setup(n);
+        let plan_g = compile_adjoint(&adj, &ws_g, &bind).unwrap();
+        let pool = ThreadPool::new(3);
+        run_parallel(&plan_g, &mut ws_g, &pool).unwrap();
+
+        // Scatter adjoint (conventional) serial.
+        let sc = nest.scatter_adjoint(&act).unwrap();
+        let (mut ws_s, _) = setup(n);
+        let plan_s = compile_nest(&sc, &ws_s, &bind).unwrap();
+        run_serial(&plan_s, &mut ws_s).unwrap();
+
+        let d = ws_g.grid("u_b").max_abs_diff(ws_s.grid("u_b"));
+        assert!(d < 1e-13, "gather vs scatter adjoint differ by {d}");
+
+        // Scatter adjoint with atomics in parallel agrees too.
+        let (mut ws_a, _) = setup(n);
+        run_scatter_atomic(&plan_s, &mut ws_a, &pool).unwrap();
+        let d = ws_g.grid("u_b").max_abs_diff(ws_a.grid("u_b"));
+        assert!(d < 1e-13, "gather vs atomic scatter differ by {d}");
+    }
+
+    #[test]
+    fn parallel_rejects_scatter_without_atomics() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let sc = paper_nest().scatter_adjoint(&act).unwrap();
+        let (mut ws, bind) = setup(16);
+        let plan = compile_nest(&sc, &ws, &bind).unwrap();
+        let pool = ThreadPool::new(2);
+        assert_eq!(
+            run_parallel(&plan, &mut ws, &pool).unwrap_err(),
+            ExecError::ScatterNeedsAtomics
+        );
+        assert!(run_rayon(&plan, &mut ws).is_err());
+    }
+
+    #[test]
+    fn padded_adjoint_matches_disjoint() {
+        use perforad_core::BoundaryStrategy;
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let nest = paper_nest();
+        let n = 48;
+
+        let (mut ws_d, bind) = setup(n);
+        let adj_d = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+        let plan_d = compile_adjoint(&adj_d, &ws_d, &bind).unwrap();
+        run_serial(&plan_d, &mut ws_d).unwrap();
+
+        // Padded run needs r_b zero outside the primal output range [1, n-1]
+        // — index 0 and n must be zero; our seed cos(0)=1 at 0 violates it,
+        // so zero them first.
+        let (mut ws_p, _) = setup(n);
+        {
+            let rb = ws_p.grid_mut("r_b");
+            rb.set(&[0], 0.0);
+            rb.set(&[n], 0.0);
+        }
+        let (mut ws_d2, _) = setup(n);
+        {
+            let rb = ws_d2.grid_mut("r_b");
+            rb.set(&[0], 0.0);
+            rb.set(&[n], 0.0);
+        }
+        run_serial(&plan_d, &mut ws_d2).unwrap();
+
+        let adj_p = nest
+            .adjoint(
+                &act,
+                &AdjointOptions::default().with_strategy(BoundaryStrategy::Padded),
+            )
+            .unwrap();
+        let plan_p = compile_adjoint(&adj_p, &ws_p, &bind).unwrap();
+        run_serial(&plan_p, &mut ws_p).unwrap();
+
+        let d = ws_p.grid("u_b").max_abs_diff(ws_d2.grid("u_b"));
+        assert!(d < 1e-13, "padded vs disjoint differ by {d}");
+    }
+
+    #[test]
+    fn guarded_adjoint_matches_disjoint() {
+        use perforad_core::BoundaryStrategy;
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let nest = paper_nest();
+        let n = 48;
+
+        let (mut ws_d, bind) = setup(n);
+        let adj_d = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+        let plan_d = compile_adjoint(&adj_d, &ws_d, &bind).unwrap();
+        run_serial(&plan_d, &mut ws_d).unwrap();
+
+        let (mut ws_g, _) = setup(n);
+        let adj_g = nest
+            .adjoint(
+                &act,
+                &AdjointOptions::default().with_strategy(BoundaryStrategy::Guarded),
+            )
+            .unwrap();
+        let plan_g = compile_adjoint(&adj_g, &ws_g, &bind).unwrap();
+        let pool = ThreadPool::new(2);
+        run_parallel(&plan_g, &mut ws_g, &pool).unwrap();
+
+        let d = ws_g.grid("u_b").max_abs_diff(ws_d.grid("u_b"));
+        assert!(d < 1e-13, "guarded vs disjoint differ by {d}");
+    }
+}

@@ -1,0 +1,150 @@
+//! The 1-D Burgers equation test case (§4.2 and Fig. 6 of the paper).
+//!
+//! `∂u/∂t + u ∂u/∂x = ν ∂²u/∂x²` with upwinding for the nonlinear
+//! convective term: the `max`/`min` pair makes the body only piecewise
+//! differentiable, producing ternary operators in the adjoint (Fig. 7).
+
+use perforad_core::{make_loop_nest, ActivityMap, LoopNest};
+use perforad_exec::{Binding, Grid, Workspace};
+use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+
+/// The upwinded Burgers stencil nest as built by the Fig. 6 script.
+pub fn nest() -> LoopNest {
+    let i = Symbol::new("i");
+    let n = Symbol::new("n");
+    let cc = Expr::sym(Symbol::new("C"));
+    let dd = Expr::sym(Symbol::new("D"));
+    let u = Array::new("u");
+    let u1 = Array::new("u_1");
+    let ap = u1.at(ix![&i]).max(Expr::zero());
+    let am = u1.at(ix![&i]).min(Expr::zero());
+    let uxm = u1.at(ix![&i]) - u1.at(ix![&i - 1]);
+    let uxp = u1.at(ix![&i + 1]) - u1.at(ix![&i]);
+    let ux = ap * uxm + am * uxp;
+    let expr = u1.at(ix![&i]) - cc * ux
+        + dd * (u1.at(ix![&i + 1]) + u1.at(ix![&i - 1]) - 2.0 * u1.at(ix![&i]));
+    make_loop_nest(
+        &u.at(ix![&i]),
+        expr,
+        vec![i.clone()],
+        vec![(Idx::constant(1), Idx::sym(n) - 2)],
+    )
+    .expect("burgers nest is a valid stencil")
+}
+
+/// `{u: u_b, u_1: u_1_b}` like the paper's script.
+pub fn activity() -> ActivityMap {
+    ActivityMap::new().with_suffixed("u").with_suffixed("u_1")
+}
+
+/// A shock-forming initial condition (sine with both signs so both upwind
+/// branches are exercised) and stable coefficients.
+pub fn workspace(n: usize, c_coef: f64, d_coef: f64) -> (Workspace, Binding) {
+    let dims = [n];
+    let mut ws = Workspace::new();
+    ws.insert(
+        "u_1",
+        Grid::from_fn(&dims, |ix| {
+            let x = ix[0] as f64 / n as f64;
+            (2.0 * std::f64::consts::PI * x).sin()
+        }),
+    );
+    ws.insert("u", Grid::zeros(&dims));
+    ws.insert(
+        "u_b",
+        Grid::from_fn(&dims, |ix| {
+            let interior = ix[0] >= 1 && ix[0] <= n - 2;
+            if interior {
+                ((ix[0] * 29) % 11) as f64 / 11.0 - 0.45
+            } else {
+                0.0
+            }
+        }),
+    );
+    ws.insert("u_1_b", Grid::zeros(&dims));
+    let bind = Binding::new()
+        .size("n", n as i64)
+        .param("C", c_coef)
+        .param("D", d_coef);
+    (ws, bind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_autodiff::tape_adjoint;
+    use perforad_core::AdjointOptions;
+    use perforad_exec::{compile_adjoint, compile_nest, run_parallel, run_serial, ThreadPool};
+    use perforad_symbolic::MapCtx;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn adjoint_is_five_gather_nests() {
+        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        assert_eq!(adj.nest_count(), 5);
+        assert!(adj.nests.iter().all(|n| n.is_gather()));
+        // The piecewise upwinding must produce ternaries in the core body.
+        let core = adj.core_nest().unwrap();
+        let txt = format!("{core}");
+        assert!(txt.contains('?'), "expected ternary in: {txt}");
+    }
+
+    #[test]
+    fn primal_advances_shock() {
+        let (mut ws, bind) = workspace(256, 0.3, 0.1);
+        let plan = compile_nest(&nest(), &ws, &bind).unwrap();
+        run_serial(&plan, &mut ws).unwrap();
+        let u = ws.grid("u");
+        assert!(u.is_finite());
+        assert!(u.norm2() > 0.0);
+    }
+
+    #[test]
+    fn gather_adjoint_matches_tape_reference() {
+        // §3.6 verification on the nonlinear, piecewise body.
+        let n = 40usize;
+        let (mut ws, bind) = workspace(n, 0.3, 0.1);
+        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
+        let pool = ThreadPool::new(2);
+        run_parallel(&plan, &mut ws, &pool).unwrap();
+
+        // Independent tape adjoint.
+        let store = MapCtx::new()
+            .index("n", n as i64)
+            .scalar("C", 0.3)
+            .scalar("D", 0.1)
+            .array1("u_1", ws.grid("u_1").as_slice().to_vec())
+            .array1("u", vec![0.0; n]);
+        let mut seeds = BTreeMap::new();
+        seeds.insert(
+            perforad_symbolic::Symbol::new("u"),
+            ws.grid("u_b").as_slice().to_vec(),
+        );
+        let reference = tape_adjoint(&nest(), &activity(), &store, &seeds).unwrap();
+        let expect = &reference[&perforad_symbolic::Symbol::new("u_1_b")];
+        let got = ws.grid("u_1_b").as_slice();
+        for (k, (a, b)) in got.iter().zip(expect).enumerate() {
+            assert!((a - b).abs() < 1e-12, "mismatch at {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn merged_and_unmerged_agree() {
+        let n = 64usize;
+        let (mut ws1, bind) = workspace(n, 0.3, 0.1);
+        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(n, 0.3, 0.1);
+        let adj_m = nest()
+            .adjoint(&activity(), &AdjointOptions::default().merged())
+            .unwrap();
+        let plan_m = compile_adjoint(&adj_m, &ws2, &bind).unwrap();
+        run_serial(&plan_m, &mut ws2).unwrap();
+
+        let d = ws1.grid("u_1_b").max_abs_diff(ws2.grid("u_1_b"));
+        assert!(d < 1e-12, "merged vs unmerged differ by {d}");
+    }
+}

@@ -1,0 +1,181 @@
+//! Checkpointing schedules for multi-step adjoints.
+//!
+//! Reverse sweeps over `T` time steps need the primal trajectory. The paper
+//! runs one step per benchmark; real drivers (seismic imaging, §1) need
+//! either store-all memory or checkpoint/recompute schedules. This module
+//! provides both: [`StoreAll`] and a recursive bisection scheme
+//! ([`checkpointed_adjoint`]) with `O(log T)` live snapshots and
+//! `O(T log T)` recomputation — the classic treeverse/revolve trade-off.
+
+/// Trivial store-all trajectory recorder.
+pub struct StoreAll<S> {
+    states: Vec<S>,
+}
+
+impl<S: Clone> StoreAll<S> {
+    /// Record the full trajectory `s_0 .. s_T` (inclusive).
+    pub fn record(s0: S, steps: usize, mut step: impl FnMut(&S, usize) -> S) -> Self {
+        let mut states = Vec::with_capacity(steps + 1);
+        states.push(s0);
+        for t in 0..steps {
+            let next = step(&states[t], t);
+            states.push(next);
+        }
+        StoreAll { states }
+    }
+
+    pub fn state(&self, t: usize) -> &S {
+        &self.states[t]
+    }
+
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Reverse sweep: call `back(state_before_step_t, t)` for `t = T-1 .. 0`.
+    pub fn reverse(&self, mut back: impl FnMut(&S, usize)) {
+        for t in (0..self.states.len() - 1).rev() {
+            back(&self.states[t], t);
+        }
+    }
+}
+
+/// Statistics from a checkpointed reverse sweep.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Primal steps recomputed (beyond the initial forward pass the caller
+    /// may have done for the objective).
+    pub recomputed_steps: usize,
+    /// Maximum simultaneously live snapshots.
+    pub peak_snapshots: usize,
+}
+
+/// Adjoint of a `T`-step recurrence with recursive bisection checkpointing.
+///
+/// `step(s, t)` advances the state from time `t` to `t+1`;
+/// `back(s, t)` performs the reverse step for time step `t`, given the
+/// state *before* that step. Calls `back` for `t = T-1 .. 0` exactly once
+/// each, recomputing intermediate states as needed from `O(log T)` stored
+/// snapshots.
+pub fn checkpointed_adjoint<S: Clone>(
+    s0: S,
+    steps: usize,
+    step: &mut impl FnMut(&S, usize) -> S,
+    back: &mut impl FnMut(&S, usize),
+) -> CheckpointStats {
+    let mut stats = CheckpointStats::default();
+    if steps == 0 {
+        return stats;
+    }
+    rec(&s0, 0, steps, step, back, &mut stats, 1);
+    stats
+}
+
+/// Reverse over the window `[lo, hi)` given the state at `lo`.
+fn rec<S: Clone>(
+    s_lo: &S,
+    lo: usize,
+    hi: usize,
+    step: &mut impl FnMut(&S, usize) -> S,
+    back: &mut impl FnMut(&S, usize),
+    stats: &mut CheckpointStats,
+    live: usize,
+) {
+    stats.peak_snapshots = stats.peak_snapshots.max(live);
+    if hi - lo == 1 {
+        back(s_lo, lo);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    // Advance to the midpoint, snapshot, reverse right half then left half.
+    let mut s = s_lo.clone();
+    for t in lo..mid {
+        s = step(&s, t);
+        stats.recomputed_steps += 1;
+    }
+    rec(&s, mid, hi, step, back, stats, live + 1);
+    rec(s_lo, lo, mid, step, back, stats, live);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy nonlinear recurrence x_{t+1} = x_t + dt * x_t^2 with
+    /// J = x_T; adjoint computed by hand: λ_t = λ_{t+1} (1 + 2 dt x_t).
+    fn step(x: &f64, _t: usize) -> f64 {
+        x + 0.01 * x * x
+    }
+
+    fn reference_gradient(x0: f64, steps: usize) -> f64 {
+        // Forward then reverse with full storage.
+        let traj = StoreAll::record(x0, steps, |x, t| step(x, t));
+        let mut lambda = 1.0;
+        traj.reverse(|x, _t| {
+            lambda *= 1.0 + 0.02 * x;
+        });
+        lambda
+    }
+
+    #[test]
+    fn store_all_reverse_matches_finite_difference()
+    {
+        let x0 = 0.8;
+        let steps = 50;
+        let g = reference_gradient(x0, steps);
+        let h = 1e-6;
+        let f = |x0: f64| {
+            let mut x = x0;
+            for t in 0..steps {
+                x = step(&x, t);
+            }
+            x
+        };
+        let fd = (f(x0 + h) - f(x0 - h)) / (2.0 * h);
+        assert!((g - fd).abs() < 1e-6, "{g} vs {fd}");
+    }
+
+    #[test]
+    fn checkpointed_matches_store_all() {
+        let x0 = 0.8;
+        for steps in [1usize, 2, 3, 7, 32, 100] {
+            let expect = reference_gradient(x0, steps);
+            let mut lambda = 1.0;
+            let stats = checkpointed_adjoint(
+                x0,
+                steps,
+                &mut |x, t| step(x, t),
+                &mut |x, _t| {
+                    lambda *= 1.0 + 0.02 * x;
+                },
+            );
+            assert!(
+                (lambda - expect).abs() < 1e-12,
+                "steps={steps}: {lambda} vs {expect}"
+            );
+            // Bisection: O(log T) snapshots, O(T log T) recompute.
+            let log2 = (steps as f64).log2().ceil() as usize + 1;
+            assert!(stats.peak_snapshots <= log2 + 1, "{stats:?}");
+            assert!(
+                stats.recomputed_steps <= steps * log2 + steps,
+                "steps={steps}: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_order_is_strictly_descending() {
+        let mut seen = Vec::new();
+        checkpointed_adjoint(
+            0.5f64,
+            9,
+            &mut |x, t| step(x, t),
+            &mut |_x, t| seen.push(t),
+        );
+        assert_eq!(seen, (0..9).rev().collect::<Vec<_>>());
+    }
+}

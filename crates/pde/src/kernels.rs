@@ -1,0 +1,133 @@
+//! Statically generated kernels (Rust back-end output, produced at build
+//! time by `build.rs` → `perforad-codegen`). These play the role of the
+//! Intel-compiled C in the paper's setup; the VM-vs-static criterion bench
+//! quantifies the interpreter overhead of the bytecode path.
+
+#[allow(dead_code)]
+mod wave3d_gen {
+    include!(concat!(env!("OUT_DIR"), "/wave3d_gen.rs"));
+}
+
+#[allow(dead_code)]
+mod burgers_gen {
+    include!(concat!(env!("OUT_DIR"), "/burgers_gen.rs"));
+}
+
+pub use burgers_gen::{burgers_adjoint, burgers_primal};
+pub use wave3d_gen::{wave3d_adjoint, wave3d_primal};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{burgers, wave3d};
+    use perforad_core::AdjointOptions;
+    use perforad_exec::{compile_adjoint, compile_nest, run_serial};
+
+    #[test]
+    fn static_wave_primal_matches_vm() {
+        let n = 12usize;
+        let (mut ws, bind) = wave3d::workspace(n, 0.1);
+        let plan = compile_nest(&wave3d::nest(), &ws, &bind).unwrap();
+        run_serial(&plan, &mut ws).unwrap();
+
+        let (ws2, _) = wave3d::workspace(n, 0.1);
+        let dims = [n, n, n];
+        let mut u = vec![0.0; n * n * n];
+        wave3d_primal(
+            i64::MIN,
+            i64::MAX,
+            n as i64,
+            0.1,
+            &mut u,
+            ws2.grid("c").as_slice(),
+            ws2.grid("u_1").as_slice(),
+            ws2.grid("u_2").as_slice(),
+            &dims,
+        );
+        let reference = ws.grid("u").as_slice();
+        for (a, b) in u.iter().zip(reference) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn static_wave_adjoint_matches_vm() {
+        let n = 12usize;
+        let (mut ws, bind) = wave3d::workspace(n, 0.1);
+        let adj = wave3d::nest()
+            .adjoint(&wave3d::activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
+        run_serial(&plan, &mut ws).unwrap();
+
+        let (ws2, _) = wave3d::workspace(n, 0.1);
+        let dims = [n, n, n];
+        let mut u1b = vec![0.0; n * n * n];
+        let mut u2b = vec![0.0; n * n * n];
+        wave3d_adjoint(
+            i64::MIN,
+            i64::MAX,
+            n as i64,
+            0.1,
+            &mut u1b,
+            &mut u2b,
+            ws2.grid("c").as_slice(),
+            ws2.grid("u_b").as_slice(),
+            &dims,
+        );
+        for (a, b) in u1b.iter().zip(ws.grid("u_1_b").as_slice()) {
+            assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+        for (a, b) in u2b.iter().zip(ws.grid("u_2_b").as_slice()) {
+            assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn static_burgers_matches_vm() {
+        let n = 128usize;
+        let (mut ws, bind) = burgers::workspace(n, 0.3, 0.1);
+        let plan = compile_nest(&burgers::nest(), &ws, &bind).unwrap();
+        run_serial(&plan, &mut ws).unwrap();
+
+        let (ws2, _) = burgers::workspace(n, 0.3, 0.1);
+        let dims = [n];
+        let mut u = vec![0.0; n];
+        burgers_primal(
+            i64::MIN,
+            i64::MAX,
+            n as i64,
+            0.3,
+            0.1,
+            &mut u,
+            ws2.grid("u_1").as_slice(),
+            &dims,
+        );
+        for (a, b) in u.iter().zip(ws.grid("u").as_slice()) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+
+        // Adjoint too.
+        let adj = burgers::nest()
+            .adjoint(&burgers::activity(), &AdjointOptions::default())
+            .unwrap();
+        let (mut wsa, _) = burgers::workspace(n, 0.3, 0.1);
+        let plan_a = compile_adjoint(&adj, &wsa, &bind).unwrap();
+        run_serial(&plan_a, &mut wsa).unwrap();
+        let mut u1b = vec![0.0; n];
+        burgers_adjoint(
+            i64::MIN,
+            i64::MAX,
+            n as i64,
+            0.3,
+            0.1,
+            &mut u1b,
+            ws2.grid("u_1").as_slice(),
+            ws2.grid("u_b").as_slice(),
+            &dims,
+        );
+        for (a, b) in u1b.iter().zip(wsa.grid("u_1_b").as_slice()) {
+            assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # perforad-pde
+//!
+//! The paper's PDE test cases and application drivers for **PerforAD-rs**:
+//!
+//! * [`wave3d`] — the 3-D wave equation of §4.1 (Fig. 4 script), whose
+//!   adjoint decomposes into the 53 gather loop nests of §3.3.4;
+//! * [`burgers`] — the upwinded 1-D Burgers equation of §4.2 (Fig. 6),
+//!   piecewise differentiable, producing ternary adjoints (Fig. 7);
+//! * [`heat2d`] — the 2-D 5-point star of Fig. 3 (17 adjoint nests);
+//! * [`seismic`] — a seismic-imaging-style misfit gradient through the
+//!   time-stepped wave equation with an active velocity model;
+//! * [`checkpoint`] — store-all and recursive-bisection checkpointing for
+//!   multi-step reverse sweeps;
+//! * [`kernels`] — statically generated Rust kernels (built by
+//!   `perforad-codegen` at compile time), the "compiled C" comparison path.
+
+pub mod burgers;
+pub mod checkpoint;
+pub mod heat2d;
+pub mod kernels;
+pub mod seismic;
+pub mod wave3d;
+
+pub use checkpoint::{checkpointed_adjoint, CheckpointStats, StoreAll};
+pub use seismic::{forward, gradient, misfit, ricker, SeismicConfig};

@@ -1,0 +1,158 @@
+//! The 3-D wave equation test case (§4.1 and Fig. 4 of the paper).
+//!
+//! `∂²u/∂t² = a²Δu` discretised with second-order finite differences in
+//! space and time: one step computes
+//! `u = 2 u_1 − u_2 + c·D·(u_xx + u_yy + u_zz)` on an `n³` grid with
+//! `c = a²` (spatially varying) and `D = (dt/dx)²`.
+
+use perforad_core::{make_loop_nest, ActivityMap, LoopNest};
+use perforad_exec::{Binding, Grid, Workspace};
+use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+
+/// The wave-equation stencil nest exactly as built by the Fig. 4 script.
+pub fn nest() -> LoopNest {
+    let (i, j, k) = (Symbol::new("i"), Symbol::new("j"), Symbol::new("k"));
+    let n = Symbol::new("n");
+    let dd = Expr::sym(Symbol::new("D"));
+    let c = Array::new("c");
+    let u = Array::new("u");
+    let u1 = Array::new("u_1");
+    let u2 = Array::new("u_2");
+    let u_xx = u1.at(ix![&i - 1, &j, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i + 1, &j, &k]);
+    let u_yy = u1.at(ix![&i, &j - 1, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j + 1, &k]);
+    let u_zz = u1.at(ix![&i, &j, &k - 1]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j, &k + 1]);
+    let expr = 2.0 * u1.at(ix![&i, &j, &k]) - u2.at(ix![&i, &j, &k])
+        + c.at(ix![&i, &j, &k]) * dd * (u_xx + u_yy + u_zz);
+    let b = (Idx::constant(1), Idx::sym(n.clone()) - 2);
+    make_loop_nest(
+        &u.at(ix![&i, &j, &k]),
+        expr,
+        vec![i.clone(), j.clone(), k.clone()],
+        vec![b.clone(), b.clone(), b],
+    )
+    .expect("wave3d nest is a valid stencil")
+}
+
+/// Activity map of the paper's script: `{u: u_b, u_1: u_1_b, u_2: u_2_b}`
+/// (`c` passive).
+pub fn activity() -> ActivityMap {
+    ActivityMap::new()
+        .with_suffixed("u")
+        .with_suffixed("u_1")
+        .with_suffixed("u_2")
+}
+
+/// Activity map for seismic inversion: the velocity model `c` is active too.
+pub fn activity_with_c() -> ActivityMap {
+    activity().with_suffixed("c")
+}
+
+/// Deterministic pseudo-random-ish initial data: a Gaussian pulse in `u_1`
+/// (slightly shifted in `u_2`, as if one step old) and a layered velocity
+/// model in `c`.
+pub fn workspace(n: usize, d: f64) -> (Workspace, Binding) {
+    let dims = [n, n, n];
+    let centre = (n / 2) as f64;
+    let width = (n as f64 / 8.0).max(2.0);
+    let pulse = |ix: &[usize], shift: f64| {
+        let dx = ix[0] as f64 - centre;
+        let dy = ix[1] as f64 - centre;
+        let dz = ix[2] as f64 - centre - shift;
+        (-(dx * dx + dy * dy + dz * dz) / (2.0 * width * width)).exp()
+    };
+    let mut ws = Workspace::new();
+    ws.insert("u_1", Grid::from_fn(&dims, |ix| pulse(ix, 0.0)));
+    ws.insert("u_2", Grid::from_fn(&dims, |ix| pulse(ix, 0.5)));
+    ws.insert(
+        "c",
+        Grid::from_fn(&dims, |ix| 1.0 + 0.5 * (ix[0] as f64 / n as f64)),
+    );
+    ws.insert("u", Grid::zeros(&dims));
+    ws.insert("u_b", Grid::from_fn(&dims, |ix| {
+        // Adjoint seed: nonzero only on the interior the primal writes.
+        let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
+        if interior {
+            ((ix[0] * 31 + ix[1] * 17 + ix[2]) % 7) as f64 / 7.0 - 0.4
+        } else {
+            0.0
+        }
+    }));
+    ws.insert("u_1_b", Grid::zeros(&dims));
+    ws.insert("u_2_b", Grid::zeros(&dims));
+    ws.insert("c_b", Grid::zeros(&dims));
+    let bind = Binding::new().size("n", n as i64).param("D", d);
+    (ws, bind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::AdjointOptions;
+    use perforad_exec::{compile_adjoint, compile_nest, run_parallel, run_serial, ThreadPool};
+
+    #[test]
+    fn adjoint_has_53_loop_nests() {
+        // §3.3.4: the 3-D 7-point star needs 53 loop nests.
+        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        assert_eq!(adj.nest_count(), 53);
+        assert!(adj.nests.iter().all(|n| n.is_gather()));
+    }
+
+    #[test]
+    fn primal_step_conserves_boundary() {
+        let (mut ws, bind) = workspace(12, 0.1);
+        let plan = compile_nest(&nest(), &ws, &bind).unwrap();
+        run_serial(&plan, &mut ws).unwrap();
+        let u = ws.grid("u");
+        assert!(u.is_finite());
+        // Boundary layer untouched (still zero).
+        assert_eq!(u.get(&[0, 5, 5]), 0.0);
+        assert!(u.get(&[6, 6, 6]).abs() > 0.0);
+    }
+
+    #[test]
+    fn adjoint_parallel_matches_serial_bitwise() {
+        let (mut ws1, bind) = workspace(14, 0.1);
+        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(14, 0.1);
+        let pool = ThreadPool::new(4);
+        run_parallel(&plan, &mut ws2, &pool).unwrap();
+        assert_eq!(
+            ws1.grid("u_1_b").max_abs_diff(ws2.grid("u_1_b")),
+            0.0,
+            "gather adjoint must be deterministic"
+        );
+    }
+
+    #[test]
+    fn adjoint_matches_scatter_and_tape() {
+        let (mut ws_g, bind) = workspace(10, 0.1);
+        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let plan = compile_adjoint(&adj, &ws_g, &bind).unwrap();
+        run_serial(&plan, &mut ws_g).unwrap();
+
+        let (mut ws_s, _) = workspace(10, 0.1);
+        let sc = nest().scatter_adjoint(&activity()).unwrap();
+        let plan_s = compile_nest(&sc, &ws_s, &bind).unwrap();
+        run_serial(&plan_s, &mut ws_s).unwrap();
+
+        for arr in ["u_1_b", "u_2_b"] {
+            let d = ws_g.grid(arr).max_abs_diff(ws_s.grid(arr));
+            assert!(d < 1e-12, "{arr}: gather vs scatter differ by {d}");
+        }
+    }
+
+    #[test]
+    fn c_active_adjoint_produces_velocity_gradient() {
+        let (mut ws, bind) = workspace(10, 0.1);
+        let adj = nest()
+            .adjoint(&activity_with_c(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
+        run_serial(&plan, &mut ws).unwrap();
+        assert!(ws.grid("c_b").norm2() > 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Machine descriptions and presets.
+//!
+//! The paper evaluates on a 12-core Broadwell Xeon and a 64-core Knights
+//! Landing Xeon Phi; this host has neither. The presets below are
+//! calibrated against the paper's *serial* numbers (wave primal ≈ 4.1 s at
+//! 1000³, atomics ≈ 91 s single-threaded, KNL serial ≈ 3× slower than
+//! Broadwell) so that the projected thread-scaling curves reproduce the
+//! figures' shapes. See DESIGN.md §4 for the substitution rationale.
+
+use serde::Serialize;
+
+/// A simple analytic machine: roofline (compute vs bandwidth) plus an
+/// atomic-contention term.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Machine {
+    pub name: &'static str,
+    /// Physical cores (ideal-scaling limit for compute).
+    pub cores: usize,
+    /// Maximum hardware threads the paper sweeps to.
+    pub threads_max: usize,
+    /// Effective scalar+SIMD throughput per core, Gflop/s.
+    pub flops_per_core: f64,
+    /// Single-thread sustainable memory bandwidth, GB/s.
+    pub bw_single: f64,
+    /// Saturated (all-core) bandwidth, GB/s.
+    pub bw_peak: f64,
+    /// Threads needed to saturate bandwidth.
+    pub bw_sat_threads: usize,
+    /// Uncontended atomic read-modify-write cost, ns.
+    pub atomic_ns: f64,
+    /// Per-extra-contender multiplier on the atomic cost.
+    pub atomic_contention: f64,
+    /// Effective cost per byte pushed/popped on a sequential value stack, ns.
+    pub stack_byte_ns: f64,
+}
+
+impl Machine {
+    /// Bandwidth available at a given thread count (linear ramp, capped).
+    pub fn bandwidth(&self, threads: usize) -> f64 {
+        let t = threads.min(self.bw_sat_threads) as f64;
+        (self.bw_single * t).min(self.bw_peak)
+    }
+
+    /// Compute throughput at a given thread count (no speedup beyond cores).
+    pub fn flops(&self, threads: usize) -> f64 {
+        self.flops_per_core * threads.min(self.cores) as f64
+    }
+
+    /// Cost of one atomic update when `threads` contend, ns.
+    pub fn atomic_cost(&self, threads: usize) -> f64 {
+        self.atomic_ns * (1.0 + self.atomic_contention * (threads.saturating_sub(1)) as f64)
+    }
+}
+
+/// Dual-socket E5-2650 v4, restricted to one 12-core socket like the paper.
+pub fn broadwell() -> Machine {
+    Machine {
+        name: "Broadwell (Xeon E5-2650 v4, 1 socket / 12 cores)",
+        cores: 12,
+        threads_max: 12,
+        flops_per_core: 8.0,
+        bw_single: 12.0,
+        bw_peak: 65.0,
+        bw_sat_threads: 8,
+        atomic_ns: 12.0,
+        atomic_contention: 1.3,
+        stack_byte_ns: 0.35,
+    }
+}
+
+/// Xeon Phi 7210 (64 cores, 256 hardware threads, MCDRAM).
+pub fn knl() -> Machine {
+    Machine {
+        name: "KNL (Xeon Phi 7210, 64 cores / 256 threads)",
+        cores: 64,
+        threads_max: 256,
+        flops_per_core: 2.8,
+        bw_single: 7.0,
+        bw_peak: 340.0,
+        bw_sat_threads: 48,
+        atomic_ns: 40.0,
+        atomic_contention: 2.0,
+        stack_byte_ns: 1.1,
+    }
+}
+
+/// A description of this host for the "measured" series.
+pub fn host(cores: usize) -> Machine {
+    Machine {
+        name: "host",
+        cores,
+        threads_max: cores * 2,
+        flops_per_core: 4.0,
+        bw_single: 10.0,
+        bw_peak: 20.0,
+        bw_sat_threads: cores,
+        atomic_ns: 15.0,
+        atomic_contention: 1.2,
+        stack_byte_ns: 0.5,
+    }
+}

@@ -1,0 +1,232 @@
+//! Kernel profiles extracted from the IR and the runtime prediction model.
+
+use crate::machine::Machine;
+use perforad_core::{AssignOp, LoopNest};
+use perforad_symbolic::{visit, Symbol};
+use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Work performed per iteration point, extracted from loop-nest IR.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct KernelProfile {
+    /// Total iteration points (all nests).
+    pub points: f64,
+    /// Floating-point operations per point (expression-node estimate).
+    pub flops_per_point: f64,
+    /// Unique memory traffic per point, bytes (distinct arrays touched;
+    /// streaming reuse assumed for neighbour loads).
+    pub bytes_per_point: f64,
+    /// Scatter `+=` updates per point (atomic candidates).
+    pub atomics_per_point: f64,
+    /// Bytes pushed to a sequential intermediate stack per point
+    /// (Tapenade stack mode).
+    pub stack_bytes_per_point: f64,
+}
+
+/// Build a profile from loop nests and integer size bindings.
+pub fn profile(nests: &[LoopNest], sizes: &BTreeMap<Symbol, i64>) -> KernelProfile {
+    let mut points_total = 0u64;
+    let mut flops_weighted = 0.0;
+    let mut atomics_weighted = 0.0;
+    let mut arrays: BTreeSet<Symbol> = BTreeSet::new();
+    let mut writes: BTreeSet<Symbol> = BTreeSet::new();
+    for nest in nests {
+        let pts = nest.iteration_count(sizes).unwrap_or(0);
+        points_total += pts;
+        let gather = nest.is_gather();
+        for s in &nest.body {
+            // node_count approximates scalar ops per statement.
+            flops_weighted += (visit::node_count(&s.rhs) as f64) * pts as f64;
+            if !gather && s.op == AssignOp::AddAssign {
+                atomics_weighted += pts as f64;
+            }
+            writes.insert(s.lhs.array.clone());
+            arrays.extend(visit::arrays(&s.rhs));
+        }
+    }
+    arrays.extend(writes.iter().cloned());
+    let points = points_total.max(1) as f64;
+    KernelProfile {
+        points,
+        flops_per_point: flops_weighted / points,
+        // 8 B per distinct array read + 16 B per written array
+        // (read-for-ownership + writeback).
+        bytes_per_point: 8.0 * (arrays.len() as f64) + 8.0 * (writes.len() as f64),
+        atomics_per_point: atomics_weighted / points,
+        stack_bytes_per_point: 0.0,
+    }
+}
+
+/// Add Tapenade-style stack traffic (e.g. 2 pushes of 8 B for the Burgers
+/// min/max pair).
+pub fn with_stack(mut p: KernelProfile, bytes_per_point: f64) -> KernelProfile {
+    p.stack_bytes_per_point = bytes_per_point;
+    p
+}
+
+/// Predicted wall-clock seconds at a thread count.
+pub fn predict(m: &Machine, p: &KernelProfile, threads: usize) -> f64 {
+    let threads = threads.max(1);
+    let t_flops = p.points * p.flops_per_point / (m.flops(threads) * 1e9);
+    let t_mem = p.points * p.bytes_per_point / (m.bandwidth(threads) * 1e9);
+    let t_atomic = p.points * p.atomics_per_point * m.atomic_cost(threads) * 1e-9;
+    // Stack traffic is sequential (the reverse loop order is fixed).
+    let t_stack = p.points * p.stack_bytes_per_point * m.stack_byte_ns * 1e-9;
+    t_flops.max(t_mem) + t_atomic + t_stack
+}
+
+/// `(threads, seconds, speedup-vs-1-thread)` across a sweep.
+pub fn speedup_series(m: &Machine, p: &KernelProfile, threads: &[usize]) -> Vec<(usize, f64, f64)> {
+    let t1 = predict(m, p, 1);
+    threads
+        .iter()
+        .map(|&t| {
+            let tt = predict(m, p, t);
+            (t, tt, t1 / tt)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{broadwell, knl};
+    use perforad_core::{ActivityMap, AdjointOptions};
+
+    fn wave_nest() -> LoopNest {
+        use perforad_symbolic::{ix, Array, Expr, Idx};
+        let (i, j, k) = (Symbol::new("i"), Symbol::new("j"), Symbol::new("k"));
+        let n = Symbol::new("n");
+        let dd = Expr::sym(Symbol::new("D"));
+        let c = Array::new("c");
+        let u = Array::new("u");
+        let u1 = Array::new("u_1");
+        let u2 = Array::new("u_2");
+        let lap = u1.at(ix![&i - 1, &j, &k])
+            + u1.at(ix![&i + 1, &j, &k])
+            + u1.at(ix![&i, &j - 1, &k])
+            + u1.at(ix![&i, &j + 1, &k])
+            + u1.at(ix![&i, &j, &k - 1])
+            + u1.at(ix![&i, &j, &k + 1])
+            - 6.0 * u1.at(ix![&i, &j, &k]);
+        let expr = 2.0 * u1.at(ix![&i, &j, &k]) - u2.at(ix![&i, &j, &k])
+            + c.at(ix![&i, &j, &k]) * dd * lap;
+        let b = (Idx::constant(1), Idx::sym(n.clone()) - 2);
+        perforad_core::make_loop_nest(
+            &u.at(ix![&i, &j, &k]),
+            expr,
+            vec![i.clone(), j.clone(), k.clone()],
+            vec![b.clone(), b.clone(), b],
+        )
+        .unwrap()
+    }
+
+    fn sizes(n: i64) -> BTreeMap<Symbol, i64> {
+        let mut m = BTreeMap::new();
+        m.insert(Symbol::new("n"), n);
+        m
+    }
+
+    #[test]
+    fn paper_scale_serial_times_are_in_range() {
+        // 1000³ grid, one step: paper reports 4.14 s primal serial and
+        // 91 s for the atomic scatter baseline at 1 thread on Broadwell.
+        let m = broadwell();
+        let p = profile(std::slice::from_ref(&wave_nest()), &sizes(1000));
+        let t = predict(&m, &p, 1);
+        assert!(t > 1.0 && t < 10.0, "primal serial {t}");
+
+        let act = ActivityMap::new()
+            .with_suffixed("u")
+            .with_suffixed("u_1")
+            .with_suffixed("u_2");
+        let sc = wave_nest().scatter_adjoint(&act).unwrap();
+        let ps = profile(std::slice::from_ref(&sc), &sizes(1000));
+        let t_atomic = predict(&m, &ps, 1);
+        assert!(
+            t_atomic / t > 5.0 && t_atomic / t < 40.0,
+            "atomic slowdown {t_atomic} vs {t}"
+        );
+    }
+
+    #[test]
+    fn atomics_never_scale() {
+        let m = broadwell();
+        let act = ActivityMap::new()
+            .with_suffixed("u")
+            .with_suffixed("u_1")
+            .with_suffixed("u_2");
+        let sc = wave_nest().scatter_adjoint(&act).unwrap();
+        let p = profile(std::slice::from_ref(&sc), &sizes(500));
+        let series = speedup_series(&m, &p, &[1, 2, 4, 8, 12]);
+        // Paper: the atomics curve is flat or falling.
+        for (_, _, s) in &series[1..] {
+            assert!(*s < 1.5, "atomics must not scale, got speedup {s}");
+        }
+    }
+
+    #[test]
+    fn gather_adjoint_scales_like_primal() {
+        let m = broadwell();
+        let nest = wave_nest();
+        let act = ActivityMap::new()
+            .with_suffixed("u")
+            .with_suffixed("u_1")
+            .with_suffixed("u_2");
+        let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+        let pp = profile(std::slice::from_ref(&nest), &sizes(500));
+        let pa = profile(&adj.nests, &sizes(500));
+        let sp = speedup_series(&m, &pp, &[1, 12]);
+        let sa = speedup_series(&m, &pa, &[1, 12]);
+        let (sp12, sa12) = (sp[1].2, sa[1].2);
+        assert!(
+            (sa12 / sp12) > 0.7,
+            "adjoint stencil scalability {sa12} must track primal {sp12}"
+        );
+        // And the crossover: parallel PerforAD beats 1-thread atomics hugely.
+        let sc = nest.scatter_adjoint(&act).unwrap();
+        let ps = profile(std::slice::from_ref(&sc), &sizes(500));
+        let best_atomic = (1..=12).map(|t| predict(&m, &ps, t)).fold(f64::MAX, f64::min);
+        let best_gather = predict(&m, &pa, 12);
+        assert!(
+            best_atomic / best_gather > 2.0,
+            "paper reports 3.4×; model gives {}",
+            best_atomic / best_gather
+        );
+    }
+
+    #[test]
+    fn knl_ratio_exceeds_broadwell_ratio() {
+        // Paper: 3.4× on Broadwell, >19× on KNL for the wave adjoint.
+        let nest = wave_nest();
+        let act = ActivityMap::new()
+            .with_suffixed("u")
+            .with_suffixed("u_1")
+            .with_suffixed("u_2");
+        let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+        let sc = nest.scatter_adjoint(&act).unwrap();
+        let pa = profile(&adj.nests, &sizes(500));
+        let ps = profile(std::slice::from_ref(&sc), &sizes(500));
+        let ratio = |m: &Machine| {
+            let best_atomic = (1..=m.threads_max)
+                .map(|t| predict(m, &ps, t))
+                .fold(f64::MAX, f64::min);
+            let best_gather = (1..=m.threads_max)
+                .map(|t| predict(m, &pa, t))
+                .fold(f64::MAX, f64::min);
+            best_atomic / best_gather
+        };
+        let rb = ratio(&broadwell());
+        let rk = ratio(&knl());
+        assert!(rk > rb, "KNL ratio {rk} must exceed Broadwell {rb}");
+        assert!(rk > 8.0, "KNL ratio should be order-of-magnitude, got {rk}");
+    }
+
+    #[test]
+    fn bandwidth_model_saturates() {
+        let m = knl();
+        assert!(m.bandwidth(64) <= m.bw_peak);
+        assert!(m.bandwidth(1) == m.bw_single);
+        assert!(m.flops(512) == m.flops(64));
+    }
+}

@@ -1,0 +1,264 @@
+//! Common-subexpression elimination.
+//!
+//! §4 of the paper names the absence of CSE as PerforAD's main serial
+//! weakness: "the use of symbolic differentiation applied to the loop body
+//! may cause unnecessary computations … PerforAD makes no attempt to
+//! identify common sub-expressions within the same loop nest." This module
+//! closes that gap: [`eliminate`] factors repeated non-trivial subtrees of
+//! an expression (or a group of expressions sharing one evaluation point)
+//! into ordered temporary bindings.
+
+use crate::expr::{Cond, Expr, Node};
+use crate::symbol::Symbol;
+use crate::visit::node_count;
+use std::collections::HashMap;
+
+/// A list of temporary bindings, in dependency order: each binding may
+/// reference earlier temporaries.
+pub type Bindings = Vec<(Symbol, Expr)>;
+
+/// Minimum size (in expression nodes) for a subtree to be worth a temp.
+const MIN_NODES: usize = 3;
+
+fn count_subtrees(e: &Expr, counts: &mut HashMap<Expr, usize>) {
+    // Conditions of Select participate too (they are evaluated).
+    match e.node() {
+        Node::Num(_) | Node::Sym(_) | Node::Access(_) => return,
+        _ => {}
+    }
+    *counts.entry(e.clone()).or_insert(0) += 1;
+    match e.node() {
+        Node::Num(_) | Node::Sym(_) | Node::Access(_) => {}
+        Node::Add(ts) | Node::Mul(ts) => {
+            for t in ts {
+                count_subtrees(t, counts);
+            }
+        }
+        Node::Pow(b, x) => {
+            count_subtrees(b, counts);
+            count_subtrees(x, counts);
+        }
+        Node::Call(_, args) => {
+            for a in args {
+                count_subtrees(a, counts);
+            }
+        }
+        Node::Select(c, a, b) => {
+            count_subtrees(&c.lhs, counts);
+            count_subtrees(&c.rhs, counts);
+            count_subtrees(a, counts);
+            count_subtrees(b, counts);
+        }
+        Node::UFun(app) | Node::UDeriv(app, _) => {
+            for a in &app.args {
+                count_subtrees(a, counts);
+            }
+        }
+    }
+}
+
+/// Replace every occurrence of `target` in `e` by `rep`.
+pub fn replace(e: &Expr, target: &Expr, rep: &Expr) -> Expr {
+    if e == target {
+        return rep.clone();
+    }
+    match e.node() {
+        Node::Num(_) | Node::Sym(_) | Node::Access(_) => e.clone(),
+        Node::Add(ts) => Expr::add_all(ts.iter().map(|t| replace(t, target, rep)).collect()),
+        Node::Mul(ts) => Expr::mul_all(ts.iter().map(|t| replace(t, target, rep)).collect()),
+        Node::Pow(b, x) => replace(b, target, rep).pow(replace(x, target, rep)),
+        Node::Call(f, args) => {
+            Expr::call(*f, args.iter().map(|t| replace(t, target, rep)).collect())
+        }
+        Node::Select(c, a, b) => Expr::select(
+            Cond::new(
+                replace(&c.lhs, target, rep),
+                c.rel,
+                replace(&c.rhs, target, rep),
+            ),
+            replace(a, target, rep),
+            replace(b, target, rep),
+        ),
+        Node::UFun(app) => {
+            let mut app = app.clone();
+            app.args = app.args.iter().map(|t| replace(t, target, rep)).collect();
+            Expr::ufun(app)
+        }
+        Node::UDeriv(app, k) => {
+            let mut app = app.clone();
+            app.args = app.args.iter().map(|t| replace(t, target, rep)).collect();
+            Expr::uderiv(app, *k)
+        }
+    }
+}
+
+/// Eliminate common subexpressions across a group of expressions evaluated
+/// at the same point (e.g. all statements of one loop body).
+///
+/// Returns `(bindings, rewritten)`: evaluating the bindings in order (each
+/// may use earlier temporaries) and then the rewritten expressions is
+/// equivalent to evaluating the originals. Temporaries are named
+/// `{prefix}0`, `{prefix}1`, …
+pub fn eliminate(exprs: &[Expr], prefix: &str) -> (Bindings, Vec<Expr>) {
+    let mut bindings: Bindings = Vec::new();
+    let mut current: Vec<Expr> = exprs.to_vec();
+    loop {
+        let mut counts: HashMap<Expr, usize> = HashMap::new();
+        for e in &current {
+            count_subtrees(e, &mut counts);
+        }
+        // Pick the *largest* subtree that occurs at least twice; factoring
+        // large trees first lets smaller shared pieces surface in later
+        // rounds (inside the bound expression as well).
+        let best = counts
+            .into_iter()
+            .filter(|(e, n)| *n >= 2 && node_count(e) >= MIN_NODES)
+            .max_by_key(|(e, n)| (node_count(e), *n, format!("{e}")));
+        let Some((target, _)) = best else { break };
+        let name = Symbol::new(format!("{prefix}{}", bindings.len()));
+        let sym = Expr::sym(name.clone());
+        for b in bindings.iter_mut() {
+            b.1 = replace(&b.1, &target, &sym);
+        }
+        for e in current.iter_mut() {
+            *e = replace(e, &target, &sym);
+        }
+        bindings.push((name, target));
+    }
+    // Bindings were discovered largest-first, but a later (smaller) binding
+    // can appear inside an earlier one's expression — emit in dependency
+    // order by repeatedly taking bindings whose temps are all defined.
+    let mut ordered: Bindings = Vec::with_capacity(bindings.len());
+    let mut remaining = bindings;
+    while !remaining.is_empty() {
+        let defined: Vec<Symbol> = ordered.iter().map(|(s, _)| s.clone()).collect();
+        let pos = remaining
+            .iter()
+            .position(|(_, e)| {
+                crate::visit::scalar_symbols(e)
+                    .iter()
+                    .filter(|s| s.name().starts_with(prefix))
+                    .all(|s| defined.contains(s))
+            })
+            .expect("binding dependencies are acyclic");
+        ordered.push(remaining.remove(pos));
+    }
+    (ordered, current)
+}
+
+/// Convenience: CSE over a single expression.
+pub fn eliminate_one(e: &Expr, prefix: &str) -> (Bindings, Expr) {
+    let (b, mut v) = eliminate(std::slice::from_ref(e), prefix);
+    (b, v.pop().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval, MapCtx};
+    use crate::expr::Array;
+    use crate::ix;
+
+    fn reconstruct(bindings: &Bindings, e: &Expr) -> Expr {
+        // Inline the temps back; must reproduce the original expression.
+        let mut out = e.clone();
+        for (name, expr) in bindings.iter().rev() {
+            let mut inlined = expr.clone();
+            for (n2, e2) in bindings.iter().rev() {
+                inlined = replace(&inlined, &Expr::sym(n2.clone()), e2);
+            }
+            let _ = inlined;
+            out = replace(&out, &Expr::sym(name.clone()), expr);
+        }
+        // One more pass to resolve temp-in-temp references.
+        for _ in 0..bindings.len() {
+            for (name, expr) in bindings.iter().rev() {
+                out = replace(&out, &Expr::sym(name.clone()), expr);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn factors_repeated_subtree() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let shared = u.at(ix![&i]).max(Expr::zero());
+        // shared appears twice
+        let e = &shared * u.at(ix![&i + 1]) + &shared * u.at(ix![&i - 1]);
+        let (bindings, rewritten) = eliminate_one(&e, "__t");
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(bindings[0].1, shared);
+        assert!(node_count(&rewritten) < node_count(&e));
+        assert_eq!(reconstruct(&bindings, &rewritten), e);
+    }
+
+    #[test]
+    fn no_bindings_when_nothing_repeats() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let e = u.at(ix![&i - 1]) + u.at(ix![&i + 1]);
+        let (bindings, rewritten) = eliminate_one(&e, "__t");
+        assert!(bindings.is_empty());
+        assert_eq!(rewritten, e);
+    }
+
+    #[test]
+    fn shares_across_statement_group() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let shared = (u.at(ix![&i]) * u.at(ix![&i + 1])).sin();
+        let e1 = &shared + 1.0;
+        let e2 = 2.0 * &shared;
+        let (bindings, rewritten) = eliminate(&[e1.clone(), e2.clone()], "__t");
+        assert_eq!(bindings.len(), 1);
+        assert_eq!(reconstruct(&bindings, &rewritten[0]), e1);
+        assert_eq!(reconstruct(&bindings, &rewritten[1]), e2);
+    }
+
+    #[test]
+    fn evaluation_is_preserved() {
+        // Burgers-like expression with heavy sharing.
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let ap = u.at(ix![&i]).max(Expr::zero());
+        let am = u.at(ix![&i]).min(Expr::zero());
+        let e = &ap * (u.at(ix![&i]) - u.at(ix![&i - 1]))
+            + &am * (u.at(ix![&i + 1]) - u.at(ix![&i]))
+            + &ap * &am;
+        let (bindings, rewritten) = eliminate_one(&e, "__t");
+        assert!(!bindings.is_empty());
+
+        let mut ctx = MapCtx::new()
+            .index("i", 1)
+            .array1("u", vec![0.5, -1.25, 2.0]);
+        let original: f64 = eval(&e, &ctx).unwrap();
+        // Evaluate bindings in order, then the rewritten expression.
+        for (name, expr) in &bindings {
+            let v: f64 = eval(expr, &ctx).unwrap();
+            ctx.scalars.insert(name.clone(), v);
+        }
+        let reduced: f64 = eval(&rewritten, &ctx).unwrap();
+        assert_eq!(original, reduced);
+    }
+
+    #[test]
+    fn nested_temps_are_dependency_ordered() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let inner = u.at(ix![&i]) * u.at(ix![&i + 1]);
+        let outer = inner.clone().sin() + inner.clone().cos();
+        // outer twice, inner appears inside both
+        let e = &outer * 2.0 + &outer + &inner;
+        let (bindings, _) = eliminate_one(&e, "__t");
+        // Every temp referenced by a binding must be defined earlier.
+        for (k, (_, expr)) in bindings.iter().enumerate() {
+            for s in crate::visit::scalar_symbols(expr) {
+                if s.name().starts_with("__t") {
+                    let pos = bindings.iter().position(|(n, _)| *n == s).unwrap();
+                    assert!(pos < k, "temp {s} used before definition");
+                }
+            }
+        }
+    }
+}

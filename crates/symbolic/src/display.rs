@@ -1,0 +1,223 @@
+//! Human-readable expression printing (precedence-aware).
+//!
+//! This is the neutral mathematical notation used in errors, tests and docs.
+//! Language back-ends (C, Rust) live in `perforad-codegen` and walk the tree
+//! themselves.
+
+use crate::expr::{Expr, Node};
+use crate::number::Number;
+use std::fmt;
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Add,
+    Mul,
+    Pow,
+    Atom,
+}
+
+fn write_expr(f: &mut fmt::Formatter<'_>, e: &Expr, ctx: Prec) -> fmt::Result {
+    let prec = match e.node() {
+        Node::Add(_) => Prec::Add,
+        Node::Mul(_) => Prec::Mul,
+        Node::Pow(..) => Prec::Pow,
+        Node::Num(n) if n.to_f64() < 0.0 => Prec::Mul, // negative literals bind like products
+        _ => Prec::Atom,
+    };
+    let paren = prec < ctx;
+    if paren {
+        write!(f, "(")?;
+    }
+    match e.node() {
+        Node::Num(n) => write!(f, "{n}")?,
+        Node::Sym(s) => write!(f, "{s}")?,
+        Node::Access(a) => write!(f, "{a}")?,
+        Node::Add(ts) => {
+            for (k, t) in ts.iter().enumerate() {
+                if k == 0 {
+                    write_expr(f, t, Prec::Add)?;
+                    continue;
+                }
+                // Render negative-coefficient terms as subtraction.
+                if let Some((mag, rest)) = negated_view(t) {
+                    write!(f, " - ")?;
+                    match rest {
+                        Some(r) => {
+                            if !mag.is_one() {
+                                write!(f, "{mag}*")?;
+                            }
+                            write_expr(f, &r, Prec::Mul)?;
+                        }
+                        None => write!(f, "{mag}")?,
+                    }
+                } else {
+                    write!(f, " + ")?;
+                    write_expr(f, t, Prec::Add)?;
+                }
+            }
+        }
+        Node::Mul(fs) => {
+            // Print a leading negative coefficient as unary minus (+ magnitude).
+            let mut rest = fs.as_slice();
+            if let Node::Num(n) = fs[0].node() {
+                if n.to_f64() < 0.0 {
+                    write!(f, "-")?;
+                    rest = &fs[1..];
+                    let mag = n.neg();
+                    if !mag.is_one() {
+                        write!(f, "{mag}*")?;
+                    }
+                }
+            }
+            for (k, x) in rest.iter().enumerate() {
+                if k > 0 {
+                    write!(f, "*")?;
+                }
+                write_expr(f, x, Prec::Pow)?;
+            }
+        }
+        Node::Pow(b, x) => {
+            write_expr(f, b, Prec::Atom)?;
+            write!(f, "**")?;
+            write_expr(f, x, Prec::Atom)?;
+        }
+        Node::Call(func, args) => {
+            write!(f, "{}(", func.name())?;
+            for (k, a) in args.iter().enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write_expr(f, a, Prec::Add)?;
+            }
+            write!(f, ")")?;
+        }
+        Node::Select(c, a, b) => {
+            write!(f, "({c} ? ")?;
+            write_expr(f, a, Prec::Add)?;
+            write!(f, " : ")?;
+            write_expr(f, b, Prec::Add)?;
+            write!(f, ")")?;
+        }
+        Node::UFun(app) => {
+            write!(f, "{}(", app.name)?;
+            for (k, (p, a)) in app.params.iter().zip(&app.args).enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}=")?;
+                write_expr(f, a, Prec::Add)?;
+            }
+            write!(f, ")")?;
+        }
+        Node::UDeriv(app, wrt) => {
+            write!(f, "derivative({}, {})(", app.name, app.params[*wrt])?;
+            for (k, (p, a)) in app.params.iter().zip(&app.args).enumerate() {
+                if k > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{p}=")?;
+                write_expr(f, a, Prec::Add)?;
+            }
+            write!(f, ")")?;
+        }
+    }
+    if paren {
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+/// If `t` has a negative numeric coefficient, return `(|coeff|, rest)`.
+/// `rest == None` means the term was a bare negative number.
+fn negated_view(t: &Expr) -> Option<(Number, Option<Expr>)> {
+    match t.node() {
+        Node::Num(n) if n.to_f64() < 0.0 => Some((n.neg(), None)),
+        Node::Mul(fs) => {
+            if let Node::Num(n) = fs[0].node() {
+                if n.to_f64() < 0.0 {
+                    let rest: Vec<Expr> = fs[1..].to_vec();
+                    let rest = if rest.len() == 1 {
+                        rest.into_iter().next().unwrap()
+                    } else {
+                        Expr::raw(Node::Mul(rest))
+                    };
+                    return Some((n.neg(), Some(rest)));
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_expr(f, self, Prec::Add)
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::{Array, Expr};
+    use crate::ix;
+    use crate::symbol::Symbol;
+
+    fn parts() -> (Expr, Expr, Expr) {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        (u.at(ix![&i - 1]), u.at(ix![&i]), u.at(ix![&i + 1]))
+    }
+
+    #[test]
+    fn sums_use_subtraction_for_negative_terms() {
+        let (um, uc, up) = parts();
+        let e = 2.0 * um - 3.0 * uc + 4.0 * up;
+        assert_eq!(e.to_string(), "2.0*u(i - 1) - 3.0*u(i) + 4.0*u(i + 1)");
+    }
+
+    #[test]
+    fn unary_minus() {
+        let (_, uc, _) = parts();
+        assert_eq!((-uc).to_string(), "-u(i)");
+    }
+
+    #[test]
+    fn products_parenthesize_sums() {
+        let (um, uc, _) = parts();
+        let c = Array::new("c").at(ix![&Symbol::new("i")]);
+        let e = c * (um + uc);
+        assert_eq!(e.to_string(), "c(i)*(u(i - 1) + u(i))");
+    }
+
+    #[test]
+    fn powers_and_calls() {
+        let (_, uc, _) = parts();
+        assert_eq!(uc.clone().powi(2).to_string(), "u(i)**2");
+        assert_eq!(uc.clone().sin().to_string(), "sin(u(i))");
+        assert_eq!(
+            uc.clone().max(Expr::zero()).to_string(),
+            "max(u(i), 0)"
+        );
+    }
+
+    #[test]
+    fn select_prints_ternary() {
+        let (_, uc, up) = parts();
+        let d = crate::diff::diff(
+            &uc.clone().max(Expr::zero()),
+            &crate::diff::DiffVar::Access(match uc.node() {
+                crate::expr::Node::Access(a) => a.clone(),
+                _ => unreachable!(),
+            }),
+        )
+        .unwrap();
+        assert_eq!(d.to_string(), "(u(i) >= 0 ? 1 : 0)");
+        let _ = up;
+    }
+}

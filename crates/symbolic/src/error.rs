@@ -1,0 +1,40 @@
+//! Error type for symbolic operations.
+
+use std::fmt;
+
+/// Errors produced by symbolic differentiation and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymError {
+    /// Differentiating an uninterpreted derivative would require second-order
+    /// information, which PerforAD does not model (first-order adjoints only).
+    SecondOrderUninterpreted(String),
+    /// A scalar symbol had no binding during evaluation.
+    UnboundSymbol(String),
+    /// An index symbol (loop counter or extent) had no integer binding.
+    UnboundIndex(String),
+    /// An array had no storage bound during evaluation.
+    UnboundArray(String),
+    /// An uninterpreted function was evaluated without an interpretation.
+    UninterpretedEval(String),
+    /// Anything else (e.g. out-of-range access in a checked context).
+    Eval(String),
+}
+
+impl fmt::Display for SymError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymError::SecondOrderUninterpreted(s) => {
+                write!(f, "cannot differentiate uninterpreted derivative of `{s}`")
+            }
+            SymError::UnboundSymbol(s) => write!(f, "unbound scalar symbol `{s}`"),
+            SymError::UnboundIndex(s) => write!(f, "unbound index symbol `{s}`"),
+            SymError::UnboundArray(s) => write!(f, "unbound array `{s}`"),
+            SymError::UninterpretedEval(s) => {
+                write!(f, "no interpretation for uninterpreted function `{s}`")
+            }
+            SymError::Eval(s) => write!(f, "evaluation error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SymError {}

@@ -1,0 +1,310 @@
+//! Affine index expressions.
+//!
+//! Array accesses in stencil loops use indices that are affine in the loop
+//! counters and grid-extent symbols: `i + 1`, `n - 2`, `0`. [`Idx`] is the
+//! normal form `sum_k c_k * s_k + offset` with integer coefficients. The
+//! adjoint transformation's *shift* step (§3.3.2 of the paper) is a constant
+//! translation of these expressions, and loop bounds reuse the same type.
+
+use crate::symbol::Symbol;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// An affine integer expression over symbols: `Σ coeff·sym + offset`.
+///
+/// Invariant: no stored coefficient is zero.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Idx {
+    terms: BTreeMap<Symbol, i64>,
+    offset: i64,
+}
+
+impl Idx {
+    /// The constant expression `c`.
+    pub fn constant(c: i64) -> Self {
+        Idx {
+            terms: BTreeMap::new(),
+            offset: c,
+        }
+    }
+
+    /// The expression `s` (a bare symbol).
+    pub fn sym(s: impl Into<Symbol>) -> Self {
+        let mut terms = BTreeMap::new();
+        terms.insert(s.into(), 1);
+        Idx { terms, offset: 0 }
+    }
+
+    /// The expression `coeff * s`.
+    pub fn scaled(s: impl Into<Symbol>, coeff: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coeff != 0 {
+            terms.insert(s.into(), coeff);
+        }
+        Idx { terms, offset: 0 }
+    }
+
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Coefficient of `s` (zero if absent).
+    pub fn coeff(&self, s: &Symbol) -> i64 {
+        self.terms.get(s).copied().unwrap_or(0)
+    }
+
+    /// Iterate over `(symbol, coefficient)` pairs with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (&Symbol, i64)> {
+        self.terms.iter().map(|(s, &c)| (s, c))
+    }
+
+    /// True if the expression is a plain constant.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if this is a plain constant.
+    pub fn as_constant(&self) -> Option<i64> {
+        self.is_constant().then_some(self.offset)
+    }
+
+    /// True if the expression is exactly `sym + c` for the given symbol.
+    pub fn is_offset_of(&self, s: &Symbol) -> Option<i64> {
+        if self.terms.len() == 1 && self.coeff(s) == 1 {
+            Some(self.offset)
+        } else {
+            None
+        }
+    }
+
+    /// Symbols appearing with non-zero coefficient.
+    pub fn symbols(&self) -> impl Iterator<Item = &Symbol> {
+        self.terms.keys()
+    }
+
+    /// Add a constant in place.
+    pub fn shift(&self, delta: i64) -> Idx {
+        let mut out = self.clone();
+        out.offset += delta;
+        out
+    }
+
+    /// Substitute each symbol by another affine expression.
+    pub fn subst(&self, map: &BTreeMap<Symbol, Idx>) -> Idx {
+        let mut out = Idx::constant(self.offset);
+        for (s, c) in self.terms() {
+            match map.get(s) {
+                Some(rep) => {
+                    for (rs, rc) in rep.terms() {
+                        out.add_term(rs.clone(), rc * c);
+                    }
+                    out.offset += rep.offset * c;
+                }
+                None => out.add_term(s.clone(), c),
+            }
+        }
+        out
+    }
+
+    /// Evaluate with integer bindings for every symbol present.
+    ///
+    /// Returns `None` if a symbol is unbound.
+    pub fn eval(&self, env: &BTreeMap<Symbol, i64>) -> Option<i64> {
+        let mut acc = self.offset;
+        for (s, c) in self.terms() {
+            acc += c * env.get(s)?;
+        }
+        Some(acc)
+    }
+
+    fn add_term(&mut self, s: Symbol, c: i64) {
+        if c == 0 {
+            return;
+        }
+        let e = self.terms.entry(s).or_insert(0);
+        *e += c;
+        if *e == 0 {
+            // remove to preserve the no-zero-coefficients invariant
+            let key = self
+                .terms
+                .iter()
+                .find(|(_, &v)| v == 0)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = key {
+                self.terms.remove(&k);
+            }
+        }
+    }
+
+    /// `self - other` as an affine expression.
+    pub fn diff(&self, other: &Idx) -> Idx {
+        self.clone() - other.clone()
+    }
+}
+
+impl Add for Idx {
+    type Output = Idx;
+    fn add(self, rhs: Idx) -> Idx {
+        let mut out = self;
+        out.offset += rhs.offset;
+        for (s, c) in rhs.terms {
+            out.add_term(s, c);
+        }
+        out
+    }
+}
+
+impl Add<i64> for Idx {
+    type Output = Idx;
+    fn add(self, rhs: i64) -> Idx {
+        self.shift(rhs)
+    }
+}
+
+impl Sub for Idx {
+    type Output = Idx;
+    fn sub(self, rhs: Idx) -> Idx {
+        self + (-rhs)
+    }
+}
+
+impl Sub<i64> for Idx {
+    type Output = Idx;
+    fn sub(self, rhs: i64) -> Idx {
+        self.shift(-rhs)
+    }
+}
+
+impl Neg for Idx {
+    type Output = Idx;
+    fn neg(self) -> Idx {
+        let mut out = Idx::constant(-self.offset);
+        for (s, c) in self.terms {
+            out.add_term(s, -c);
+        }
+        out
+    }
+}
+
+impl From<Symbol> for Idx {
+    fn from(s: Symbol) -> Self {
+        Idx::sym(s)
+    }
+}
+
+impl From<&Symbol> for Idx {
+    fn from(s: &Symbol) -> Self {
+        Idx::sym(s.clone())
+    }
+}
+
+impl From<i64> for Idx {
+    fn from(c: i64) -> Self {
+        Idx::constant(c)
+    }
+}
+
+impl fmt::Display for Idx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (s, c) in self.terms() {
+            if first {
+                match c {
+                    1 => write!(f, "{s}")?,
+                    -1 => write!(f, "-{s}")?,
+                    _ => write!(f, "{c}*{s}")?,
+                }
+                first = false;
+            } else if c >= 0 {
+                if c == 1 {
+                    write!(f, " + {s}")?;
+                } else {
+                    write!(f, " + {c}*{s}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {s}")?;
+            } else {
+                write!(f, " - {}*{s}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.offset)?;
+        } else if self.offset > 0 {
+            write!(f, " + {}", self.offset)?;
+        } else if self.offset < 0 {
+            write!(f, " - {}", -self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Idx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Idx({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+
+    #[test]
+    fn build_and_display() {
+        let i = Idx::sym(sym("i"));
+        let e = i + 1;
+        assert_eq!(e.to_string(), "i + 1");
+        let e = Idx::sym(sym("n")) - 2;
+        assert_eq!(e.to_string(), "n - 2");
+        assert_eq!(Idx::constant(0).to_string(), "0");
+    }
+
+    #[test]
+    fn addition_cancels_terms() {
+        let i = Idx::sym(sym("i"));
+        let e = i.clone() - Idx::sym(sym("i"));
+        assert!(e.is_constant());
+        assert_eq!(e.as_constant(), Some(0));
+    }
+
+    #[test]
+    fn is_offset_of_detects_pure_counter_offsets() {
+        let i = sym("i");
+        assert_eq!((Idx::sym(i.clone()) + 3).is_offset_of(&i), Some(3));
+        assert_eq!((Idx::sym(i.clone()) - 1).is_offset_of(&i), Some(-1));
+        assert_eq!(Idx::scaled(i.clone(), 2).is_offset_of(&i), None);
+        let j = Idx::sym(sym("j"));
+        assert_eq!((Idx::sym(i.clone()) + j).is_offset_of(&i), None);
+    }
+
+    #[test]
+    fn subst_composes_affine() {
+        // i -> j + 2 applied to (3i + 1) gives 3j + 7
+        let mut map = BTreeMap::new();
+        map.insert(sym("i"), Idx::sym(sym("j")) + 2);
+        let e = Idx::scaled(sym("i"), 3) + 1;
+        let r = e.subst(&map);
+        assert_eq!(r.coeff(&sym("j")), 3);
+        assert_eq!(r.offset(), 7);
+    }
+
+    #[test]
+    fn eval_requires_all_symbols() {
+        let e = Idx::sym(sym("n")) - 2;
+        let mut env = BTreeMap::new();
+        assert_eq!(e.eval(&env), None);
+        env.insert(sym("n"), 10);
+        assert_eq!(e.eval(&env), Some(8));
+    }
+
+    #[test]
+    fn neg_flips_everything() {
+        let e = -(Idx::sym(sym("i")) + 5);
+        assert_eq!(e.coeff(&sym("i")), -1);
+        assert_eq!(e.offset(), -5);
+    }
+}

@@ -1,0 +1,409 @@
+//! Exact and inexact numeric constants.
+//!
+//! The simplifier keeps arithmetic exact (64-bit rationals) for as long as
+//! possible and degrades to `f64` only when a float enters the computation or
+//! when exact arithmetic would overflow. This keeps generated adjoint
+//! coefficients (e.g. the `-6*D` of the 3-D wave stencil) exact and the
+//! generated code deterministic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A reduced rational number `num/den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// Invariant: `den != 1` is *not* required here; [`Number::rational`]
+/// normalises integer-valued rationals to [`Number::Int`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
+impl Rational {
+    /// Construct a reduced rational. Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "rational with zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        Rational {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    pub fn numer(&self) -> i64 {
+        self.num
+    }
+
+    pub fn denom(&self) -> i64 {
+        self.den
+    }
+
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    fn checked(num: i128, den: i128) -> Option<Rational> {
+        if den == 0 {
+            return None;
+        }
+        let sign: i128 = if den < 0 { -1 } else { 1 };
+        let g = {
+            let (mut a, mut b) = (num.abs(), den.abs());
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a.max(1)
+        };
+        let n = sign * (num / g);
+        let d = (den / g).abs();
+        if n > i64::MAX as i128 || n < i64::MIN as i128 || d > i64::MAX as i128 {
+            None
+        } else {
+            Some(Rational {
+                num: n as i64,
+                den: d as i64,
+            })
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)
+    }
+}
+
+/// A numeric constant: exact integer, exact rational, or IEEE double.
+#[derive(Clone, Copy, Debug)]
+pub enum Number {
+    Int(i64),
+    Rat(Rational),
+    Float(f64),
+}
+
+impl Number {
+    pub fn rational(num: i64, den: i64) -> Self {
+        let r = Rational::new(num, den);
+        if r.den == 1 {
+            Number::Int(r.num)
+        } else {
+            Number::Rat(r)
+        }
+    }
+
+    pub fn zero() -> Self {
+        Number::Int(0)
+    }
+
+    pub fn one() -> Self {
+        Number::Int(1)
+    }
+
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Number::Int(0) => true,
+            Number::Float(f) => *f == 0.0,
+            _ => false,
+        }
+    }
+
+    pub fn is_one(&self) -> bool {
+        match self {
+            Number::Int(1) => true,
+            Number::Float(f) => *f == 1.0,
+            _ => false,
+        }
+    }
+
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, Number::Float(_))
+    }
+
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Number::Int(i) => *i as f64,
+            Number::Rat(r) => r.to_f64(),
+            Number::Float(f) => *f,
+        }
+    }
+
+    /// Exact integer value, if this number is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Number::Int(i) => Some(*i),
+            Number::Float(f) if f.fract() == 0.0 && f.abs() < 2f64.powi(53) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    fn as_ratio(&self) -> Option<(i128, i128)> {
+        match self {
+            Number::Int(i) => Some((*i as i128, 1)),
+            Number::Rat(r) => Some((r.num as i128, r.den as i128)),
+            Number::Float(_) => None,
+        }
+    }
+
+    fn from_checked(r: Option<Rational>, approx: f64) -> Number {
+        match r {
+            Some(r) if r.den == 1 => Number::Int(r.num),
+            Some(r) => Number::Rat(r),
+            // Exact arithmetic overflowed 64 bits: degrade gracefully.
+            None => Number::Float(approx),
+        }
+    }
+
+    pub fn add(self, other: Number) -> Number {
+        match (self.as_ratio(), other.as_ratio()) {
+            (Some((an, ad)), Some((bn, bd))) => Number::from_checked(
+                Rational::checked(an * bd + bn * ad, ad * bd),
+                self.to_f64() + other.to_f64(),
+            ),
+            _ => Number::Float(self.to_f64() + other.to_f64()),
+        }
+    }
+
+    pub fn mul(self, other: Number) -> Number {
+        match (self.as_ratio(), other.as_ratio()) {
+            (Some((an, ad)), Some((bn, bd))) => {
+                Number::from_checked(Rational::checked(an * bn, ad * bd), self.to_f64() * other.to_f64())
+            }
+            _ => Number::Float(self.to_f64() * other.to_f64()),
+        }
+    }
+
+    pub fn neg(self) -> Number {
+        match self {
+            Number::Int(i) => Number::Int(-i),
+            Number::Rat(r) => Number::Rat(Rational { num: -r.num, den: r.den }),
+            Number::Float(f) => Number::Float(-f),
+        }
+    }
+
+    /// Multiplicative inverse. `None` for zero.
+    pub fn recip(self) -> Option<Number> {
+        if self.is_zero() {
+            return None;
+        }
+        Some(match self {
+            Number::Int(i) => Number::rational(1, i),
+            Number::Rat(r) => Number::rational(r.den, r.num),
+            Number::Float(f) => Number::Float(1.0 / f),
+        })
+    }
+
+    /// Integer power with exact arithmetic where possible.
+    pub fn powi(self, e: i64) -> Number {
+        if e == 0 {
+            return Number::Int(1);
+        }
+        if let Some((n, d)) = self.as_ratio() {
+            let (mut bn, mut bd) = if e > 0 { (n, d) } else { (d, n) };
+            if bd == 0 {
+                // 0^negative: degrade to float infinity semantics.
+                return Number::Float(self.to_f64().powi(e as i32));
+            }
+            let mut exp = e.unsigned_abs();
+            let (mut rn, mut rd): (i128, i128) = (1, 1);
+            let mut overflow = false;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    rn = match rn.checked_mul(bn) {
+                        Some(v) => v,
+                        None => {
+                            overflow = true;
+                            break;
+                        }
+                    };
+                    rd = match rd.checked_mul(bd) {
+                        Some(v) => v,
+                        None => {
+                            overflow = true;
+                            break;
+                        }
+                    };
+                }
+                exp >>= 1;
+                if exp > 0 {
+                    match (bn.checked_mul(bn), bd.checked_mul(bd)) {
+                        (Some(a), Some(b)) => {
+                            bn = a;
+                            bd = b;
+                        }
+                        _ => {
+                            overflow = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !overflow {
+                return Number::from_checked(Rational::checked(rn, rd), self.to_f64().powi(e as i32));
+            }
+        }
+        Number::Float(self.to_f64().powi(e as i32))
+    }
+
+    /// Total order consistent with `eq`: exact values compare by value;
+    /// an exact and an inexact value with equal `f64` image compare by
+    /// exactness so that `Eq` (which distinguishes `2` from `2.0`) agrees.
+    pub fn total_cmp(&self, other: &Number) -> Ordering {
+        match (self.as_ratio(), other.as_ratio()) {
+            (Some((an, ad)), Some((bn, bd))) => (an * bd).cmp(&(bn * ad)),
+            _ => self
+                .to_f64()
+                .total_cmp(&other.to_f64())
+                .then_with(|| self.rank().cmp(&other.rank())),
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Number::Int(_) => 0,
+            Number::Rat(_) => 1,
+            Number::Float(_) => 2,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::Int(a), Number::Int(b)) => a == b,
+            (Number::Rat(a), Number::Rat(b)) => a == b,
+            (Number::Float(a), Number::Float(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Number {}
+
+impl std::hash::Hash for Number {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Number::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Number::Rat(r) => {
+                1u8.hash(state);
+                r.num.hash(state);
+                r.den.hash(state);
+            }
+            Number::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Rat(r) => write!(f, "{r}"),
+            Number::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(i: i64) -> Self {
+        Number::Int(i)
+    }
+}
+
+impl From<f64> for Number {
+    fn from(f: f64) -> Self {
+        Number::Float(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rational_reduces() {
+        let r = Rational::new(6, -4);
+        assert_eq!((r.numer(), r.denom()), (-3, 2));
+    }
+
+    #[test]
+    fn integer_valued_rational_becomes_int() {
+        assert_eq!(Number::rational(4, 2), Number::Int(2));
+    }
+
+    #[test]
+    fn exact_addition() {
+        let a = Number::rational(1, 3);
+        let b = Number::rational(1, 6);
+        assert_eq!(a.add(b), Number::rational(1, 2));
+    }
+
+    #[test]
+    fn float_contaminates() {
+        let a = Number::Int(1);
+        let b = Number::Float(0.5);
+        assert!(matches!(a.add(b), Number::Float(_)));
+    }
+
+    #[test]
+    fn overflow_degrades_to_float() {
+        let a = Number::Int(i64::MAX);
+        let b = Number::Int(i64::MAX);
+        let s = a.mul(b);
+        assert!(matches!(s, Number::Float(_)));
+        assert!((s.to_f64() - (i64::MAX as f64).powi(2)).abs() / s.to_f64() < 1e-12);
+    }
+
+    #[test]
+    fn powi_exact_and_negative() {
+        assert_eq!(Number::Int(2).powi(10), Number::Int(1024));
+        assert_eq!(Number::Int(2).powi(-2), Number::rational(1, 4));
+        assert_eq!(Number::rational(2, 3).powi(2), Number::rational(4, 9));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(Number::Int(4).recip(), Some(Number::rational(1, 4)));
+        assert_eq!(Number::Int(0).recip(), None);
+    }
+
+    #[test]
+    fn total_cmp_orders_by_value() {
+        assert_eq!(
+            Number::rational(1, 2).total_cmp(&Number::rational(2, 3)),
+            Ordering::Less
+        );
+        assert_eq!(Number::Int(2).total_cmp(&Number::Int(2)), Ordering::Equal);
+    }
+
+    #[test]
+    fn int_and_float_two_are_distinct_but_close_in_order() {
+        assert_ne!(Number::Int(2), Number::Float(2.0));
+        assert_ne!(Number::Int(2).total_cmp(&Number::Float(2.0)), Ordering::Equal);
+    }
+}

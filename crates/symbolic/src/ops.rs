@@ -1,0 +1,163 @@
+//! Operator overloads for ergonomic expression building.
+//!
+//! Mirrors the SymPy user experience of the original PerforAD scripts:
+//! `2.0 * u1.at(ix![&i]) - u2.at(ix![&i])` builds a canonical [`Expr`].
+
+use crate::expr::Expr;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! binop {
+    ($trait:ident, $method:ident, $build:expr) => {
+        impl $trait<Expr> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self, rhs)
+            }
+        }
+        impl $trait<&Expr> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self, rhs.clone())
+            }
+        }
+        impl $trait<Expr> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self.clone(), rhs)
+            }
+        }
+        impl $trait<&Expr> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self.clone(), rhs.clone())
+            }
+        }
+        impl $trait<f64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self, Expr::float(rhs))
+            }
+        }
+        impl $trait<f64> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: f64) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self.clone(), Expr::float(rhs))
+            }
+        }
+        impl $trait<i64> for &Expr {
+            type Output = Expr;
+            fn $method(self, rhs: i64) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self.clone(), Expr::int(rhs))
+            }
+        }
+        impl $trait<i64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: i64) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(self, Expr::int(rhs))
+            }
+        }
+        impl $trait<Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(Expr::float(self), rhs)
+            }
+        }
+        impl $trait<Expr> for i64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(Expr::int(self), rhs)
+            }
+        }
+        impl $trait<&Expr> for f64 {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(Expr::float(self), rhs.clone())
+            }
+        }
+        impl $trait<&Expr> for i64 {
+            type Output = Expr;
+            fn $method(self, rhs: &Expr) -> Expr {
+                let f: fn(Expr, Expr) -> Expr = $build;
+                f(Expr::int(self), rhs.clone())
+            }
+        }
+    };
+}
+
+binop!(Add, add, |a, b| Expr::add_all(vec![a, b]));
+binop!(Sub, sub, |a, b| Expr::add_all(vec![
+    a,
+    Expr::mul_all(vec![Expr::int(-1), b])
+]));
+binop!(Mul, mul, |a, b| Expr::mul_all(vec![a, b]));
+binop!(Div, div, |a, b| Expr::mul_all(vec![a, b.powi(-1)]));
+
+impl Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::mul_all(vec![Expr::int(-1), self])
+    }
+}
+
+impl Neg for &Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::mul_all(vec![Expr::int(-1), self.clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::expr::{Array, Expr};
+    use crate::ix;
+    use crate::symbol::Symbol;
+
+    #[test]
+    fn arithmetic_builds_canonical_forms() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let x = u.at(ix![&i]);
+        let e = 2.0 * &x - &x;
+        assert_eq!(e, Expr::mul_all(vec![Expr::float(1.0), x.clone()]));
+        let e = &x + &x;
+        assert_eq!(e, 2 * &x);
+        let e = &x - &x;
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn division_is_negative_power() {
+        let i = Symbol::new("i");
+        let x = Array::new("u").at(ix![&i]);
+        let e = 1.0 / &x;
+        assert_eq!(e, 1.0 * x.clone().powi(-1));
+        assert_eq!(Expr::int(1) / Expr::int(4), Expr::rational(1, 4));
+    }
+
+    #[test]
+    fn negation() {
+        let i = Symbol::new("i");
+        let x = Array::new("u").at(ix![&i]);
+        assert_eq!(-(-&x), x);
+        assert!((-Expr::zero()).is_zero());
+    }
+
+    #[test]
+    fn scalar_mixing() {
+        let e = 2 + Expr::int(3);
+        assert_eq!(e.as_int(), Some(5));
+        let e = 2.0 * Expr::int(3);
+        assert_eq!(e, Expr::float(6.0));
+    }
+}

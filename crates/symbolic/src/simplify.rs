@@ -1,0 +1,519 @@
+//! Canonicalising smart constructors and the recursive simplifier.
+//!
+//! The canonical form is deliberately conservative — the goal is the subset
+//! of SymPy that PerforAD exercises, with deterministic output:
+//!
+//! * `Add`/`Mul` are flattened, n-ary, and sorted by a total order;
+//! * numeric constants are folded (exactly where possible) and identical
+//!   terms/factors are collected (`x + x → 2*x`, `x*x → x^2`);
+//! * `0`/`1` identities are applied; `Select` with equal branches or a
+//!   constant-decidable condition collapses.
+//!
+//! Products are *not* auto-expanded; use [`expand`] where distribution is
+//! wanted (e.g. before merging adjoint statements).
+
+use crate::expr::{Cond, Expr, Func, Node};
+use crate::number::Number;
+use std::collections::BTreeMap;
+
+/// Canonical n-ary sum.
+pub fn add_vec(terms: Vec<Expr>) -> Expr {
+    let mut num = Number::zero();
+    let mut coeffs: BTreeMap<Expr, Number> = BTreeMap::new();
+    let mut stack: Vec<Expr> = terms;
+    stack.reverse();
+    while let Some(t) = stack.pop() {
+        match t.node() {
+            Node::Add(inner) => stack.extend(inner.iter().rev().cloned()),
+            Node::Num(n) => num = num.add(*n),
+            _ => {
+                let (c, rest) = split_coeff(&t);
+                let e = coeffs.entry(rest).or_insert(Number::zero());
+                *e = e.add(c);
+            }
+        }
+    }
+    // Terms are emitted in BTreeMap order of their *residual* (coefficient
+    // stripped), with the numeric constant last — the readable, SymPy-like
+    // order. This is deterministic, which is all canonical form requires.
+    let mut out: Vec<Expr> = Vec::with_capacity(coeffs.len() + 1);
+    for (rest, c) in coeffs {
+        if c.is_zero() {
+            continue;
+        }
+        out.push(apply_coeff(c, rest));
+    }
+    if !num.is_zero() || out.is_empty() {
+        out.push(Expr::num(num));
+    }
+    match out.len() {
+        0 => Expr::zero(),
+        1 => out.pop().unwrap(),
+        _ => Expr::raw(Node::Add(out)),
+    }
+}
+
+/// Canonical n-ary product.
+pub fn mul_vec(factors: Vec<Expr>) -> Expr {
+    let mut num = Number::one();
+    // base -> accumulated exponent terms
+    let mut powers: BTreeMap<Expr, Vec<Expr>> = BTreeMap::new();
+    let mut order: Vec<Expr> = Vec::new(); // insertion order of bases (for stability pre-sort)
+    let mut stack: Vec<Expr> = factors;
+    stack.reverse();
+    while let Some(f) = stack.pop() {
+        match f.node() {
+            Node::Mul(inner) => stack.extend(inner.iter().rev().cloned()),
+            Node::Num(n) => num = num.mul(*n),
+            Node::Pow(b, e) => {
+                if !powers.contains_key(b) {
+                    order.push(b.clone());
+                }
+                powers.entry(b.clone()).or_default().push(e.clone());
+            }
+            _ => {
+                if !powers.contains_key(&f) {
+                    order.push(f.clone());
+                }
+                powers.entry(f.clone()).or_default().push(Expr::one());
+            }
+        }
+    }
+    if num.is_zero() {
+        return Expr::zero();
+    }
+    let mut out: Vec<Expr> = Vec::with_capacity(order.len() + 1);
+    for base in order {
+        let exps = powers.remove(&base).unwrap();
+        let e = add_vec(exps);
+        let p = pow(base, e);
+        match p.node() {
+            Node::Num(n) => num = num.mul(*n),
+            _ => out.push(p),
+        }
+    }
+    if out.is_empty() {
+        return Expr::num(num);
+    }
+    if !num.is_one() {
+        out.push(Expr::num(num));
+    }
+    match out.len() {
+        1 => out.pop().unwrap(),
+        _ => {
+            out.sort();
+            Expr::raw(Node::Mul(out))
+        }
+    }
+}
+
+/// Canonical power.
+pub fn pow(base: Expr, exponent: Expr) -> Expr {
+    if exponent.is_zero() {
+        // Convention x^0 = 1 (also 0^0 = 1, as in SymPy's generated code paths).
+        return Expr::one();
+    }
+    if exponent.is_one() {
+        return base;
+    }
+    if base.is_one() {
+        return Expr::one();
+    }
+    if base.is_zero() {
+        if let Some(n) = exponent.as_num() {
+            if n.to_f64() > 0.0 {
+                return Expr::zero();
+            }
+        }
+        return Expr::raw(Node::Pow(base, exponent));
+    }
+    if let (Some(b), Some(e)) = (base.as_num(), exponent.as_num()) {
+        if let Some(k) = e.as_int() {
+            if k.abs() <= 64 {
+                return Expr::num(b.powi(k));
+            }
+        }
+        if !b.is_exact() || !e.is_exact() {
+            return Expr::float(b.to_f64().powf(e.to_f64()));
+        }
+    }
+    if let Some(k) = exponent.as_int() {
+        match base.node() {
+            // (b^m)^k = b^(m k) for integer m, k.
+            Node::Pow(b2, e2) => {
+                if let Some(m) = e2.as_int() {
+                    return pow(b2.clone(), Expr::int(m * k));
+                }
+            }
+            // (a b)^k = a^k b^k for integer k.
+            Node::Mul(fs) => {
+                let parts: Vec<Expr> = fs.iter().map(|f| pow(f.clone(), Expr::int(k))).collect();
+                return mul_vec(parts);
+            }
+            _ => {}
+        }
+    }
+    Expr::raw(Node::Pow(base, exponent))
+}
+
+/// Canonical elementary function application.
+pub fn call(f: Func, args: Vec<Expr>) -> Expr {
+    assert_eq!(args.len(), f.arity(), "arity mismatch for {}", f.name());
+    // Exact folds for the order-based functions.
+    match f {
+        Func::Abs => {
+            if let Some(n) = args[0].as_num() {
+                return Expr::num(if n.to_f64() < 0.0 { n.neg() } else { n });
+            }
+        }
+        Func::Sign => {
+            if let Some(n) = args[0].as_num() {
+                let v = n.to_f64();
+                return Expr::int(if v > 0.0 {
+                    1
+                } else if v < 0.0 {
+                    -1
+                } else {
+                    0
+                });
+            }
+        }
+        Func::Max | Func::Min => {
+            if args[0] == args[1] {
+                return args[0].clone();
+            }
+            if let (Some(a), Some(b)) = (args[0].as_num(), args[1].as_num()) {
+                let take_first = match f {
+                    Func::Max => a.to_f64() >= b.to_f64(),
+                    _ => a.to_f64() <= b.to_f64(),
+                };
+                return Expr::num(if take_first { a } else { b });
+            }
+        }
+        _ => {}
+    }
+    // Special exact values at 0/1 and float folding for unary functions.
+    if f.arity() == 1 {
+        if let Some(n) = args[0].as_num() {
+            let x = n.to_f64();
+            if n.is_exact() {
+                match (f, x) {
+                    (Func::Sin | Func::Tan | Func::Tanh | Func::Sqrt, v) if v == 0.0 => {
+                        return Expr::zero()
+                    }
+                    (Func::Cos | Func::Exp, v) if v == 0.0 => return Expr::one(),
+                    (Func::Ln | Func::Sqrt, v) if v == 1.0 => {
+                        return if f == Func::Ln { Expr::zero() } else { Expr::one() }
+                    }
+                    _ => {}
+                }
+            } else {
+                let v = match f {
+                    Func::Sin => x.sin(),
+                    Func::Cos => x.cos(),
+                    Func::Tan => x.tan(),
+                    Func::Exp => x.exp(),
+                    Func::Ln => x.ln(),
+                    Func::Sqrt => x.sqrt(),
+                    Func::Abs => x.abs(),
+                    Func::Sign => {
+                        if x > 0.0 {
+                            1.0
+                        } else if x < 0.0 {
+                            -1.0
+                        } else {
+                            0.0
+                        }
+                    }
+                    Func::Tanh => x.tanh(),
+                    Func::Max | Func::Min => unreachable!(),
+                };
+                return Expr::float(v);
+            }
+        }
+    }
+    Expr::raw(Node::Call(f, args))
+}
+
+/// Canonical ternary select.
+pub fn select(c: Cond, then: Expr, els: Expr) -> Expr {
+    if then == els {
+        return then;
+    }
+    if let (Some(a), Some(b)) = (c.lhs.as_num(), c.rhs.as_num()) {
+        return if c.rel.holds(a.to_f64(), b.to_f64()) {
+            then
+        } else {
+            els
+        };
+    }
+    Expr::raw(Node::Select(c, then, els))
+}
+
+/// Split a canonical term into `(numeric coefficient, residual factor)`.
+fn split_coeff(t: &Expr) -> (Number, Expr) {
+    match t.node() {
+        Node::Num(n) => (*n, Expr::one()),
+        Node::Mul(fs) => {
+            if let Node::Num(n) = fs[0].node() {
+                let rest: Vec<Expr> = fs[1..].to_vec();
+                let rest = if rest.len() == 1 {
+                    rest.into_iter().next().unwrap()
+                } else {
+                    Expr::raw(Node::Mul(rest))
+                };
+                (*n, rest)
+            } else {
+                (Number::one(), t.clone())
+            }
+        }
+        _ => (Number::one(), t.clone()),
+    }
+}
+
+/// Rebuild `coeff * rest` in canonical form.
+fn apply_coeff(c: Number, rest: Expr) -> Expr {
+    if c.is_one() {
+        return rest;
+    }
+    match rest.node() {
+        Node::Mul(fs) => {
+            let mut v = Vec::with_capacity(fs.len() + 1);
+            v.push(Expr::num(c));
+            v.extend(fs.iter().cloned());
+            v.sort();
+            Expr::raw(Node::Mul(v))
+        }
+        Node::Num(n) => Expr::num(c.mul(*n)),
+        _ => {
+            let mut v = vec![Expr::num(c), rest];
+            v.sort();
+            Expr::raw(Node::Mul(v))
+        }
+    }
+}
+
+/// Recursively re-canonicalise an expression (useful after substitution).
+pub fn simplify(e: &Expr) -> Expr {
+    match e.node() {
+        Node::Num(_) | Node::Sym(_) | Node::Access(_) => e.clone(),
+        Node::Add(ts) => add_vec(ts.iter().map(simplify).collect()),
+        Node::Mul(fs) => mul_vec(fs.iter().map(simplify).collect()),
+        Node::Pow(b, x) => pow(simplify(b), simplify(x)),
+        Node::Call(f, args) => call(*f, args.iter().map(simplify).collect()),
+        Node::Select(c, a, b) => select(
+            Cond::new(simplify(&c.lhs), c.rel, simplify(&c.rhs)),
+            simplify(a),
+            simplify(b),
+        ),
+        Node::UFun(app) => {
+            let mut app = app.clone();
+            app.args = app.args.iter().map(simplify).collect();
+            Expr::ufun(app)
+        }
+        Node::UDeriv(app, k) => {
+            let mut app = app.clone();
+            app.args = app.args.iter().map(simplify).collect();
+            Expr::uderiv(app, *k)
+        }
+    }
+}
+
+/// Distribute products over sums (and small integer powers of sums).
+pub fn expand(e: &Expr) -> Expr {
+    match e.node() {
+        Node::Num(_) | Node::Sym(_) | Node::Access(_) => e.clone(),
+        Node::Add(ts) => add_vec(ts.iter().map(expand).collect()),
+        Node::Mul(fs) => {
+            let fs: Vec<Expr> = fs.iter().map(expand).collect();
+            // Cartesian distribution over Add factors.
+            let mut sums: Vec<Vec<Expr>> = vec![vec![]];
+            for f in fs {
+                let choices: Vec<Expr> = match f.node() {
+                    Node::Add(ts) => ts.clone(),
+                    _ => vec![f.clone()],
+                };
+                if choices.len() == 1 {
+                    for s in &mut sums {
+                        s.push(choices[0].clone());
+                    }
+                } else {
+                    let mut next = Vec::with_capacity(sums.len() * choices.len());
+                    for s in &sums {
+                        for c in &choices {
+                            let mut s2 = s.clone();
+                            s2.push(c.clone());
+                            next.push(s2);
+                        }
+                    }
+                    sums = next;
+                }
+            }
+            add_vec(sums.into_iter().map(mul_vec).collect())
+        }
+        Node::Pow(b, x) => {
+            let b = expand(b);
+            let x = expand(x);
+            if let (Node::Add(bs), Some(k)) = (b.node(), x.as_int()) {
+                if (2..=4).contains(&k) {
+                    // Distribute term lists directly; going through `mul_vec`
+                    // would just re-collect the identical sums into a power.
+                    let mut acc: Vec<Expr> = bs.clone();
+                    for _ in 1..k {
+                        let mut next = Vec::with_capacity(acc.len() * bs.len());
+                        for t in &acc {
+                            for s in bs {
+                                next.push(mul_vec(vec![t.clone(), s.clone()]));
+                            }
+                        }
+                        acc = next;
+                    }
+                    return add_vec(acc);
+                }
+            }
+            pow(b, x)
+        }
+        Node::Call(f, args) => call(*f, args.iter().map(expand).collect()),
+        Node::Select(c, a, b) => select(
+            Cond::new(expand(&c.lhs), c.rel, expand(&c.rhs)),
+            expand(a),
+            expand(b),
+        ),
+        Node::UFun(_) | Node::UDeriv(..) => simplify(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Array;
+    use crate::ix;
+    use crate::symbol::Symbol;
+
+    fn u_at(off: i64) -> Expr {
+        let i = Symbol::new("i");
+        Array::new("u").at(ix![&i + off])
+    }
+
+    #[test]
+    fn add_collects_like_terms() {
+        let x = u_at(0);
+        let e = Expr::add_all(vec![x.clone(), x.clone()]);
+        assert_eq!(e, Expr::mul_all(vec![Expr::int(2), x]));
+    }
+
+    #[test]
+    fn add_cancels_to_zero() {
+        let x = u_at(1);
+        let e = Expr::add_all(vec![x.clone(), Expr::mul_all(vec![Expr::int(-1), x])]);
+        assert!(e.is_zero());
+    }
+
+    #[test]
+    fn mul_collects_powers() {
+        let x = u_at(0);
+        let e = Expr::mul_all(vec![x.clone(), x.clone()]);
+        assert_eq!(e, x.powi(2));
+    }
+
+    #[test]
+    fn mul_zero_annihilates() {
+        let x = u_at(0);
+        assert!(Expr::mul_all(vec![Expr::zero(), x]).is_zero());
+    }
+
+    #[test]
+    fn numeric_folding_is_exact() {
+        let e = Expr::add_all(vec![Expr::rational(1, 3), Expr::rational(1, 6)]);
+        assert_eq!(e, Expr::rational(1, 2));
+        let e = Expr::mul_all(vec![Expr::int(2), Expr::rational(1, 2)]);
+        assert!(e.is_one());
+    }
+
+    #[test]
+    fn nested_sums_flatten() {
+        let x = u_at(0);
+        let y = u_at(1);
+        let inner = Expr::add_all(vec![x.clone(), y.clone()]);
+        let e = Expr::add_all(vec![inner, x.clone()]);
+        // x appears twice -> coefficient 2
+        let expected = Expr::add_all(vec![
+            Expr::mul_all(vec![Expr::int(2), x]),
+            y,
+        ]);
+        assert_eq!(e, expected);
+    }
+
+    #[test]
+    fn pow_rules() {
+        let x = u_at(0);
+        assert!(x.clone().powi(0).is_one());
+        assert_eq!(x.clone().powi(1), x);
+        assert_eq!(x.clone().powi(2).powi(3), x.clone().powi(6));
+        assert_eq!(Expr::int(2).powi(10), Expr::int(1024));
+        assert_eq!(Expr::int(2).powi(-2), Expr::rational(1, 4));
+    }
+
+    #[test]
+    fn call_folding() {
+        assert!(Expr::zero().sin().is_zero());
+        assert!(Expr::zero().exp().is_one());
+        assert_eq!(Expr::float(2.0).max(Expr::float(3.0)), Expr::float(3.0));
+        assert_eq!(Expr::int(-4).abs(), Expr::int(4));
+        let x = u_at(0);
+        assert_eq!(x.clone().max(x.clone()), x);
+    }
+
+    #[test]
+    fn select_simplification() {
+        let x = u_at(0);
+        let y = u_at(1);
+        let c = Cond::new(Expr::int(1), crate::expr::Rel::Ge, Expr::int(0));
+        assert_eq!(select(c, x.clone(), y.clone()), x);
+        let c2 = Cond::new(x.clone(), crate::expr::Rel::Ge, Expr::zero());
+        assert_eq!(select(c2, y.clone(), y.clone()), y);
+    }
+
+    #[test]
+    fn expand_distributes() {
+        let x = u_at(0);
+        let y = u_at(1);
+        // 2*(x + y) -> 2x + 2y
+        let e = Expr::mul_all(vec![Expr::int(2), Expr::add_all(vec![x.clone(), y.clone()])]);
+        let ex = expand(&e);
+        let expected = Expr::add_all(vec![
+            Expr::mul_all(vec![Expr::int(2), x.clone()]),
+            Expr::mul_all(vec![Expr::int(2), y.clone()]),
+        ]);
+        assert_eq!(ex, expected);
+        // (x + y)^2 -> x^2 + 2xy + y^2
+        let sq = expand(&Expr::add_all(vec![x.clone(), y.clone()]).powi(2));
+        let expected = Expr::add_all(vec![
+            x.clone().powi(2),
+            Expr::mul_all(vec![Expr::int(2), x.clone(), y.clone()]),
+            y.clone().powi(2),
+        ]);
+        assert_eq!(sq, expected);
+    }
+
+    #[test]
+    fn canonical_order_is_deterministic() {
+        let x = u_at(0);
+        let y = u_at(1);
+        let a = Expr::add_all(vec![x.clone(), y.clone()]);
+        let b = Expr::add_all(vec![y, x]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let x = u_at(0);
+        let e = Expr::add_all(vec![
+            Expr::mul_all(vec![Expr::float(2.0), x.clone()]),
+            x.clone().powi(2),
+            Expr::int(3),
+        ]);
+        assert_eq!(simplify(&e), e);
+        assert_eq!(simplify(&simplify(&e)), simplify(&e));
+    }
+}

@@ -1,0 +1,52 @@
+//! # PerforAD-rs
+//!
+//! A Rust reproduction of *"Automatic Differentiation for Adjoint Stencil
+//! Loops"* (Hückelheim, Kukreja, Narayanan, Luporini, Gorman, Hovland —
+//! ICPP 2019): reverse-mode differentiation of gather stencil loops into
+//! **gather-only** adjoint stencil loops that parallelise exactly like the
+//! primal — no atomics, no extra memory, no barriers.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`symbolic`] — expression algebra (SymPy substitute);
+//! * [`core`] — the loop-nest IR and the adjoint stencil transformation;
+//! * [`codegen`] — C/Rust back-ends and a DSL front-end;
+//! * [`exec`] — grids, thread pool, atomic-f64 baseline, bytecode VM;
+//! * [`autodiff`] — tape-based conventional AD (verification baseline);
+//! * [`perfmodel`] — Broadwell/KNL analytic models for the figures;
+//! * [`pde`] — the wave/Burgers/heat test cases, seismic gradients,
+//!   checkpointing.
+//!
+//! ```
+//! use perforad::prelude::*;
+//!
+//! // r[i] = c[i]*(2 u[i-1] - 3 u[i] + 4 u[i+1])   (§3.2 of the paper)
+//! let nest = parse_stencil(
+//!     "for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }",
+//! ).unwrap();
+//! let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+//! let adjoint = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+//! assert_eq!(adjoint.nest_count(), 5);
+//! ```
+
+pub use perforad_autodiff as autodiff;
+pub use perforad_codegen as codegen;
+pub use perforad_core as core;
+pub use perforad_exec as exec;
+pub use perforad_perfmodel as perfmodel;
+pub use perforad_pde as pde;
+pub use perforad_symbolic as symbolic;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use perforad_codegen::{c_nest, parse_stencil, print_function, COptions};
+    pub use perforad_core::{
+        make_loop_nest, ActivityMap, Adjoint, AdjointOptions, BoundaryStrategy, LoopNest,
+        StencilSpec,
+    };
+    pub use perforad_exec::{
+        compile_adjoint, compile_nest, run_parallel, run_scatter_atomic, run_serial, Binding,
+        Grid, ThreadPool, Workspace,
+    };
+    pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+}
