@@ -204,7 +204,8 @@ mod tests {
         let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
         let nest = make_loop_nest(
             &r.at(ix![&i]),
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
             vec![i.clone()],
             vec![(Idx::constant(1), Idx::sym(n) - 1)],
         )

@@ -46,7 +46,9 @@ fn replace_conds(e: &Expr, conds: &[Cond], names: &[Symbol]) -> Expr {
         Node::Pow(b, x) => replace_conds(b, conds, names).pow(replace_conds(x, conds, names)),
         Node::Call(f, args) => Expr::call(
             *f,
-            args.iter().map(|t| replace_conds(t, conds, names)).collect(),
+            args.iter()
+                .map(|t| replace_conds(t, conds, names))
+                .collect(),
         ),
         Node::Select(c, a, b) => {
             let a = replace_conds(a, conds, names);
@@ -151,7 +153,9 @@ pub fn stack_mode_adjoint(
             .find(|(name, _)| act.adjoint_of(name) == Some(&t.lhs.array))
             .map(|(_, (d, _))| d.iter().product())
             .ok_or_else(|| format!("no primal array for adjoint `{}`", t.lhs.array))?;
-        adjoints.entry(t.lhs.array.clone()).or_insert_with(|| vec![0.0; len]);
+        adjoints
+            .entry(t.lhs.array.clone())
+            .or_insert_with(|| vec![0.0; len]);
     }
 
     // REVERSE SWEEP: pop conditions, evaluate partials, scatter.
@@ -264,9 +268,7 @@ mod tests {
         let nest = upwind_nest();
         let act = ActivityMap::new().with_suffixed("u_1").with_suffixed("u");
         let n = 12usize;
-        let primal: Vec<f64> = (0..=n)
-            .map(|k| (k as f64 * 0.7).sin() - 0.3)
-            .collect();
+        let primal: Vec<f64> = (0..=n).map(|k| (k as f64 * 0.7).sin() - 0.3).collect();
         let store = MapCtx::new()
             .index("n", n as i64)
             .array1("u_1", primal.clone())

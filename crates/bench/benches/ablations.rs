@@ -1,7 +1,7 @@
 //! Ablation benches (DESIGN.md A1–A4): boundary strategy, statement
 //! merging, VM-vs-static kernels, and checkpointing schedules.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use perforad_bench::micro::Criterion;
 use perforad_core::{AdjointOptions, BoundaryStrategy};
 use perforad_exec::{compile_adjoint, run_serial};
 use perforad_pde::kernels;
@@ -27,9 +27,7 @@ fn boundary_strategy(c: &mut Criterion) {
             )
             .unwrap();
         let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
-        g.bench_function(label, |b| {
-            b.iter(|| run_serial(&plan, &mut ws).unwrap())
-        });
+        g.bench_function(label, |b| b.iter(|| run_serial(&plan, &mut ws).unwrap()));
     }
     g.finish();
 }
@@ -41,13 +39,15 @@ fn merge_ablation(c: &mut Criterion) {
     g.sample_size(10);
     for (label, merge) in [("unmerged", false), ("merged", true)] {
         let (mut ws, bind) = burgers::workspace(n, 0.3, 0.1);
-        let mut opts = AdjointOptions::default();
-        opts.merge = merge;
-        let adj = burgers::nest().adjoint(&burgers::activity(), &opts).unwrap();
+        let opts = AdjointOptions {
+            merge,
+            ..Default::default()
+        };
+        let adj = burgers::nest()
+            .adjoint(&burgers::activity(), &opts)
+            .unwrap();
         let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
-        g.bench_function(label, |b| {
-            b.iter(|| run_serial(&plan, &mut ws).unwrap())
-        });
+        g.bench_function(label, |b| b.iter(|| run_serial(&plan, &mut ws).unwrap()));
     }
     g.finish();
 }
@@ -64,9 +64,7 @@ fn cse_ablation(c: &mut Criterion) {
             .adjoint(&burgers::activity(), &AdjointOptions::default())
             .unwrap();
         let plan = perforad_exec::compile_adjoint_opts(&adj, &ws, &bind, cse).unwrap();
-        g.bench_function(label, |b| {
-            b.iter(|| run_serial(&plan, &mut ws).unwrap())
-        });
+        g.bench_function(label, |b| b.iter(|| run_serial(&plan, &mut ws).unwrap()));
     }
     g.finish();
 }
@@ -118,24 +116,20 @@ fn checkpoint_ablation(c: &mut Criterion) {
     g.bench_function("bisection", |b| {
         b.iter(|| {
             let mut lambda = 1.0;
-            checkpoint::checkpointed_adjoint(
-                0.5f64,
-                steps,
-                &mut |x, t| step(x, t),
-                &mut |x, _| lambda *= 1.0 + 2e-4 * x,
-            );
+            checkpoint::checkpointed_adjoint(0.5f64, steps, &mut |x, t| step(x, t), &mut |x, _| {
+                lambda *= 1.0 + 2e-4 * x
+            });
             lambda
         })
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    boundary_strategy,
-    merge_ablation,
-    cse_ablation,
-    vm_vs_static,
-    checkpoint_ablation
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    boundary_strategy(&mut c);
+    merge_ablation(&mut c);
+    cse_ablation(&mut c);
+    vm_vs_static(&mut c);
+    checkpoint_ablation(&mut c);
+}

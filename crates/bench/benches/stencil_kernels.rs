@@ -2,7 +2,7 @@
 //! gather adjoint, conventional scatter adjoint (serial and atomic) for
 //! both paper test cases.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use perforad_bench::micro::Criterion;
 use perforad_bench::Case;
 use perforad_exec::{run_parallel, run_scatter_atomic, run_serial, ThreadPool};
 
@@ -57,5 +57,8 @@ fn burgers_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, wave_kernels, burgers_kernels);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    wave_kernels(&mut c);
+    burgers_kernels(&mut c);
+}

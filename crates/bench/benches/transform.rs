@@ -1,7 +1,7 @@
 //! Criterion benches for the *transformation* itself: symbolic
 //! differentiation + shifting + region decomposition, and plan compilation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use perforad_bench::micro::Criterion;
 use perforad_core::{split_disjoint, AdjointOptions, Bound};
 use perforad_exec::compile_adjoint;
 use perforad_pde::{burgers, heat2d, wave3d};
@@ -29,7 +29,9 @@ fn adjoint_transform(c: &mut Criterion) {
 
 fn region_split(c: &mut Criterion) {
     let n = Symbol::new("n");
-    let bounds: Vec<Bound> = (0..3).map(|_| Bound::new(1, Idx::sym(n.clone()) - 2)).collect();
+    let bounds: Vec<Bound> = (0..3)
+        .map(|_| Bound::new(1, Idx::sym(n.clone()) - 2))
+        .collect();
     let mut dense = vec![vec![]];
     for _ in 0..3 {
         dense = dense
@@ -58,5 +60,9 @@ fn plan_compile(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, adjoint_transform, region_split, plan_compile);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    adjoint_transform(&mut c);
+    region_split(&mut c);
+    plan_compile(&mut c);
+}

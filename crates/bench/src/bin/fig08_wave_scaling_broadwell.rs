@@ -3,5 +3,10 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 64);
     let mut case = perforad_bench::Case::wave(n);
     let machine = perforad_perfmodel::broadwell();
-    perforad_bench::run_scaling(&mut case, &machine, 1000, "Figure 8: Scalability of the Wave Equation on Broadwell");
+    perforad_bench::run_scaling(
+        &mut case,
+        &machine,
+        1000,
+        "Figure 8: Scalability of the Wave Equation on Broadwell",
+    );
 }

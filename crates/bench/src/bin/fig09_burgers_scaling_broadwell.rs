@@ -3,5 +3,10 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 2_000_000);
     let mut case = perforad_bench::Case::burgers(n);
     let machine = perforad_perfmodel::broadwell();
-    perforad_bench::run_scaling(&mut case, &machine, 1_000_000_000, "Figure 9: Scalability of the Burgers Equation on Broadwell");
+    perforad_bench::run_scaling(
+        &mut case,
+        &machine,
+        1_000_000_000,
+        "Figure 9: Scalability of the Burgers Equation on Broadwell",
+    );
 }

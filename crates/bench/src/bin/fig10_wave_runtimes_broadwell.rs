@@ -3,5 +3,11 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 64);
     let mut case = perforad_bench::Case::wave(n);
     let machine = perforad_perfmodel::broadwell();
-    perforad_bench::run_runtimes(&mut case, &machine, 1000, "Figure 10: Runtimes of the Wave Equation on Broadwell", false);
+    perforad_bench::run_runtimes(
+        &mut case,
+        &machine,
+        1000,
+        "Figure 10: Runtimes of the Wave Equation on Broadwell",
+        false,
+    );
 }

@@ -3,5 +3,11 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 2_000_000);
     let mut case = perforad_bench::Case::burgers(n);
     let machine = perforad_perfmodel::broadwell();
-    perforad_bench::run_runtimes(&mut case, &machine, 1_000_000_000, "Figure 11: Runtimes of the Burgers Equation on Broadwell", false);
+    perforad_bench::run_runtimes(
+        &mut case,
+        &machine,
+        1_000_000_000,
+        "Figure 11: Runtimes of the Burgers Equation on Broadwell",
+        false,
+    );
 }

@@ -3,5 +3,10 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 2_000_000);
     let mut case = perforad_bench::Case::burgers(n);
     let machine = perforad_perfmodel::knl();
-    perforad_bench::run_scaling(&mut case, &machine, 1_000_000_000, "Figure 13: Scalability of the Burgers Equation on KNL");
+    perforad_bench::run_scaling(
+        &mut case,
+        &machine,
+        1_000_000_000,
+        "Figure 13: Scalability of the Burgers Equation on KNL",
+    );
 }

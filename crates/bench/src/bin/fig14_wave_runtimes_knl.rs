@@ -3,5 +3,11 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 64);
     let mut case = perforad_bench::Case::wave(n);
     let machine = perforad_perfmodel::knl();
-    perforad_bench::run_runtimes(&mut case, &machine, 1000, "Figure 14: Runtimes of the Wave Equation on KNL", false);
+    perforad_bench::run_runtimes(
+        &mut case,
+        &machine,
+        1000,
+        "Figure 14: Runtimes of the Wave Equation on KNL",
+        false,
+    );
 }

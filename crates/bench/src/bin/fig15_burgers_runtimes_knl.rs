@@ -4,5 +4,11 @@ fn main() {
     let n = perforad_bench::env_size("PERFORAD_N", 2_000_000);
     let mut case = perforad_bench::Case::burgers(n);
     let machine = perforad_perfmodel::knl();
-    perforad_bench::run_runtimes(&mut case, &machine, 1_000_000_000, "Figure 15: Runtimes of the Burgers Equation on KNL", true);
+    perforad_bench::run_runtimes(
+        &mut case,
+        &machine,
+        1_000_000_000,
+        "Figure 15: Runtimes of the Burgers Equation on KNL",
+        true,
+    );
 }

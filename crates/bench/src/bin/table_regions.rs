@@ -4,7 +4,9 @@ use perforad_symbolic::{Idx, Symbol};
 
 fn bounds(rank: usize) -> Vec<Bound> {
     let n = Symbol::new("n");
-    (0..rank).map(|_| Bound::new(1, Idx::sym(n.clone()) - 2)).collect()
+    (0..rank)
+        .map(|_| Bound::new(1, Idx::sym(n.clone()) - 2))
+        .collect()
 }
 
 fn star(rank: usize) -> Vec<Vec<i64>> {
@@ -22,11 +24,16 @@ fn star(rank: usize) -> Vec<Vec<i64>> {
 fn dense(rank: usize) -> Vec<Vec<i64>> {
     let mut v: Vec<Vec<i64>> = vec![vec![]];
     for _ in 0..rank {
-        v = v.iter().flat_map(|p| [-1i64, 0, 1].iter().map(move |s| {
-            let mut q = p.clone();
-            q.push(*s);
-            q
-        })).collect();
+        v = v
+            .iter()
+            .flat_map(|p| {
+                [-1i64, 0, 1].iter().map(move |s| {
+                    let mut q = p.clone();
+                    q.push(*s);
+                    q
+                })
+            })
+            .collect();
     }
     v
 }
@@ -35,11 +42,31 @@ fn main() {
     println!("§3.3.4 adjoint loop-nest counts (paper vs generated):");
     println!("{:<34}{:>8}{:>12}", "stencil", "paper", "generated");
     let rows: Vec<(&str, usize, usize)> = vec![
-        ("1-D 3-point (§3.2)", 5, split_disjoint(&bounds(1), &dense(1)).len()),
-        ("2-D 5-point star (Fig. 3)", 17, split_disjoint(&bounds(2), &star(2)).len()),
-        ("2-D dense 3x3", 25, split_disjoint(&bounds(2), &dense(2)).len()),
-        ("3-D 7-point star (wave, §4.1)", 53, split_disjoint(&bounds(3), &star(3)).len()),
-        ("3-D dense 3x3x3", 125, split_disjoint(&bounds(3), &dense(3)).len()),
+        (
+            "1-D 3-point (§3.2)",
+            5,
+            split_disjoint(&bounds(1), &dense(1)).len(),
+        ),
+        (
+            "2-D 5-point star (Fig. 3)",
+            17,
+            split_disjoint(&bounds(2), &star(2)).len(),
+        ),
+        (
+            "2-D dense 3x3",
+            25,
+            split_disjoint(&bounds(2), &dense(2)).len(),
+        ),
+        (
+            "3-D 7-point star (wave, §4.1)",
+            53,
+            split_disjoint(&bounds(3), &star(3)).len(),
+        ),
+        (
+            "3-D dense 3x3x3",
+            125,
+            split_disjoint(&bounds(3), &dense(3)).len(),
+        ),
     ];
     let mut ok = true;
     for (name, paper, got) in rows {

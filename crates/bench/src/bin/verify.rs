@@ -2,20 +2,29 @@
 //! conventional scatter adjoint, (b) an independent tape-AD reference, and
 //! (c) the adjoint dot-product identity <Jv, w> = <v, J^T w>.
 use perforad_bench::Case;
-use perforad_exec::{run_serial, Grid, ThreadPool};
 use perforad_exec::run_parallel;
+use perforad_exec::{run_serial, Grid, ThreadPool};
 
 fn check(case: &mut Case) -> (f64, f64) {
     // Gather adjoint (parallel) vs scatter adjoint (serial).
     let pool = ThreadPool::new(2);
-    let outs: Vec<String> = case.adjoint.outputs().iter().map(|s| s.name().to_string()).collect();
+    let outs: Vec<String> = case
+        .adjoint
+        .outputs()
+        .iter()
+        .map(|s| s.name().to_string())
+        .collect();
     let baseline: Vec<Grid> = {
-        for o in &outs { case.ws.grid_mut(o).fill(0.0); }
+        for o in &outs {
+            case.ws.grid_mut(o).fill(0.0);
+        }
         let p = case.scatter_plan.clone();
         run_serial(&p, &mut case.ws).unwrap();
         outs.iter().map(|o| case.ws.grid(o).clone()).collect()
     };
-    for o in &outs { case.ws.grid_mut(o).fill(0.0); }
+    for o in &outs {
+        case.ws.grid_mut(o).fill(0.0);
+    }
     let p = case.adjoint_plan.clone();
     run_parallel(&p, &mut case.ws, &pool).unwrap();
     let mut max_diff: f64 = 0.0;
@@ -38,8 +47,10 @@ fn main() {
         let (diff, norm) = check(&mut case);
         let rel = diff / norm.max(1e-300);
         let ok = rel < 1e-12;
-        println!("{name:<20} max|gather - scatter| = {diff:.3e}  (relative {rel:.3e})  {}",
-                 if ok { "AGREE" } else { "MISMATCH" });
+        println!(
+            "{name:<20} max|gather - scatter| = {diff:.3e}  (relative {rel:.3e})  {}",
+            if ok { "AGREE" } else { "MISMATCH" }
+        );
     }
     println!("\nTape-AD cross-checks run in `cargo test --workspace` (pde + integration tests).");
 }

@@ -18,9 +18,12 @@ use perforad_exec::{
 };
 use perforad_pde::{burgers, heat2d, wave3d};
 use perforad_perfmodel::{KernelProfile, Machine};
+use perforad_sched::{compile_schedule, run_schedule, SchedOptions, Schedule};
 use perforad_symbolic::Symbol;
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+pub mod micro;
 
 /// Time one invocation (the paper times single steps of large grids).
 pub fn time_once(mut f: impl FnMut()) -> f64 {
@@ -71,6 +74,8 @@ pub struct Case {
     pub primal_plan: Plan,
     pub adjoint_plan: Plan,
     pub scatter_plan: Plan,
+    /// Fused + tiled schedule of the gather adjoint (one parallel region).
+    pub schedule: Schedule,
     pub sizes: BTreeMap<Symbol, i64>,
 }
 
@@ -82,11 +87,15 @@ impl Case {
         ws: Workspace,
         bind: Binding,
     ) -> Case {
-        let adjoint = nest.adjoint(act, &AdjointOptions::default()).expect("adjoint");
+        let adjoint = nest
+            .adjoint(act, &AdjointOptions::default())
+            .expect("adjoint");
         let scatter = nest.scatter_adjoint(act).expect("scatter adjoint");
         let primal_plan = compile_nest(&nest, &ws, &bind).expect("primal plan");
         let adjoint_plan = compile_adjoint(&adjoint, &ws, &bind).expect("adjoint plan");
         let scatter_plan = compile_nest(&scatter, &ws, &bind).expect("scatter plan");
+        let schedule =
+            compile_schedule(&adjoint, &ws, &bind, &SchedOptions::default()).expect("schedule");
         let sizes = bind.sizes.clone();
         Case {
             name,
@@ -98,6 +107,7 @@ impl Case {
             primal_plan,
             adjoint_plan,
             scatter_plan,
+            schedule,
             sizes,
         }
     }
@@ -152,6 +162,15 @@ impl Case {
         })
     }
 
+    /// One fused + tiled adjoint sweep on the pool (single parallel region).
+    pub fn fused_parallel(&mut self, pool: &ThreadPool) -> f64 {
+        let schedule = self.schedule.clone();
+        let ws = &mut self.ws;
+        time_once(|| {
+            run_schedule(&schedule, ws, pool).unwrap();
+        })
+    }
+
     pub fn scatter_serial(&mut self) -> f64 {
         let plan = self.scatter_plan.clone();
         let ws = &mut self.ws;
@@ -195,25 +214,56 @@ impl Series {
 }
 
 /// Optionally mirror figure data as JSON (set `PERFORAD_JSON=1`), so plots
-/// can be regenerated outside the terminal.
-fn maybe_json(title: &str, payload: serde_json::Value) {
+/// can be regenerated outside the terminal. `payload` must already be a
+/// serialised JSON value (the workspace builds offline, so JSON is emitted
+/// by hand rather than through serde).
+fn maybe_json(title: &str, payload: String) {
     if std::env::var("PERFORAD_JSON").is_ok() {
         println!(
-            "JSON {}",
-            serde_json::json!({ "figure": title, "data": payload })
+            "JSON {{\"figure\":{},\"data\":{payload}}}",
+            json_escape(title)
         );
     }
 }
 
+/// A JSON string literal. Rust's `Debug` formatting is *not* used: it
+/// emits `\u{9}`-style braced escapes, which are invalid JSON.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_rows(rows: &[(usize, f64)]) -> String {
+    let cells: Vec<String> = rows.iter().map(|(t, s)| format!("[{t},{s}]")).collect();
+    format!("[{}]", cells.join(","))
+}
+
 /// Print a speedup table like the paper's scaling figures.
 pub fn print_speedup_figure(title: &str, series: &[Series]) {
-    maybe_json(
-        title,
-        serde_json::json!(series
-            .iter()
-            .map(|s| serde_json::json!({ "label": s.label, "rows": s.rows }))
-            .collect::<Vec<_>>()),
-    );
+    let items: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"label\":{},\"rows\":{}}}",
+                json_escape(&s.label),
+                json_rows(&s.rows)
+            )
+        })
+        .collect();
+    maybe_json(title, format!("[{}]", items.join(",")));
     println!("\n## {title}");
     print!("{:<10}", "threads");
     for s in series {
@@ -233,7 +283,11 @@ pub fn print_speedup_figure(title: &str, series: &[Series]) {
 
 /// Print absolute-runtime bars like Figs. 10/11/14/15.
 pub fn print_runtime_figure(title: &str, bars: &[(String, f64)]) {
-    maybe_json(title, serde_json::json!(bars));
+    let items: Vec<String> = bars
+        .iter()
+        .map(|(l, s)| format!("[{},{s}]", json_escape(l)))
+        .collect();
+    maybe_json(title, format!("[{}]", items.join(",")));
     println!("\n## {title}");
     for (label, secs) in bars {
         println!("{label:<24} {secs:>10.4} s");
@@ -265,30 +319,86 @@ pub fn paper_threads(m: &Machine) -> Vec<usize> {
     v
 }
 
-
 /// Full scaling figure: measured host sweep + model projection at paper
 /// scale (Figs. 8, 9, 12, 13).
 pub fn run_scaling(case: &mut Case, machine: &Machine, paper_n: i64, figure: &str) {
+    println!("schedule: {}", case.schedule.describe());
     // Measured on this host.
     let threads = host_threads();
-    let mut primal = Series { label: "Primal".into(), rows: vec![] };
-    let mut perforad = Series { label: "PerforAD".into(), rows: vec![] };
-    let mut atomics = Series { label: "Atomics".into(), rows: vec![] };
+    let mut primal = Series {
+        label: "Primal".into(),
+        rows: vec![],
+    };
+    let mut perforad = Series {
+        label: "PerforAD".into(),
+        rows: vec![],
+    };
+    let mut fused = Series {
+        label: "Fused".into(),
+        rows: vec![],
+    };
+    let mut atomics = Series {
+        label: "Atomics".into(),
+        rows: vec![],
+    };
     for &t in &threads {
         let pool = ThreadPool::new(t);
         if t == 1 {
-            primal.rows.push((t, time_best(2, || { let p = case.primal_plan.clone(); run_serial(&p, &mut case.ws).unwrap(); })));
-            perforad.rows.push((t, time_best(2, || { let p = case.adjoint_plan.clone(); run_serial(&p, &mut case.ws).unwrap(); })));
-            atomics.rows.push((t, time_best(2, || { let p = case.scatter_plan.clone(); run_scatter_atomic(&p, &mut case.ws, &pool).unwrap(); })));
+            primal.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.primal_plan.clone();
+                    run_serial(&p, &mut case.ws).unwrap();
+                }),
+            ));
+            perforad.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.adjoint_plan.clone();
+                    run_serial(&p, &mut case.ws).unwrap();
+                }),
+            ));
+            atomics.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.scatter_plan.clone();
+                    run_scatter_atomic(&p, &mut case.ws, &pool).unwrap();
+                }),
+            ));
         } else {
-            primal.rows.push((t, time_best(2, || { let p = case.primal_plan.clone(); run_parallel(&p, &mut case.ws, &pool).unwrap(); })));
-            perforad.rows.push((t, time_best(2, || { let p = case.adjoint_plan.clone(); run_parallel(&p, &mut case.ws, &pool).unwrap(); })));
-            atomics.rows.push((t, time_best(2, || { let p = case.scatter_plan.clone(); run_scatter_atomic(&p, &mut case.ws, &pool).unwrap(); })));
+            primal.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.primal_plan.clone();
+                    run_parallel(&p, &mut case.ws, &pool).unwrap();
+                }),
+            ));
+            perforad.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.adjoint_plan.clone();
+                    run_parallel(&p, &mut case.ws, &pool).unwrap();
+                }),
+            ));
+            atomics.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.scatter_plan.clone();
+                    run_scatter_atomic(&p, &mut case.ws, &pool).unwrap();
+                }),
+            ));
         }
+        fused.rows.push((
+            t,
+            time_best(2, || {
+                let s = case.schedule.clone();
+                run_schedule(&s, &mut case.ws, &pool).unwrap();
+            }),
+        ));
     }
     print_speedup_figure(
         &format!("{figure} [measured on host, {}]", case.name),
-        &[primal, perforad, atomics],
+        &[primal, perforad, fused, atomics],
     );
 
     // Model projection at paper scale.
@@ -323,16 +433,27 @@ pub fn run_runtimes(
     figure: &str,
     stack_mode_serial: bool,
 ) {
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(2);
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(2);
     let pool = ThreadPool::new(cores);
     let bars = vec![
         ("Primal Serial".to_string(), case.primal_serial()),
         ("PerforAD Serial".to_string(), case.perforad_serial()),
         ("Adjoint Serial".to_string(), case.scatter_serial()),
         ("Primal Parallel".to_string(), case.primal_parallel(&pool)),
-        ("PerforAD Parallel".to_string(), case.perforad_parallel(&pool)),
+        (
+            "PerforAD Parallel".to_string(),
+            case.perforad_parallel(&pool),
+        ),
+        ("Fused Parallel".to_string(), case.fused_parallel(&pool)),
+        ("Atomics Parallel".to_string(), case.scatter_atomic(&pool)),
     ];
-    print_runtime_figure(&format!("{figure} [measured on host, {}]", case.name), &bars);
+    print_runtime_figure(
+        &format!("{figure} [measured on host, {}]", case.name),
+        &bars,
+    );
+    println!("schedule: {}", case.schedule.describe());
 
     let (pp, pa, ps) = case.profiles(paper_n);
     let serial_scatter = if stack_mode_serial {
@@ -348,14 +469,26 @@ pub fn run_runtimes(
             .fold(f64::MAX, f64::min)
     };
     let bars = vec![
-        ("Primal Serial".to_string(), perforad_perfmodel::predict(machine, &pp, 1)),
-        ("PerforAD Serial".to_string(), perforad_perfmodel::predict(machine, &pa, 1)),
-        ("Adjoint Serial".to_string(), perforad_perfmodel::predict(machine, &serial_scatter, 1)),
+        (
+            "Primal Serial".to_string(),
+            perforad_perfmodel::predict(machine, &pp, 1),
+        ),
+        (
+            "PerforAD Serial".to_string(),
+            perforad_perfmodel::predict(machine, &pa, 1),
+        ),
+        (
+            "Adjoint Serial".to_string(),
+            perforad_perfmodel::predict(machine, &serial_scatter, 1),
+        ),
         ("Primal Parallel".to_string(), best(&pp)),
         ("PerforAD Parallel".to_string(), best(&pa)),
         ("Atomics best".to_string(), best(&ps)),
     ];
-    print_runtime_figure(&format!("{figure} [model projection, {}]", machine.name), &bars);
+    print_runtime_figure(
+        &format!("{figure} [model projection, {}]", machine.name),
+        &bars,
+    );
     let ratio = best(&ps).min(perforad_perfmodel::predict(machine, &serial_scatter, 1)) / best(&pa);
     println!("PerforAD parallel vs best conventional adjoint: {ratio:.1}x");
 }
@@ -372,7 +505,25 @@ mod tests {
         let pool = ThreadPool::new(2);
         let _ = case.perforad_parallel(&pool);
         let _ = case.scatter_atomic(&pool);
+        let _ = case.fused_parallel(&pool);
         assert_eq!(case.adjoint.nest_count(), 53);
+        // All 53 disjoint nests fuse into a single parallel region.
+        assert_eq!(case.schedule.group_count(), 1);
+        assert_eq!(case.schedule.max_fused(), 53);
+    }
+
+    #[test]
+    fn fused_schedule_matches_unfused_adjoint() {
+        let mut c1 = Case::wave(14);
+        let mut c2 = Case::wave(14);
+        let pool = ThreadPool::new(3);
+        let plan = c1.adjoint_plan.clone();
+        run_parallel(&plan, &mut c1.ws, &pool).unwrap();
+        let s = c2.schedule.clone();
+        run_schedule(&s, &mut c2.ws, &pool).unwrap();
+        for arr in ["u_1_b", "u_2_b"] {
+            assert_eq!(c1.ws.grid(arr).max_abs_diff(c2.ws.grid(arr)), 0.0, "{arr}");
+        }
     }
 
     #[test]
@@ -383,6 +534,15 @@ mod tests {
         assert!(a.flops_per_point > p.flops_per_point);
         assert!(s.atomics_per_point > 0.0);
         assert_eq!(p.atomics_per_point, 0.0);
+    }
+
+    #[test]
+    fn json_escape_emits_valid_json_for_control_chars() {
+        assert_eq!(json_escape("plain"), "\"plain\"");
+        assert_eq!(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_escape("tab\there"), "\"tab\\there\"");
+        // Braced `\u{1b}` Debug escapes are invalid JSON; 4-hex form is.
+        assert_eq!(json_escape("\u{1b}[0m"), "\"\\u001b[0m\"");
     }
 
     #[test]

@@ -395,7 +395,8 @@ mod tests {
         let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
         make_loop_nest(
             &r.at(ix![&i]),
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
             vec![i.clone()],
             vec![(Idx::constant(1), Idx::sym(n) - 1)],
         )
@@ -417,7 +418,10 @@ mod tests {
     #[test]
     fn primal_nest_has_omp_pragma() {
         let code = c_nest(&paper_1d(), &COptions::default(), 0);
-        assert!(code.contains("#pragma omp parallel for private(i)"), "{code}");
+        assert!(
+            code.contains("#pragma omp parallel for private(i)"),
+            "{code}"
+        );
         assert!(code.contains("for ( i = 1; i <= n - 1; i++ ) {"), "{code}");
         assert!(
             code.contains("r[i] = c[i]*(2.0*u[i - 1] - 3.0*u[i] + 4.0*u[i + 1]);"),
@@ -457,7 +461,10 @@ mod tests {
     #[test]
     fn function_signature_contains_arrays_params_sizes() {
         let code = print_function("stencil1d", &[paper_1d()], &COptions::default());
-        assert!(code.starts_with("void stencil1d(double *r, double *c, double *u, int n) {"), "{code}");
+        assert!(
+            code.starts_with("void stencil1d(double *r, double *c, double *u, int n) {"),
+            "{code}"
+        );
         assert!(code.contains("int i;"), "{code}");
     }
 

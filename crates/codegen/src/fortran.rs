@@ -104,7 +104,12 @@ pub fn f_nest(nest: &LoopNest, openmp: bool, indent: usize) -> String {
     let loops: Vec<_> = nest.counters.iter().zip(&nest.bounds).collect();
     if openmp && nest.is_gather() {
         let privates: Vec<&str> = nest.counters.iter().map(|c| c.name()).collect();
-        let _ = writeln!(out, "{}!$omp parallel do private({})", pad(indent), privates.join(","));
+        let _ = writeln!(
+            out,
+            "{}!$omp parallel do private({})",
+            pad(indent),
+            privates.join(",")
+        );
     }
     for (d, (c, b)) in loops.iter().enumerate() {
         let _ = writeln!(
@@ -190,7 +195,11 @@ pub fn print_subroutine(name: &str, nests: &[LoopNest]) -> String {
         let _ = writeln!(out, "  real(kind=8), intent(in) :: {}", p.name());
     }
     for o in &outputs {
-        let _ = writeln!(out, "  real(kind=8), intent(inout) :: {}{dim_spec}", o.name());
+        let _ = writeln!(
+            out,
+            "  real(kind=8), intent(inout) :: {}{dim_spec}",
+            o.name()
+        );
     }
     for i in &inputs {
         let _ = writeln!(out, "  real(kind=8), intent(in) :: {}{dim_spec}", i.name());
@@ -220,7 +229,8 @@ mod tests {
         let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
         make_loop_nest(
             &r.at(ix![&i]),
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
             vec![i.clone()],
             vec![(Idx::constant(1), Idx::sym(n) - 1)],
         )
@@ -240,7 +250,10 @@ mod tests {
     fn subroutine_signature_declares_intents() {
         let code = print_subroutine("stencil1d", &[paper_1d()]);
         assert!(code.contains("subroutine stencil1d(r, c, u, n)"), "{code}");
-        assert!(code.contains("real(kind=8), intent(inout) :: r(:)"), "{code}");
+        assert!(
+            code.contains("real(kind=8), intent(inout) :: r(:)"),
+            "{code}"
+        );
         assert!(code.contains("real(kind=8), intent(in) :: u(:)"), "{code}");
         assert!(code.contains("integer, intent(in) :: n"), "{code}");
         assert!(code.contains("end subroutine stencil1d"), "{code}");

@@ -338,9 +338,7 @@ impl Parser {
                         "tanh" => Func::Tanh,
                         "max" => Func::Max,
                         "min" => Func::Min,
-                        other => {
-                            return Err(self.err(format!("unknown function `{other}`")))
-                        }
+                        other => return Err(self.err(format!("unknown function `{other}`"))),
                     };
                     if args.len() != f.arity() {
                         return Err(self.err(format!(
@@ -376,10 +374,8 @@ impl Parser {
 /// Convert an expression to an affine [`Idx`] if possible.
 pub fn expr_to_idx(e: &Expr) -> Option<Idx> {
     match e.node() {
-        Node::Num(n) => match n {
-            perforad_symbolic::Number::Int(i) => Some(Idx::constant(*i)),
-            _ => None,
-        },
+        Node::Num(perforad_symbolic::Number::Int(i)) => Some(Idx::constant(*i)),
+        Node::Num(_) => None,
         Node::Sym(s) => Some(Idx::sym(s.clone())),
         Node::Add(ts) => {
             let mut acc = Idx::constant(0);

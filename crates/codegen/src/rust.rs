@@ -79,7 +79,9 @@ pub fn r_expr(e: &Expr) -> String {
                 Func::Ln => format!("{a0}.ln()"),
                 Func::Sqrt => format!("{a0}.sqrt()"),
                 Func::Abs => format!("{a0}.abs()"),
-                Func::Sign => format!("(if {a0} > 0.0 {{ 1.0 }} else if {a0} < 0.0 {{ -1.0 }} else {{ 0.0 }})"),
+                Func::Sign => format!(
+                    "(if {a0} > 0.0 {{ 1.0 }} else if {a0} < 0.0 {{ -1.0 }} else {{ 0.0 }})"
+                ),
                 Func::Tanh => format!("{a0}.tanh()"),
                 Func::Max => format!("{a0}.max({})", r_expr(&args[1])),
                 Func::Min => format!("{a0}.min({})", r_expr(&args[1])),
@@ -248,7 +250,10 @@ pub fn print_module(name: &str, nests: &[LoopNest]) -> String {
         out,
         "// Generated by perforad-codegen (Rust back-end) — do not edit by hand."
     );
-    let _ = writeln!(out, "// Regenerate with the `golden_rust` test in perforad-codegen.\n");
+    let _ = writeln!(
+        out,
+        "// Regenerate with the `golden_rust` test in perforad-codegen.\n"
+    );
     for (k, nest) in nests.iter().enumerate() {
         out.push_str(&r_nest_fn(&format!("{name}_nest{k}"), nest));
         let _ = writeln!(out);
@@ -282,7 +287,8 @@ mod tests {
         let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
         make_loop_nest(
             &r.at(ix![&i]),
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
             vec![i.clone()],
             vec![(Idx::constant(1), Idx::sym(n) - 1)],
         )
@@ -303,7 +309,10 @@ mod tests {
     fn nest_function_compiles_shape() {
         let code = r_nest_fn("stencil1d", &paper_1d());
         assert!(code.contains("pub fn stencil1d(lo0: i64, hi0: i64, n: i64, r: &mut [f64], c: &[f64], u: &[f64], dims: &[usize; 1]) {"), "{code}");
-        assert!(code.contains("for i in (1).max(lo0)..=((n - 1).min(hi0)) {"), "{code}");
+        assert!(
+            code.contains("for i in (1).max(lo0)..=((n - 1).min(hi0)) {"),
+            "{code}"
+        );
         assert!(code.contains("r[(i) as usize] ="), "{code}");
     }
 
@@ -311,7 +320,10 @@ mod tests {
     fn module_has_driver() {
         let code = print_module("stencil1d", &[paper_1d()]);
         assert!(code.contains("pub fn stencil1d_nest0("), "{code}");
-        assert!(code.contains("pub fn stencil1d(") && code.contains("stencil1d_nest0("), "{code}");
+        assert!(
+            code.contains("pub fn stencil1d(") && code.contains("stencil1d_nest0("),
+            "{code}"
+        );
     }
 
     #[test]
@@ -319,9 +331,6 @@ mod tests {
         let (i, j, k) = (Symbol::new("i"), Symbol::new("j"), Symbol::new("k"));
         let u = Array::new("u");
         let e = u.at(ix![&i - 1, &j, &k + 1]);
-        assert_eq!(
-            r_expr(&e),
-            "u[((i - 1)*s0 + (j)*s1 + (k + 1)) as usize]"
-        );
+        assert_eq!(r_expr(&e), "u[((i - 1)*s0 + (j)*s1 + (k + 1)) as usize]");
     }
 }

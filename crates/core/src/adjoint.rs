@@ -227,7 +227,10 @@ impl LoopNest {
 
 /// Differentiate every statement of the nest with respect to every distinct
 /// active access, multiply by the output adjoint, and shift (§3.3.1–§3.3.2).
-pub(crate) fn derive_terms(nest: &LoopNest, act: &ActivityMap) -> Result<Vec<AdjointTerm>, CoreError> {
+pub(crate) fn derive_terms(
+    nest: &LoopNest,
+    act: &ActivityMap,
+) -> Result<Vec<AdjointTerm>, CoreError> {
     let counters = &nest.counters;
     let counter_ix: Vec<Idx> = counters.iter().map(Idx::from).collect();
     let mut terms = Vec::new();
@@ -308,8 +311,8 @@ mod tests {
         let n = Symbol::new("n");
         let u = Array::new("u");
         let c = Array::new("c");
-        let rhs =
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
+        let rhs = c.at(ix![&i])
+            * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
         LoopNest::new(
             vec![i.clone()],
             vec![Bound::new(1, Idx::sym(n) - 1)],
@@ -323,7 +326,9 @@ mod tests {
 
     #[test]
     fn paper_example_structure() {
-        let adj = paper_1d().adjoint(&act_1d(), &AdjointOptions::default()).unwrap();
+        let adj = paper_1d()
+            .adjoint(&act_1d(), &AdjointOptions::default())
+            .unwrap();
         // Five loops, one of them the core (§3.2).
         assert_eq!(adj.nest_count(), 5);
         let core = adj.core_nest().unwrap();
@@ -341,12 +346,27 @@ mod tests {
     fn paper_example_core_statements() {
         // Core body: ub[j] += 2 c[j+1] rb[j+1]; ub[j] -= 3 c[j] rb[j];
         //            ub[j] += 4 c[j-1] rb[j-1]  (constants swapped vs primal).
-        let adj = paper_1d().adjoint(&act_1d(), &AdjointOptions::default()).unwrap();
+        let adj = paper_1d()
+            .adjoint(&act_1d(), &AdjointOptions::default())
+            .unwrap();
         let core = adj.core_nest().unwrap();
         let bodies: Vec<String> = core.body.iter().map(|s| s.to_string()).collect();
-        assert!(bodies.iter().any(|s| s == "u_b(i) += 2.0*c(i + 1)*r_b(i + 1)"), "{bodies:?}");
-        assert!(bodies.iter().any(|s| s == "u_b(i) += -3.0*c(i)*r_b(i)"), "{bodies:?}");
-        assert!(bodies.iter().any(|s| s == "u_b(i) += 4.0*c(i - 1)*r_b(i - 1)"), "{bodies:?}");
+        assert!(
+            bodies
+                .iter()
+                .any(|s| s == "u_b(i) += 2.0*c(i + 1)*r_b(i + 1)"),
+            "{bodies:?}"
+        );
+        assert!(
+            bodies.iter().any(|s| s == "u_b(i) += -3.0*c(i)*r_b(i)"),
+            "{bodies:?}"
+        );
+        assert!(
+            bodies
+                .iter()
+                .any(|s| s == "u_b(i) += 4.0*c(i - 1)*r_b(i - 1)"),
+            "{bodies:?}"
+        );
     }
 
     #[test]
@@ -365,13 +385,17 @@ mod tests {
     #[test]
     fn inactive_output_is_an_error() {
         let act = ActivityMap::new().with_suffixed("u"); // r missing
-        let err = paper_1d().adjoint(&act, &AdjointOptions::default()).unwrap_err();
+        let err = paper_1d()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap_err();
         assert_eq!(err, CoreError::InactiveOutput("r".into()));
     }
 
     #[test]
     fn passive_inputs_get_no_terms() {
-        let adj = paper_1d().adjoint(&act_1d(), &AdjointOptions::default()).unwrap();
+        let adj = paper_1d()
+            .adjoint(&act_1d(), &AdjointOptions::default())
+            .unwrap();
         assert!(adj.terms.iter().all(|t| t.input.name() == "u"));
         assert_eq!(adj.outputs(), vec![Symbol::new("u_b")]);
     }

@@ -54,5 +54,8 @@ pub use builder::{make_loop_nest, StencilSpec};
 pub use error::CoreError;
 pub use merge::merge_statements;
 pub use nest::{AssignOp, Bound, Guard, LoopNest, Statement};
-pub use regions::{core_bounds, full_bounds, required_extent, split_disjoint, split_guarded, Region};
+pub use regions::{
+    access_boxes, core_bounds, full_bounds, required_extent, split_disjoint, split_guarded,
+    AccessBox, Region,
+};
 pub use validate::validate;

@@ -256,8 +256,8 @@ mod tests {
         let n = Symbol::new("n");
         let u = Array::new("u");
         let c = Array::new("c");
-        let rhs =
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
+        let rhs = c.at(ix![&i])
+            * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
         LoopNest::new(
             vec![i.clone()],
             vec![Bound::new(1, Idx::sym(n) - 1)],

@@ -16,7 +16,10 @@
 //! the paper's `(2n−1)^d` bound; for star stencils far fewer (53 nests for
 //! the 3-D 7-point stencil, 5 for the 1-D 3-point stencil of §3.2).
 
-use crate::nest::Bound;
+use crate::error::CoreError;
+use crate::nest::{Bound, LoopNest};
+use crate::validate::access_offsets;
+use perforad_symbolic::{visit, Symbol};
 use std::collections::BTreeSet;
 
 /// One region of the decomposed adjoint iteration space.
@@ -28,6 +31,79 @@ pub struct Region {
     pub terms: Vec<usize>,
     /// True for the unique region on which *every* statement is valid.
     pub is_core: bool,
+}
+
+/// One memory footprint of a loop nest: the symbolic box an array is read
+/// or written over, i.e. the nest bounds translated by the access offset.
+///
+/// This is the region metadata an execution scheduler needs to prove two
+/// nests independent (read-set/write-set overlap tests): statement guards
+/// are ignored, so the boxes *over-approximate* the true footprint — safe
+/// for dependence checking, never unsound.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessBox {
+    /// The array touched.
+    pub array: Symbol,
+    /// Per-dimension inclusive symbolic bounds of the touched box.
+    pub bounds: Vec<Bound>,
+    /// True for a write footprint, false for a read.
+    pub write: bool,
+}
+
+/// The read and write footprints of a nest, one box per distinct
+/// `(array, offset, is_write)` triple.
+///
+/// Requires stencil-shaped accesses (constant offsets of the counters) —
+/// the same restriction the §3.4 validation imposes — and supports both
+/// gather and scatter nests.
+pub fn access_boxes(nest: &LoopNest) -> Result<Vec<AccessBox>, CoreError> {
+    let mut seen: BTreeSet<(Symbol, Vec<i64>, bool)> = BTreeSet::new();
+    let mut out = Vec::new();
+    let mut push = |array: &Symbol, offset: &[i64], write: bool, out: &mut Vec<AccessBox>| {
+        if seen.insert((array.clone(), offset.to_vec(), write)) {
+            let bounds = nest
+                .bounds
+                .iter()
+                .zip(offset)
+                .map(|(b, &o)| b.shift(o))
+                .collect();
+            out.push(AccessBox {
+                array: array.clone(),
+                bounds,
+                write,
+            });
+        }
+    };
+    for s in &nest.body {
+        let mut woff = Vec::with_capacity(nest.counters.len());
+        if s.lhs.indices.len() != nest.counters.len() {
+            return Err(CoreError::BadWriteIndex {
+                array: s.lhs.array.name().to_string(),
+                detail: format!(
+                    "{} indices for a {}-deep nest",
+                    s.lhs.indices.len(),
+                    nest.counters.len()
+                ),
+            });
+        }
+        for (ix, c) in s.lhs.indices.iter().zip(&nest.counters) {
+            match ix.is_offset_of(c) {
+                Some(o) => woff.push(o),
+                None => {
+                    return Err(CoreError::BadWriteIndex {
+                        array: s.lhs.array.name().to_string(),
+                        detail: format!("index `{ix}` is not counter + constant"),
+                    })
+                }
+            }
+        }
+        push(&s.lhs.array, &woff, true, &mut out);
+        for a in visit::accesses(&s.rhs) {
+            let off = access_offsets(nest, &a)?;
+            push(&a.array, &off, false, &mut out);
+        }
+    }
+    Ok(out)
 }
 
 /// The core loop bounds: `[lo_d + max_t o_d(t), hi_d + min_t o_d(t)]`.
@@ -398,9 +474,17 @@ mod tests {
             if expect.is_empty() {
                 // Outside every shifted box (e.g. star-stencil corners):
                 // no region may cover the point.
-                assert!(got.is_empty(), "point {point:?} covered but no statement valid");
+                assert!(
+                    got.is_empty(),
+                    "point {point:?} covered but no statement valid"
+                );
             } else {
-                assert_eq!(got.len(), 1, "point {point:?} covered by {} regions", got.len());
+                assert_eq!(
+                    got.len(),
+                    1,
+                    "point {point:?} covered by {} regions",
+                    got.len()
+                );
                 assert_eq!(got[0].terms, expect, "wrong statement set at {point:?}");
             }
 
@@ -418,6 +502,57 @@ mod tests {
                 point[d] = lo_v[d];
             }
         }
+    }
+
+    #[test]
+    fn access_boxes_of_three_point_stencil() {
+        use crate::nest::Statement;
+        use perforad_symbolic::{ix, Access, Array};
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        let nest = LoopNest::new(
+            vec![i.clone()],
+            vec![Bound::new(1, Idx::sym(n) - 1)],
+            vec![Statement::assign(
+                Access::new("r", ix![&i]),
+                u.at(ix![&i - 1]) + u.at(ix![&i + 1]),
+            )],
+        );
+        let boxes = access_boxes(&nest).unwrap();
+        // One write box (r at centre) + two read boxes (u at ±1).
+        assert_eq!(boxes.len(), 3);
+        let w: Vec<_> = boxes.iter().filter(|b| b.write).collect();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].array, Symbol::new("r"));
+        assert_eq!(format!("{}", w[0].bounds[0]), "[1, n - 1]");
+        let r: Vec<String> = boxes
+            .iter()
+            .filter(|b| !b.write)
+            .map(|b| format!("{}", b.bounds[0]))
+            .collect();
+        assert_eq!(r, vec!["[0, n - 2]".to_string(), "[2, n]".to_string()]);
+    }
+
+    #[test]
+    fn access_boxes_dedup_and_scatter_writes() {
+        use crate::nest::Statement;
+        use perforad_symbolic::{ix, Access, Array};
+        let i = Symbol::new("i");
+        let rb = Array::new("rb");
+        // Scatter nest: ub[i-1] += rb[i]; ub[i+1] += rb[i].
+        let nest = LoopNest::new(
+            vec![i.clone()],
+            vec![Bound::new(1, 8)],
+            vec![
+                Statement::add_assign(Access::new("ub", ix![&i - 1]), rb.at(ix![&i])),
+                Statement::add_assign(Access::new("ub", ix![&i + 1]), rb.at(ix![&i])),
+            ],
+        );
+        let boxes = access_boxes(&nest).unwrap();
+        // Two distinct write boxes, one deduplicated read box.
+        assert_eq!(boxes.iter().filter(|b| b.write).count(), 2);
+        assert_eq!(boxes.iter().filter(|b| !b.write).count(), 1);
     }
 
     #[test]

@@ -65,8 +65,8 @@ mod tests {
         let n = Symbol::new("n");
         let u = Array::new("u");
         let c = Array::new("c");
-        let rhs =
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
+        let rhs = c.at(ix![&i])
+            * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
         LoopNest::new(
             vec![i.clone()],
             vec![Bound::new(1, Idx::sym(n) - 1)],
@@ -84,19 +84,25 @@ mod tests {
         assert_eq!(adj.body.len(), 3);
         assert!(!adj.is_gather());
         let texts: Vec<String> = adj.body.iter().map(|s| s.to_string()).collect();
-        assert!(texts.contains(&"u_b(i - 1) += 2.0*c(i)*r_b(i)".to_string()), "{texts:?}");
-        assert!(texts.contains(&"u_b(i) += -3.0*c(i)*r_b(i)".to_string()), "{texts:?}");
-        assert!(texts.contains(&"u_b(i + 1) += 4.0*c(i)*r_b(i)".to_string()), "{texts:?}");
+        assert!(
+            texts.contains(&"u_b(i - 1) += 2.0*c(i)*r_b(i)".to_string()),
+            "{texts:?}"
+        );
+        assert!(
+            texts.contains(&"u_b(i) += -3.0*c(i)*r_b(i)".to_string()),
+            "{texts:?}"
+        );
+        assert!(
+            texts.contains(&"u_b(i + 1) += 4.0*c(i)*r_b(i)".to_string()),
+            "{texts:?}"
+        );
     }
 
     #[test]
     fn write_offsets_reflect_scatter() {
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let adj = paper_1d().scatter_adjoint(&act).unwrap();
-        assert_eq!(
-            adj.write_offsets(),
-            Some(vec![vec![-1], vec![0], vec![1]])
-        );
+        assert_eq!(adj.write_offsets(), Some(vec![vec![-1], vec![0], vec![1]]));
     }
 
     #[test]

@@ -17,7 +17,10 @@ use perforad_symbolic::visit;
 use std::collections::BTreeSet;
 
 /// Per-access constant offsets of a read, aligned with the nest counters.
-pub fn access_offsets(nest: &LoopNest, a: &perforad_symbolic::Access) -> Result<Vec<i64>, CoreError> {
+pub fn access_offsets(
+    nest: &LoopNest,
+    a: &perforad_symbolic::Access,
+) -> Result<Vec<i64>, CoreError> {
     if a.indices.len() != nest.counters.len() {
         return Err(CoreError::BadReadIndex {
             array: a.array.name().to_string(),
@@ -131,7 +134,10 @@ mod tests {
     #[test]
     fn accepts_valid_stencil() {
         let u = Array::new("u");
-        let nest = simple(u.at(ix![&i() - 1]) + u.at(ix![&i() + 1]), Access::new("r", ix![&i()]));
+        let nest = simple(
+            u.at(ix![&i() - 1]) + u.at(ix![&i() + 1]),
+            Access::new("r", ix![&i()]),
+        );
         assert!(validate(&nest).is_ok());
     }
 
@@ -148,11 +154,11 @@ mod tests {
     #[test]
     fn rejects_scaled_write_index() {
         let u = Array::new("u");
-        let nest = simple(
-            u.at(ix![&i()]),
-            Access::new("r", vec![Idx::scaled(i(), 2)]),
-        );
-        assert!(matches!(validate(&nest), Err(CoreError::BadWriteIndex { .. })));
+        let nest = simple(u.at(ix![&i()]), Access::new("r", vec![Idx::scaled(i(), 2)]));
+        assert!(matches!(
+            validate(&nest),
+            Err(CoreError::BadWriteIndex { .. })
+        ));
     }
 
     #[test]
@@ -160,7 +166,10 @@ mod tests {
         let u = Array::new("u");
         // u[2i] is not counter + constant
         let nest = simple(u.at(vec![Idx::scaled(i(), 2)]), Access::new("r", ix![&i()]));
-        assert!(matches!(validate(&nest), Err(CoreError::BadReadIndex { .. })));
+        assert!(matches!(
+            validate(&nest),
+            Err(CoreError::BadReadIndex { .. })
+        ));
     }
 
     #[test]
@@ -171,7 +180,10 @@ mod tests {
             u.at(vec![Idx::sym(Symbol::new("n")) - 1]),
             Access::new("r", ix![&i()]),
         );
-        assert!(matches!(validate(&nest), Err(CoreError::BadReadIndex { .. })));
+        assert!(matches!(
+            validate(&nest),
+            Err(CoreError::BadReadIndex { .. })
+        ));
     }
 
     #[test]
@@ -185,7 +197,10 @@ mod tests {
                 u.at(ix![&i(), &i()]),
             )],
         );
-        assert_eq!(validate(&nest), Err(CoreError::DuplicateCounter("i".into())));
+        assert_eq!(
+            validate(&nest),
+            Err(CoreError::DuplicateCounter("i".into()))
+        );
     }
 
     #[test]
@@ -214,9 +229,15 @@ mod tests {
         let nest = LoopNest::new(
             vec![i()],
             vec![],
-            vec![Statement::assign(Access::new("r", ix![&i()]), u.at(ix![&i()]))],
+            vec![Statement::assign(
+                Access::new("r", ix![&i()]),
+                u.at(ix![&i()]),
+            )],
         );
-        assert!(matches!(validate(&nest), Err(CoreError::BoundsMismatch { .. })));
+        assert!(matches!(
+            validate(&nest),
+            Err(CoreError::BoundsMismatch { .. })
+        ));
     }
 
     #[test]

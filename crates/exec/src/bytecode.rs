@@ -19,10 +19,16 @@ pub enum Op {
     /// appear in scalar position after substitutions.
     Counter(u16),
     /// Push `arrays[slot][center + rel]` (bounds validated at compile time).
-    Load { slot: u16, rel: i32 },
+    Load {
+        slot: u16,
+        rel: i32,
+    },
     /// Push the element at `counters + offsets` of `arrays[slot]`, or 0.0
     /// if outside the physical extents (zero-padding semantics).
-    LoadPadded { slot: u16, offsets: Box<[i64]> },
+    LoadPadded {
+        slot: u16,
+        offsets: Box<[i64]>,
+    },
     Add,
     Mul,
     Neg,
@@ -134,9 +140,9 @@ fn emit(e: &Expr, ctx: &CompileCtx, out: &mut Vec<Op>) -> Result<(), ExecError> 
                     rank: a.indices.len(),
                     nest: ctx.counters.len(),
                 })?;
-                let o = ix.is_offset_of(c).ok_or_else(|| {
-                    ExecError::Unsupported(format!("non-stencil access `{a}`"))
-                })?;
+                let o = ix
+                    .is_offset_of(c)
+                    .ok_or_else(|| ExecError::Unsupported(format!("non-stencil access `{a}`")))?;
                 offsets.push(o);
             }
             if ctx.padded {
@@ -284,7 +290,12 @@ impl Program {
     /// Like [`Program::eval`], with caller-provided temp slots (length at
     /// least [`Program::n_tmps`]).
     #[inline]
-    pub fn eval_with_tmps(&self, env: &PointEnv<'_>, stack: &mut Vec<f64>, tmps: &mut [f64]) -> f64 {
+    pub fn eval_with_tmps(
+        &self,
+        env: &PointEnv<'_>,
+        stack: &mut Vec<f64>,
+        tmps: &mut [f64],
+    ) -> f64 {
         stack.clear();
         for op in &self.ops {
             match op {
@@ -463,11 +474,7 @@ mod tests {
         let arrays = [Symbol::new("u")];
         let counters = [Symbol::new("i")];
         let strides = [1usize];
-        let prog = compile(
-            &u.at(ix![&i - 1]),
-            &ctx(&arrays, &counters, &strides, true),
-        )
-        .unwrap();
+        let prog = compile(&u.at(ix![&i - 1]), &ctx(&arrays, &counters, &strides, true)).unwrap();
         let data = [7.0, 8.0];
         let views = [ArrayView {
             ptr: data.as_ptr(),

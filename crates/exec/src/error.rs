@@ -9,9 +9,17 @@ pub enum ExecError {
     /// An array referenced by the nest is not in the workspace.
     UnknownArray(String),
     /// Array rank differs from the nest depth.
-    RankMismatch { array: String, rank: usize, nest: usize },
+    RankMismatch {
+        array: String,
+        rank: usize,
+        nest: usize,
+    },
     /// Arrays in one kernel must share their extents.
-    DimsMismatch { array: String, expected: Vec<usize>, got: Vec<usize> },
+    DimsMismatch {
+        array: String,
+        expected: Vec<usize>,
+        got: Vec<usize>,
+    },
     /// A bound or index symbol had no integer binding.
     UnboundSize(String),
     /// A scalar parameter had no binding.
@@ -27,7 +35,11 @@ pub enum ExecError {
     },
     /// The per-dimension extent is too small for the disjoint decomposition
     /// ("n sufficiently large", §3.2).
-    ExtentTooSmall { dim: usize, extent: i64, required: i64 },
+    ExtentTooSmall {
+        dim: usize,
+        extent: i64,
+        required: i64,
+    },
     /// Expression feature the bytecode VM does not support (e.g.
     /// uninterpreted functions — use the codegen back-ends for those).
     Unsupported(String),
@@ -42,7 +54,11 @@ impl fmt::Display for ExecError {
             ExecError::RankMismatch { array, rank, nest } => {
                 write!(f, "array `{array}` has rank {rank}, nest is {nest}-deep")
             }
-            ExecError::DimsMismatch { array, expected, got } => write!(
+            ExecError::DimsMismatch {
+                array,
+                expected,
+                got,
+            } => write!(
                 f,
                 "array `{array}` has dims {got:?}, kernel requires {expected:?}"
             ),
@@ -61,7 +77,11 @@ impl fmt::Display for ExecError {
                 "access to `{array}` dim {dim} spans [{}, {}] outside extent {extent}",
                 index_range.0, index_range.1
             ),
-            ExecError::ExtentTooSmall { dim, extent, required } => write!(
+            ExecError::ExtentTooSmall {
+                dim,
+                extent,
+                required,
+            } => write!(
                 f,
                 "iteration extent {extent} in dim {dim} below the stencil spread {required}; \
                  boundary regions would overlap"

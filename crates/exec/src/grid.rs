@@ -145,11 +145,7 @@ impl Grid {
     /// Dot product with another grid of identical shape.
     pub fn dot(&self, other: &Grid) -> f64 {
         assert_eq!(self.dims, other.dims, "shape mismatch in dot product");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Largest absolute elementwise difference to another grid.

@@ -323,11 +323,7 @@ pub fn compile_nests_opts(
 }
 
 /// Compile a single nest.
-pub fn compile_nest(
-    nest: &LoopNest,
-    ws: &Workspace,
-    binding: &Binding,
-) -> Result<Plan, ExecError> {
+pub fn compile_nest(nest: &LoopNest, ws: &Workspace, binding: &Binding) -> Result<Plan, ExecError> {
     compile_nests(std::slice::from_ref(nest), ws, binding, false)
 }
 
@@ -342,13 +338,11 @@ pub fn compile_adjoint(
     compile_adjoint_opts(adj, ws, binding, false)
 }
 
-/// Compile a full adjoint with optional per-statement CSE.
-pub fn compile_adjoint_opts(
-    adj: &Adjoint,
-    ws: &Workspace,
-    binding: &Binding,
-    cse: bool,
-) -> Result<Plan, ExecError> {
+/// Check the minimum-extent requirement of a disjoint adjoint
+/// decomposition against concrete size bindings ("n sufficiently large",
+/// §3.2): every primal extent must cover the offset spread or the
+/// generated regions overlap.
+pub fn check_adjoint_extents(adj: &Adjoint, binding: &Binding) -> Result<(), ExecError> {
     for (d, b) in adj.primal_bounds.iter().enumerate() {
         let lo = resolve_idx(&b.lo, &binding.sizes)?;
         let hi = resolve_idx(&b.hi, &binding.sizes)?;
@@ -361,6 +355,17 @@ pub fn compile_adjoint_opts(
             });
         }
     }
+    Ok(())
+}
+
+/// Compile a full adjoint with optional per-statement CSE.
+pub fn compile_adjoint_opts(
+    adj: &Adjoint,
+    ws: &Workspace,
+    binding: &Binding,
+    cse: bool,
+) -> Result<Plan, ExecError> {
+    check_adjoint_extents(adj, binding)?;
     let padded = adj.strategy == BoundaryStrategy::Padded;
     compile_nests_opts(&adj.nests, ws, binding, PlanOptions { padded, cse })
 }
@@ -378,7 +383,8 @@ mod tests {
         let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
         make_loop_nest(
             &r.at(ix![&i]),
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
             vec![i.clone()],
             vec![(Idx::constant(1), Idx::sym(n) - 1)],
         )
@@ -436,7 +442,9 @@ mod tests {
     #[test]
     fn adjoint_extent_check() {
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
-        let adj = paper_nest().adjoint(&act, &AdjointOptions::default()).unwrap();
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
         let mut w = ws(10);
         w.insert("u_b", Grid::zeros(&[11]));
         w.insert("r_b", Grid::zeros(&[11]));
@@ -476,7 +484,10 @@ mod tests {
         .unwrap();
         let build = || {
             Workspace::new()
-                .with("u", crate::grid::Grid::from_fn(&[34], |ix| (ix[0] as f64 * 0.31).sin()))
+                .with(
+                    "u",
+                    crate::grid::Grid::from_fn(&[34], |ix| (ix[0] as f64 * 0.31).sin()),
+                )
                 .with("r", crate::grid::Grid::zeros(&[34]))
         };
         let bind = Binding::new().size("n", 33);
@@ -488,7 +499,10 @@ mod tests {
             std::slice::from_ref(&nest),
             &ws2,
             &bind,
-            PlanOptions { padded: false, cse: true },
+            PlanOptions {
+                padded: false,
+                cse: true,
+            },
         )
         .unwrap();
         // The CSE plan must actually use temporaries...
@@ -502,7 +516,9 @@ mod tests {
     fn cse_adjoint_matches_plain_adjoint() {
         use crate::run::run_serial;
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
-        let adj = paper_nest().adjoint(&act, &AdjointOptions::default()).unwrap();
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
         let bind = Binding::new().size("n", 10);
         let mut w1 = ws(10);
         w1.insert("u_b", Grid::zeros(&[11]));

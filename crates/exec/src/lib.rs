@@ -52,12 +52,17 @@ pub mod grid;
 pub mod kernel;
 pub mod pool;
 pub mod run;
+pub mod tile;
 pub mod workspace;
 
 pub use atomic::{as_atomic_slice, AtomicF64};
 pub use error::ExecError;
 pub use grid::Grid;
-pub use kernel::{compile_adjoint, compile_adjoint_opts, compile_nest, compile_nests, compile_nests_opts, Plan, PlanOptions};
+pub use kernel::{
+    check_adjoint_extents, compile_adjoint, compile_adjoint_opts, compile_nest, compile_nests,
+    compile_nests_opts, Plan, PlanOptions,
+};
 pub use pool::ThreadPool;
 pub use run::{run, run_parallel, run_rayon, run_scatter_atomic, run_serial, ExecMode, ExecStats};
+pub use tile::{tile_nest, Tile, TileRunner, TileScratch};
 pub use workspace::{Binding, Workspace};

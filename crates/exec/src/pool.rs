@@ -10,10 +10,9 @@
 //! Workers are long-lived and parked on a condition variable between
 //! parallel regions, so a time-stepping loop pays thread-spawn cost once.
 
-use parking_lot::{Condvar, Mutex};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = &'static (dyn Fn(usize) + Sync);
@@ -77,14 +76,14 @@ impl ThreadPool {
         // blocks until every worker has finished the epoch (active == 0)
         // before returning, and the job slot is cleared below.
         let job: Job = unsafe { std::mem::transmute(f) };
-        let mut st = self.shared.lock.lock();
+        let mut st = self.shared.lock.lock().unwrap();
         st.job = Some(job);
         st.epoch += 1;
         st.active = self.workers.len();
         st.panicked = false;
         self.shared.work_cv.notify_all();
         while st.active > 0 {
-            self.shared.done_cv.wait(&mut st);
+            st = self.shared.done_cv.wait(st).unwrap();
         }
         st.job = None;
         let panicked = st.panicked;
@@ -143,7 +142,7 @@ impl ThreadPool {
 impl Drop for ThreadPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.lock.lock();
+            let mut st = self.shared.lock.lock().unwrap();
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -157,9 +156,9 @@ fn worker_loop(shared: &Shared, id: usize) {
     let mut last_epoch = 0u64;
     loop {
         let job = {
-            let mut st = shared.lock.lock();
+            let mut st = shared.lock.lock().unwrap();
             while !st.shutdown && st.epoch == last_epoch {
-                shared.work_cv.wait(&mut st);
+                st = shared.work_cv.wait(st).unwrap();
             }
             if st.shutdown {
                 return;
@@ -168,7 +167,7 @@ fn worker_loop(shared: &Shared, id: usize) {
             st.job.expect("epoch advanced without a job")
         };
         let result = catch_unwind(AssertUnwindSafe(|| job(id)));
-        let mut st = shared.lock.lock();
+        let mut st = shared.lock.lock().unwrap();
         if result.is_err() {
             st.panicked = true;
         }

@@ -15,7 +15,6 @@ use crate::error::ExecError;
 use crate::kernel::{NestPlan, Plan};
 use crate::pool::ThreadPool;
 use crate::workspace::Workspace;
-use rayon::prelude::*;
 
 /// Execution statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -37,10 +36,10 @@ pub enum ExecMode<'a> {
     Rayon,
 }
 
-struct Buffers {
-    views: Vec<ArrayView>,
-    write_ptrs: Vec<*mut f64>,
-    lens: Vec<usize>,
+pub(crate) struct Buffers {
+    pub(crate) views: Vec<ArrayView>,
+    pub(crate) write_ptrs: Vec<*mut f64>,
+    pub(crate) lens: Vec<usize>,
 }
 
 // SAFETY: `Buffers` is only shared across threads by the executors below,
@@ -48,12 +47,14 @@ struct Buffers {
 // atomic writes. Reads never alias writes (checked at plan compile time).
 unsafe impl Sync for Buffers {}
 
-fn make_buffers(plan: &Plan, ws: &mut Workspace) -> Result<Buffers, ExecError> {
+pub(crate) fn make_buffers(plan: &Plan, ws: &mut Workspace) -> Result<Buffers, ExecError> {
     let mut views = Vec::with_capacity(plan.arrays.len());
     let mut write_ptrs = Vec::with_capacity(plan.arrays.len());
     let mut lens = Vec::with_capacity(plan.arrays.len());
     for name in &plan.arrays {
-        let g = ws.get_mut(name).ok_or_else(|| crate::error::unknown(name))?;
+        let g = ws
+            .get_mut(name)
+            .ok_or_else(|| crate::error::unknown(name))?;
         if g.dims() != plan.dims.as_slice() {
             return Err(ExecError::DimsMismatch {
                 array: name.name().to_string(),
@@ -77,7 +78,8 @@ fn make_buffers(plan: &Plan, ws: &mut Workspace) -> Result<Buffers, ExecError> {
 }
 
 #[inline]
-fn exec_point(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_point(
     plan: &Plan,
     nest: &NestPlan,
     bufs: &Buffers,
@@ -122,6 +124,7 @@ fn exec_point(
 }
 
 /// Execute a nest over `[lo0, hi0]` of the outermost counter.
+#[allow(clippy::too_many_arguments)]
 fn exec_nest_range(
     plan: &Plan,
     nest: &NestPlan,
@@ -133,7 +136,9 @@ fn exec_nest_range(
     stack: &mut Vec<f64>,
     tmps: &mut [f64],
 ) {
-    walk(plan, nest, bufs, 0, 0, lo0, hi0, atomic, counters, stack, tmps);
+    walk(
+        plan, nest, bufs, 0, 0, lo0, hi0, atomic, counters, stack, tmps,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -160,7 +165,16 @@ fn walk(
     if dim + 1 == rank {
         for k in lo..=hi {
             counters[dim] = k;
-            exec_point(plan, nest, bufs, counters, base + k as isize * stride, atomic, stack, tmps);
+            exec_point(
+                plan,
+                nest,
+                bufs,
+                counters,
+                base + k as isize * stride,
+                atomic,
+                stack,
+                tmps,
+            );
         }
     } else {
         for k in lo..=hi {
@@ -203,7 +217,7 @@ fn make_jobs(plan: &Plan, threads: usize) -> Vec<(usize, i64, i64)> {
     jobs
 }
 
-fn max_stack(plan: &Plan) -> usize {
+pub(crate) fn max_stack(plan: &Plan) -> usize {
     plan.nests
         .iter()
         .flat_map(|n| n.stmts.iter())
@@ -212,7 +226,7 @@ fn max_stack(plan: &Plan) -> usize {
         .unwrap_or(0)
 }
 
-fn max_tmps(plan: &Plan) -> usize {
+pub(crate) fn max_tmps(plan: &Plan) -> usize {
     plan.nests
         .iter()
         .flat_map(|n| n.stmts.iter())
@@ -232,7 +246,15 @@ pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecErro
             continue;
         }
         exec_nest_range(
-            plan, nest, &bufs, nest.lo[0], nest.hi[0], false, &mut counters, &mut stack, &mut tmps,
+            plan,
+            nest,
+            &bufs,
+            nest.lo[0],
+            nest.hi[0],
+            false,
+            &mut counters,
+            &mut stack,
+            &mut tmps,
         );
     }
     Ok(ExecStats {
@@ -243,7 +265,11 @@ pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecErro
 /// Run gather-parallel on a pool. The plan must be gather-only; for adjoint
 /// plans produced by [`crate::kernel::compile_adjoint`] the nests are
 /// disjoint, so all chunks execute in one region without barriers.
-pub fn run_parallel(plan: &Plan, ws: &mut Workspace, pool: &ThreadPool) -> Result<ExecStats, ExecError> {
+pub fn run_parallel(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, ExecError> {
     if !plan.gather_only {
         return Err(ExecError::ScatterNeedsAtomics);
     }
@@ -276,29 +302,76 @@ fn run_pool(
         let mut counters = vec![0i64; plan.rank];
         let mut stack = Vec::with_capacity(stack_cap);
         let mut tmps = vec![0.0; tmp_cap];
-        exec_nest_range(plan, &plan.nests[k], &bufs, s, e, atomic, &mut counters, &mut stack, &mut tmps);
+        exec_nest_range(
+            plan,
+            &plan.nests[k],
+            &bufs,
+            s,
+            e,
+            atomic,
+            &mut counters,
+            &mut stack,
+            &mut tmps,
+        );
     });
     Ok(ExecStats {
         points: plan.points(),
     })
 }
 
-/// Run gather-parallel on Rayon's global pool (the idiomatic Rust path; the
-/// explicit [`ThreadPool`] is used when an exact thread count is required).
+/// Run gather-parallel on a transient global-style pool.
+///
+/// The seed used Rayon's global pool here; the workspace now builds
+/// std-only, so this is a `std::thread::scope` fallback with the same API
+/// and scheduling behaviour (dynamic chunk pulling over all host cores).
+/// The explicit [`ThreadPool`] is used when an exact thread count is
+/// required.
 pub fn run_rayon(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
     if !plan.gather_only {
         return Err(ExecError::ScatterNeedsAtomics);
     }
     let bufs = make_buffers(plan, ws)?;
-    let jobs = make_jobs(plan, rayon::current_num_threads());
+    let threads = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(2);
+    let jobs = make_jobs(plan, threads);
     let stack_cap = max_stack(plan);
     let tmp_cap = max_tmps(plan);
-    jobs.par_iter().for_each(|&(k, s, e)| {
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let work = |_tid: usize| {
         let mut counters = vec![0i64; plan.rank];
         let mut stack = Vec::with_capacity(stack_cap);
         let mut tmps = vec![0.0; tmp_cap];
-        exec_nest_range(plan, &plan.nests[k], &bufs, s, e, false, &mut counters, &mut stack, &mut tmps);
-    });
+        loop {
+            let j = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if j >= jobs.len() {
+                break;
+            }
+            let (k, s, e) = jobs[j];
+            exec_nest_range(
+                plan,
+                &plan.nests[k],
+                &bufs,
+                s,
+                e,
+                false,
+                &mut counters,
+                &mut stack,
+                &mut tmps,
+            );
+        }
+    };
+    if threads <= 1 || jobs.len() <= 1 {
+        work(0);
+    } else {
+        let work = &work;
+        std::thread::scope(|scope| {
+            for t in 1..threads {
+                scope.spawn(move || work(t));
+            }
+            work(0);
+        });
+    }
     Ok(ExecStats {
         points: plan.points(),
     })
@@ -329,7 +402,8 @@ mod tests {
         let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
         make_loop_nest(
             &r.at(ix![&i]),
-            c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
             vec![i.clone()],
             vec![(Idx::constant(1), Idx::sym(n) - 1)],
         )
@@ -338,7 +412,10 @@ mod tests {
 
     fn setup(n: usize) -> (Workspace, Binding) {
         let mut ws = Workspace::new();
-        ws.insert("u", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5));
+        ws.insert(
+            "u",
+            Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5),
+        );
         ws.insert("c", Grid::from_fn(&[n + 1], |ix| 0.5 + 0.1 * ix[0] as f64));
         ws.insert("r", Grid::zeros(&[n + 1]));
         ws.insert("u_b", Grid::zeros(&[n + 1]));
@@ -357,8 +434,8 @@ mod tests {
         let c = ws.grid("c").clone();
         let r = ws.grid("r");
         for i in 1..=31usize {
-            let expect = c.get(&[i])
-                * (2.0 * u.get(&[i - 1]) - 3.0 * u.get(&[i]) + 4.0 * u.get(&[i + 1]));
+            let expect =
+                c.get(&[i]) * (2.0 * u.get(&[i - 1]) - 3.0 * u.get(&[i]) + 4.0 * u.get(&[i + 1]));
             assert!((r.get(&[i]) - expect).abs() < 1e-14);
         }
         assert_eq!(r.get(&[0]), 0.0, "boundary untouched");

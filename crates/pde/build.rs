@@ -19,7 +19,10 @@ fn main() {
         .with_suffixed("u_2");
     let adj = wave.adjoint(&act, &AdjointOptions::default()).unwrap();
     let mut code = perforad_codegen::print_module("wave3d_primal", std::slice::from_ref(&wave));
-    code.push_str(&perforad_codegen::print_module("wave3d_adjoint", &adj.nests));
+    code.push_str(&perforad_codegen::print_module(
+        "wave3d_adjoint",
+        &adj.nests,
+    ));
     fs::write(Path::new(&out_dir).join("wave3d_gen.rs"), code).unwrap();
 
     // 1-D Burgers (Fig. 6).
@@ -27,7 +30,10 @@ fn main() {
     let act = ActivityMap::new().with_suffixed("u").with_suffixed("u_1");
     let adj = burgers.adjoint(&act, &AdjointOptions::default()).unwrap();
     let mut code = perforad_codegen::print_module("burgers_primal", std::slice::from_ref(&burgers));
-    code.push_str(&perforad_codegen::print_module("burgers_adjoint", &adj.nests));
+    code.push_str(&perforad_codegen::print_module(
+        "burgers_adjoint",
+        &adj.nests,
+    ));
     fs::write(Path::new(&out_dir).join("burgers_gen.rs"), code).unwrap();
 
     println!("cargo:rerun-if-changed=build.rs");
@@ -47,9 +53,12 @@ mod perforad_pde_build {
         let u = Array::new("u");
         let u1 = Array::new("u_1");
         let u2 = Array::new("u_2");
-        let u_xx = u1.at(ix![&i - 1, &j, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i + 1, &j, &k]);
-        let u_yy = u1.at(ix![&i, &j - 1, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j + 1, &k]);
-        let u_zz = u1.at(ix![&i, &j, &k - 1]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j, &k + 1]);
+        let u_xx =
+            u1.at(ix![&i - 1, &j, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i + 1, &j, &k]);
+        let u_yy =
+            u1.at(ix![&i, &j - 1, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j + 1, &k]);
+        let u_zz =
+            u1.at(ix![&i, &j, &k - 1]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j, &k + 1]);
         let expr = 2.0 * u1.at(ix![&i, &j, &k]) - u2.at(ix![&i, &j, &k])
             + c.at(ix![&i, &j, &k]) * dd * (u_xx + u_yy + u_zz);
         let b = (Idx::constant(1), Idx::sym(n.clone()) - 2);

@@ -4,8 +4,9 @@
 //! convective term: the `max`/`min` pair makes the body only piecewise
 //! differentiable, producing ternary operators in the adjoint (Fig. 7).
 
-use perforad_core::{make_loop_nest, ActivityMap, LoopNest};
+use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
 use perforad_exec::{Binding, Grid, Workspace};
+use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule};
 use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
 
 /// The upwinded Burgers stencil nest as built by the Fig. 6 script.
@@ -69,18 +70,33 @@ pub fn workspace(n: usize, c_coef: f64, d_coef: f64) -> (Workspace, Binding) {
     (ws, bind)
 }
 
+/// Fused + tiled schedule for one adjoint sweep: the five disjoint nests
+/// of the upwinded Burgers adjoint in a single parallel region. Drive it
+/// with [`perforad_sched::run_schedule`].
+pub fn adjoint_schedule(
+    ws: &Workspace,
+    bind: &Binding,
+    opts: &SchedOptions,
+) -> Result<Schedule, SchedError> {
+    let adj = nest()
+        .adjoint(&activity(), &AdjointOptions::default())
+        .expect("burgers adjoint transforms");
+    compile_schedule(&adj, ws, bind, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use perforad_autodiff::tape_adjoint;
-    use perforad_core::AdjointOptions;
     use perforad_exec::{compile_adjoint, compile_nest, run_parallel, run_serial, ThreadPool};
     use perforad_symbolic::MapCtx;
     use std::collections::BTreeMap;
 
     #[test]
     fn adjoint_is_five_gather_nests() {
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         assert_eq!(adj.nest_count(), 5);
         assert!(adj.nests.iter().all(|n| n.is_gather()));
         // The piecewise upwinding must produce ternaries in the core body.
@@ -104,7 +120,9 @@ mod tests {
         // §3.6 verification on the nonlinear, piecewise body.
         let n = 40usize;
         let (mut ws, bind) = workspace(n, 0.3, 0.1);
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
         let pool = ThreadPool::new(2);
         run_parallel(&plan, &mut ws, &pool).unwrap();
@@ -130,10 +148,42 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_adjoint_matches_tape_reference() {
+        use perforad_symbolic::MapCtx;
+        use std::collections::BTreeMap;
+        let n = 96usize;
+        let (mut ws, bind) = workspace(n, 0.3, 0.1);
+        let s = adjoint_schedule(&ws, &bind, &SchedOptions::default().with_tile(&[8])).unwrap();
+        assert_eq!(s.group_count(), 1, "{}", s.describe());
+        assert!(s.max_fused() >= 2);
+        let pool = ThreadPool::new(3);
+        perforad_sched::run_schedule(&s, &mut ws, &pool).unwrap();
+
+        let store = MapCtx::new()
+            .index("n", n as i64)
+            .scalar("C", 0.3)
+            .scalar("D", 0.1)
+            .array1("u_1", ws.grid("u_1").as_slice().to_vec())
+            .array1("u", vec![0.0; n]);
+        let mut seeds = BTreeMap::new();
+        seeds.insert(
+            perforad_symbolic::Symbol::new("u"),
+            ws.grid("u_b").as_slice().to_vec(),
+        );
+        let reference = tape_adjoint(&nest(), &activity(), &store, &seeds).unwrap();
+        let expect = &reference[&perforad_symbolic::Symbol::new("u_1_b")];
+        for (k, (a, b)) in ws.grid("u_1_b").as_slice().iter().zip(expect).enumerate() {
+            assert!((a - b).abs() < 1e-12, "mismatch at {k}: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn merged_and_unmerged_agree() {
         let n = 64usize;
         let (mut ws1, bind) = workspace(n, 0.3, 0.1);
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
         run_serial(&plan, &mut ws1).unwrap();
 

@@ -113,7 +113,7 @@ mod tests {
 
     fn reference_gradient(x0: f64, steps: usize) -> f64 {
         // Forward then reverse with full storage.
-        let traj = StoreAll::record(x0, steps, |x, t| step(x, t));
+        let traj = StoreAll::record(x0, steps, step);
         let mut lambda = 1.0;
         traj.reverse(|x, _t| {
             lambda *= 1.0 + 0.02 * x;
@@ -122,8 +122,7 @@ mod tests {
     }
 
     #[test]
-    fn store_all_reverse_matches_finite_difference()
-    {
+    fn store_all_reverse_matches_finite_difference() {
         let x0 = 0.8;
         let steps = 50;
         let g = reference_gradient(x0, steps);
@@ -145,14 +144,9 @@ mod tests {
         for steps in [1usize, 2, 3, 7, 32, 100] {
             let expect = reference_gradient(x0, steps);
             let mut lambda = 1.0;
-            let stats = checkpointed_adjoint(
-                x0,
-                steps,
-                &mut |x, t| step(x, t),
-                &mut |x, _t| {
-                    lambda *= 1.0 + 0.02 * x;
-                },
-            );
+            let stats = checkpointed_adjoint(x0, steps, &mut |x, t| step(x, t), &mut |x, _t| {
+                lambda *= 1.0 + 0.02 * x;
+            });
             assert!(
                 (lambda - expect).abs() < 1e-12,
                 "steps={steps}: {lambda} vs {expect}"
@@ -170,12 +164,7 @@ mod tests {
     #[test]
     fn reverse_order_is_strictly_descending() {
         let mut seen = Vec::new();
-        checkpointed_adjoint(
-            0.5f64,
-            9,
-            &mut |x, t| step(x, t),
-            &mut |_x, t| seen.push(t),
-        );
+        checkpointed_adjoint(0.5f64, 9, &mut |x, t| step(x, t), &mut |_x, t| seen.push(t));
         assert_eq!(seen, (0..9).rev().collect::<Vec<_>>());
     }
 }

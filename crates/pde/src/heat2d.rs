@@ -1,8 +1,9 @@
 //! A 2-D heat-equation stencil — the 5-point star whose adjoint
 //! decomposition Fig. 3 of the paper illustrates (17 loop nests).
 
-use perforad_core::{make_loop_nest, ActivityMap, LoopNest};
+use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
 use perforad_exec::{Binding, Grid, Workspace};
+use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule};
 use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
 
 /// `u[i][j] = u_1[i][j] + D*(u_1[i±1][j] + u_1[i][j±1] - 4 u_1[i][j])`.
@@ -12,7 +13,9 @@ pub fn nest() -> LoopNest {
     let dd = Expr::sym(Symbol::new("D"));
     let u = Array::new("u");
     let u1 = Array::new("u_1");
-    let lap = u1.at(ix![&i - 1, &j]) + u1.at(ix![&i + 1, &j]) + u1.at(ix![&i, &j - 1])
+    let lap = u1.at(ix![&i - 1, &j])
+        + u1.at(ix![&i + 1, &j])
+        + u1.at(ix![&i, &j - 1])
         + u1.at(ix![&i, &j + 1])
         - 4.0 * u1.at(ix![&i, &j]);
     let expr = u1.at(ix![&i, &j]) + dd * lap;
@@ -46,27 +49,45 @@ pub fn workspace(n: usize, d: f64) -> (Workspace, Binding) {
         }),
     );
     ws.insert("u", Grid::zeros(&dims));
-    ws.insert("u_b", Grid::from_fn(&dims, |ix| {
-        let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
-        if interior {
-            1.0
-        } else {
-            0.0
-        }
-    }));
+    ws.insert(
+        "u_b",
+        Grid::from_fn(&dims, |ix| {
+            let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
+            if interior {
+                1.0
+            } else {
+                0.0
+            }
+        }),
+    );
     ws.insert("u_1_b", Grid::zeros(&dims));
     (ws, Binding::new().size("n", n as i64).param("D", d))
+}
+
+/// Fused + tiled schedule for one adjoint sweep: the 17 disjoint nests of
+/// Fig. 3 in a single parallel region. Drive it with
+/// [`perforad_sched::run_schedule`].
+pub fn adjoint_schedule(
+    ws: &Workspace,
+    bind: &Binding,
+    opts: &SchedOptions,
+) -> Result<Schedule, SchedError> {
+    let adj = nest()
+        .adjoint(&activity(), &AdjointOptions::default())
+        .expect("heat2d adjoint transforms");
+    compile_schedule(&adj, ws, bind, opts)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perforad_core::AdjointOptions;
     use perforad_exec::{compile_adjoint, compile_nest, run_serial};
 
     #[test]
     fn adjoint_has_17_nests_matching_figure_3() {
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         assert_eq!(adj.nest_count(), 17);
     }
 
@@ -83,13 +104,36 @@ mod tests {
     }
 
     #[test]
+    fn scheduled_adjoint_fuses_17_nests_and_matches_serial() {
+        use perforad_exec::ThreadPool;
+        let n = 48;
+        let (mut ws1, bind) = workspace(n, 0.2);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(n, 0.2);
+        let s =
+            adjoint_schedule(&ws2, &bind, &SchedOptions::default().with_tile(&[8, 16])).unwrap();
+        assert_eq!(s.group_count(), 1, "{}", s.describe());
+        assert_eq!(s.max_fused(), 17);
+        let pool = ThreadPool::new(4);
+        perforad_sched::run_schedule(&s, &mut ws2, &pool).unwrap();
+        assert_eq!(ws1.grid("u_1_b").max_abs_diff(ws2.grid("u_1_b")), 0.0);
+    }
+
+    #[test]
     fn adjoint_of_all_ones_seed_counts_stencil_uses() {
         // With seed ≡ 1 on the interior, u_1_b[p] equals the number of
         // stencil applications reading p, weighted by coefficients — for a
         // fully interior point that's 1 + D*(4 - 4) = 1 exactly.
         let n = 24;
         let (mut ws, bind) = workspace(n, 0.25);
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
         run_serial(&plan, &mut ws).unwrap();
         let v = ws.grid("u_1_b").get(&[n / 2, n / 2]);

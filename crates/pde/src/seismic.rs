@@ -10,7 +10,8 @@
 
 use crate::wave3d;
 use perforad_core::AdjointOptions;
-use perforad_exec::{compile_adjoint, compile_nest, run_serial, Binding, Grid, Workspace};
+use perforad_exec::{compile_nest, run_serial, Binding, Grid, ThreadPool, Workspace};
+use perforad_sched::{compile_schedule, run_schedule, SchedOptions};
 
 /// Problem configuration.
 #[derive(Clone, Copy, Debug)]
@@ -59,13 +60,13 @@ pub fn forward(cfg: &SeismicConfig, c: &Grid, source: &[f64]) -> Vec<Grid> {
     traj.push(Grid::zeros(&dims)); // u_0
     let mut prev = Grid::zeros(&dims); // u_{-1}
     let mut cur = Grid::zeros(&dims); // u_0
-    for t in 0..cfg.steps {
+    for &src_t in source.iter().take(cfg.steps) {
         *ws.grid_mut("u_1") = cur.clone();
         *ws.grid_mut("u_2") = prev.clone();
         ws.grid_mut("u").fill(0.0);
         run_serial(&plan, &mut ws).expect("primal step");
         let mut next = ws.grid("u").clone();
-        let v = next.get(&src) + source[t];
+        let v = next.get(&src) + src_t;
         next.set(&src, v);
         traj.push(next.clone());
         prev = cur;
@@ -85,6 +86,10 @@ pub fn misfit(u: &Grid, data: &Grid) -> f64 {
 }
 
 /// Misfit and its gradient with respect to the velocity model `c`.
+///
+/// The reverse sweep drives the *scheduled* adjoint: all 53 disjoint
+/// nests of the `c`-active wave adjoint fused into one tiled parallel
+/// region per time step, on a pool that persists across the whole sweep.
 pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (f64, Grid) {
     let dims = [cfg.n, cfg.n, cfg.n];
     let traj = forward(cfg, c, source);
@@ -103,7 +108,12 @@ pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (
     ws.insert("u_1_b", Grid::zeros(&dims));
     ws.insert("u_2_b", Grid::zeros(&dims));
     ws.insert("c_b", Grid::zeros(&dims));
-    let plan = compile_adjoint(&adj, &ws, &bind).expect("adjoint compiles");
+    let schedule =
+        compile_schedule(&adj, &ws, &bind, &SchedOptions::default()).expect("adjoint schedules");
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get().min(8))
+        .unwrap_or(2);
+    let pool = ThreadPool::new(threads);
 
     // λ_t = ∂J/∂u_t; only λ_T seeded directly. Source injection is additive
     // and c-independent, so it contributes nothing to the adjoint.
@@ -126,7 +136,7 @@ pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (
         ws.grid_mut("u_1_b").fill(0.0);
         ws.grid_mut("u_2_b").fill(0.0);
         ws.grid_mut("c_b").fill(0.0);
-        run_serial(&plan, &mut ws).expect("adjoint step");
+        run_schedule(&schedule, &mut ws, &pool).expect("adjoint step");
         // Scatter-free accumulation into earlier adjoint fields.
         add_into(&mut lambda[t - 1], ws.grid("u_1_b"));
         if t >= 2 {

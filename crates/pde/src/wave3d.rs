@@ -5,8 +5,9 @@
 //! `u = 2 u_1 − u_2 + c·D·(u_xx + u_yy + u_zz)` on an `n³` grid with
 //! `c = a²` (spatially varying) and `D = (dt/dx)²`.
 
-use perforad_core::{make_loop_nest, ActivityMap, LoopNest};
+use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
 use perforad_exec::{Binding, Grid, Workspace};
+use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule};
 use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
 
 /// The wave-equation stencil nest exactly as built by the Fig. 4 script.
@@ -18,9 +19,12 @@ pub fn nest() -> LoopNest {
     let u = Array::new("u");
     let u1 = Array::new("u_1");
     let u2 = Array::new("u_2");
-    let u_xx = u1.at(ix![&i - 1, &j, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i + 1, &j, &k]);
-    let u_yy = u1.at(ix![&i, &j - 1, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j + 1, &k]);
-    let u_zz = u1.at(ix![&i, &j, &k - 1]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j, &k + 1]);
+    let u_xx =
+        u1.at(ix![&i - 1, &j, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i + 1, &j, &k]);
+    let u_yy =
+        u1.at(ix![&i, &j - 1, &k]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j + 1, &k]);
+    let u_zz =
+        u1.at(ix![&i, &j, &k - 1]) - 2.0 * u1.at(ix![&i, &j, &k]) + u1.at(ix![&i, &j, &k + 1]);
     let expr = 2.0 * u1.at(ix![&i, &j, &k]) - u2.at(ix![&i, &j, &k])
         + c.at(ix![&i, &j, &k]) * dd * (u_xx + u_yy + u_zz);
     let b = (Idx::constant(1), Idx::sym(n.clone()) - 2);
@@ -68,15 +72,18 @@ pub fn workspace(n: usize, d: f64) -> (Workspace, Binding) {
         Grid::from_fn(&dims, |ix| 1.0 + 0.5 * (ix[0] as f64 / n as f64)),
     );
     ws.insert("u", Grid::zeros(&dims));
-    ws.insert("u_b", Grid::from_fn(&dims, |ix| {
-        // Adjoint seed: nonzero only on the interior the primal writes.
-        let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
-        if interior {
-            ((ix[0] * 31 + ix[1] * 17 + ix[2]) % 7) as f64 / 7.0 - 0.4
-        } else {
-            0.0
-        }
-    }));
+    ws.insert(
+        "u_b",
+        Grid::from_fn(&dims, |ix| {
+            // Adjoint seed: nonzero only on the interior the primal writes.
+            let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
+            if interior {
+                ((ix[0] * 31 + ix[1] * 17 + ix[2]) % 7) as f64 / 7.0 - 0.4
+            } else {
+                0.0
+            }
+        }),
+    );
     ws.insert("u_1_b", Grid::zeros(&dims));
     ws.insert("u_2_b", Grid::zeros(&dims));
     ws.insert("c_b", Grid::zeros(&dims));
@@ -84,16 +91,31 @@ pub fn workspace(n: usize, d: f64) -> (Workspace, Binding) {
     (ws, bind)
 }
 
+/// Fused + tiled schedule for one adjoint sweep: all 53 disjoint nests of
+/// the 3-D 7-point star in a *single* parallel region (one barrier instead
+/// of 53). Drive it with [`perforad_sched::run_schedule`].
+pub fn adjoint_schedule(
+    ws: &Workspace,
+    bind: &Binding,
+    opts: &SchedOptions,
+) -> Result<Schedule, SchedError> {
+    let adj = nest()
+        .adjoint(&activity(), &AdjointOptions::default())
+        .expect("wave3d adjoint transforms");
+    compile_schedule(&adj, ws, bind, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use perforad_core::AdjointOptions;
     use perforad_exec::{compile_adjoint, compile_nest, run_parallel, run_serial, ThreadPool};
 
     #[test]
     fn adjoint_has_53_loop_nests() {
         // §3.3.4: the 3-D 7-point star needs 53 loop nests.
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         assert_eq!(adj.nest_count(), 53);
         assert!(adj.nests.iter().all(|n| n.is_gather()));
     }
@@ -113,7 +135,9 @@ mod tests {
     #[test]
     fn adjoint_parallel_matches_serial_bitwise() {
         let (mut ws1, bind) = workspace(14, 0.1);
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
         run_serial(&plan, &mut ws1).unwrap();
 
@@ -130,7 +154,9 @@ mod tests {
     #[test]
     fn adjoint_matches_scatter_and_tape() {
         let (mut ws_g, bind) = workspace(10, 0.1);
-        let adj = nest().adjoint(&activity(), &AdjointOptions::default()).unwrap();
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
         let plan = compile_adjoint(&adj, &ws_g, &bind).unwrap();
         run_serial(&plan, &mut ws_g).unwrap();
 
@@ -142,6 +168,31 @@ mod tests {
         for arr in ["u_1_b", "u_2_b"] {
             let d = ws_g.grid(arr).max_abs_diff(ws_s.grid(arr));
             assert!(d < 1e-12, "{arr}: gather vs scatter differ by {d}");
+        }
+    }
+
+    #[test]
+    fn scheduled_adjoint_fuses_all_53_nests_and_matches_serial() {
+        let (mut ws1, bind) = workspace(14, 0.1);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(14, 0.1);
+        let s =
+            adjoint_schedule(&ws2, &bind, &SchedOptions::default().with_tile(&[4, 4, 8])).unwrap();
+        assert_eq!(s.group_count(), 1, "{}", s.describe());
+        assert_eq!(s.max_fused(), 53);
+        let pool = ThreadPool::new(4);
+        perforad_sched::run_schedule(&s, &mut ws2, &pool).unwrap();
+        for arr in ["u_1_b", "u_2_b"] {
+            assert_eq!(
+                ws1.grid(arr).max_abs_diff(ws2.grid(arr)),
+                0.0,
+                "{arr}: fused schedule must match serial bitwise"
+            );
         }
     }
 

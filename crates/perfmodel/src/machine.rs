@@ -7,11 +7,9 @@
 //! Broadwell) so that the projected thread-scaling curves reproduce the
 //! figures' shapes. See DESIGN.md §4 for the substitution rationale.
 
-use serde::Serialize;
-
 /// A simple analytic machine: roofline (compute vs bandwidth) plus an
 /// atomic-contention term.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Machine {
     pub name: &'static str,
     /// Physical cores (ideal-scaling limit for compute).

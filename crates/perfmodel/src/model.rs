@@ -3,11 +3,10 @@
 use crate::machine::Machine;
 use perforad_core::{AssignOp, LoopNest};
 use perforad_symbolic::{visit, Symbol};
-use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Work performed per iteration point, extracted from loop-nest IR.
-#[derive(Clone, Copy, Debug, Default, Serialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct KernelProfile {
     /// Total iteration points (all nests).
     pub points: f64,
@@ -186,7 +185,9 @@ mod tests {
         // And the crossover: parallel PerforAD beats 1-thread atomics hugely.
         let sc = nest.scatter_adjoint(&act).unwrap();
         let ps = profile(std::slice::from_ref(&sc), &sizes(500));
-        let best_atomic = (1..=12).map(|t| predict(&m, &ps, t)).fold(f64::MAX, f64::min);
+        let best_atomic = (1..=12)
+            .map(|t| predict(&m, &ps, t))
+            .fold(f64::MAX, f64::min);
         let best_gather = predict(&m, &pa, 12);
         assert!(
             best_atomic / best_gather > 2.0,

@@ -1,0 +1,295 @@
+//! Dependence analysis over loop nests.
+//!
+//! Each nest's read/write footprints come from the disjoint-region
+//! metadata in `perforad_core::regions` ([`access_boxes`]): the nest bounds
+//! translated by every access offset, per array. With integer size
+//! bindings the symbolic boxes resolve to concrete integer boxes, and two
+//! nests *conflict* when
+//!
+//! * both write the same array over overlapping boxes (a race), or
+//! * one writes an array the other reads, overlapping or not — the
+//!   executor refuses to alias a written array with a read one inside a
+//!   single plan, so such nests cannot share a parallel region anyway.
+//!
+//! Conflicting nests must be separated by a barrier; independent nests may
+//! fuse into one parallel pass.
+//!
+//! Footprints over-approximate (statement guards are ignored), so the
+//! graph may report a false conflict — costing a barrier, never a race.
+//!
+//! [`access_boxes`]: perforad_core::regions::access_boxes
+
+use crate::error::SchedError;
+use perforad_core::{access_boxes, LoopNest};
+use perforad_symbolic::Symbol;
+use std::collections::BTreeMap;
+
+/// A concrete (integer) memory footprint of one nest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResolvedBox {
+    /// The array touched.
+    pub array: Symbol,
+    /// Inclusive per-dimension lower corner.
+    pub lo: Vec<i64>,
+    /// Inclusive per-dimension upper corner.
+    pub hi: Vec<i64>,
+    /// True for a write footprint.
+    pub write: bool,
+}
+
+impl ResolvedBox {
+    /// True when `self` and `other` touch at least one common point.
+    pub fn overlaps(&self, other: &ResolvedBox) -> bool {
+        self.array == other.array
+            && self
+                .lo
+                .iter()
+                .zip(&self.hi)
+                .zip(other.lo.iter().zip(&other.hi))
+                .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+}
+
+/// Resolve a nest's symbolic footprints against integer size bindings.
+/// Boxes that are empty under the bindings are dropped.
+pub fn resolve_boxes(
+    nest: &LoopNest,
+    sizes: &BTreeMap<Symbol, i64>,
+) -> Result<Vec<ResolvedBox>, SchedError> {
+    let mut out = Vec::new();
+    for b in access_boxes(nest)? {
+        let mut lo = Vec::with_capacity(b.bounds.len());
+        let mut hi = Vec::with_capacity(b.bounds.len());
+        for d in &b.bounds {
+            lo.push(resolve(&d.lo, sizes)?);
+            hi.push(resolve(&d.hi, sizes)?);
+        }
+        if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+            continue;
+        }
+        out.push(ResolvedBox {
+            array: b.array,
+            lo,
+            hi,
+            write: b.write,
+        });
+    }
+    Ok(out)
+}
+
+fn resolve(ix: &perforad_symbolic::Idx, sizes: &BTreeMap<Symbol, i64>) -> Result<i64, SchedError> {
+    ix.eval(sizes).ok_or_else(|| {
+        let missing = ix
+            .symbols()
+            .find(|s| !sizes.contains_key(s))
+            .map(|s| s.name().to_string())
+            .unwrap_or_default();
+        SchedError::UnboundSize(missing)
+    })
+}
+
+/// The pairwise conflict relation over a list of nests.
+#[derive(Clone, Debug)]
+pub struct DepGraph {
+    n: usize,
+    /// Row-major upper-triangular conflict matrix (`a < b` at `a*n + b`).
+    conflict: Vec<bool>,
+    /// Resolved footprints, kept for inspection and diagnostics.
+    pub boxes: Vec<Vec<ResolvedBox>>,
+}
+
+impl DepGraph {
+    /// Number of nests.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// True when nests `a` and `b` may not run concurrently.
+    pub fn conflicts(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        self.conflict[a * self.n + b]
+    }
+
+    /// Number of conflicting pairs.
+    pub fn edge_count(&self) -> usize {
+        self.conflict.iter().filter(|&&c| c).count()
+    }
+}
+
+/// Build the dependence graph for `nests` under the given size bindings.
+pub fn dependence_graph(
+    nests: &[LoopNest],
+    sizes: &BTreeMap<Symbol, i64>,
+) -> Result<DepGraph, SchedError> {
+    let n = nests.len();
+    let boxes: Vec<Vec<ResolvedBox>> = nests
+        .iter()
+        .map(|nest| resolve_boxes(nest, sizes))
+        .collect::<Result<_, _>>()?;
+    let mut conflict = vec![false; n * n];
+    for a in 0..n {
+        for b in a + 1..n {
+            let clash = boxes[a].iter().any(|x| {
+                boxes[b].iter().any(|y| {
+                    if x.array != y.array {
+                        return false;
+                    }
+                    // Write/write races only on overlapping boxes (the
+                    // disjoint adjoint decomposition must fuse). A write
+                    // paired with a read of the same array conflicts even
+                    // when the boxes are disjoint: the executor refuses to
+                    // alias a written array with a read one within a single
+                    // plan, so such nests must land in separate groups.
+                    match (x.write, y.write) {
+                        (true, true) => x.overlaps(y),
+                        (true, false) | (false, true) => true,
+                        (false, false) => false,
+                    }
+                })
+            });
+            conflict[a * n + b] = clash;
+        }
+    }
+    Ok(DepGraph { n, conflict, boxes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+    use perforad_symbolic::{ix, Array, Idx};
+
+    fn sizes(n: i64) -> BTreeMap<Symbol, i64> {
+        let mut m = BTreeMap::new();
+        m.insert(Symbol::new("n"), n);
+        m
+    }
+
+    fn writer(lo: i64, hi: i64) -> LoopNest {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        make_loop_nest(
+            &Array::new("w").at(ix![&i]),
+            u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(lo), Idx::constant(hi))],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn overlapping_writers_conflict() {
+        let g = dependence_graph(&[writer(0, 10), writer(5, 15)], &sizes(32)).unwrap();
+        assert!(g.conflicts(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn disjoint_writers_do_not_conflict() {
+        let g = dependence_graph(&[writer(0, 10), writer(11, 20)], &sizes(32)).unwrap();
+        assert!(!g.conflicts(0, 1));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn read_write_overlap_conflicts() {
+        // Nest 0 writes w over [0,10]; nest 1 reads w over [4,14].
+        let i = Symbol::new("i");
+        let w = Array::new("w");
+        let reader = make_loop_nest(
+            &Array::new("v").at(ix![&i]),
+            w.at(ix![&i - 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(5), Idx::constant(15))],
+        )
+        .unwrap();
+        let g = dependence_graph(&[writer(0, 10), reader], &sizes(32)).unwrap();
+        assert!(g.conflicts(0, 1));
+    }
+
+    #[test]
+    fn disjoint_write_and_read_of_same_array_still_conflict() {
+        // Nest 0 writes w over [0,10]; nest 1 reads w over [20,30] — no
+        // overlap, but the plan compiler cannot host both in one region
+        // (AliasedWrite), so the graph must split them.
+        let i = Symbol::new("i");
+        let w = Array::new("w");
+        let reader = make_loop_nest(
+            &Array::new("v").at(ix![&i]),
+            w.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(20), Idx::constant(30))],
+        )
+        .unwrap();
+        let g = dependence_graph(&[writer(0, 10), reader], &sizes(64)).unwrap();
+        assert!(g.conflicts(0, 1));
+    }
+
+    #[test]
+    fn shared_reads_do_not_conflict() {
+        // Both nests read u over overlapping boxes but write disjoint arrays.
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let a = make_loop_nest(
+            &Array::new("p").at(ix![&i]),
+            u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::constant(20))],
+        )
+        .unwrap();
+        let b = make_loop_nest(
+            &Array::new("q").at(ix![&i]),
+            u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::constant(20))],
+        )
+        .unwrap();
+        let g = dependence_graph(&[a, b], &sizes(32)).unwrap();
+        assert!(!g.conflicts(0, 1));
+    }
+
+    #[test]
+    fn disjoint_adjoint_nests_are_conflict_free() {
+        // The §3.2 adjoint: 5 nests, pairwise-disjoint write regions over
+        // u_b, shared reads of c and r_b — conflict-free by construction.
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c) = (Array::new("u"), Array::new("c"));
+        let nest = make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+        let g = dependence_graph(&adj.nests, &sizes(32)).unwrap();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn unbound_size_is_reported() {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        let nest = make_loop_nest(
+            &Array::new("w").at(ix![&i]),
+            u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(0), Idx::sym(n))],
+        )
+        .unwrap();
+        let err = dependence_graph(std::slice::from_ref(&nest), &BTreeMap::new()).unwrap_err();
+        assert_eq!(err, SchedError::UnboundSize("n".into()));
+    }
+}

@@ -1,0 +1,75 @@
+//! # perforad-sched
+//!
+//! The execution scheduler of **PerforAD-rs**: fuses the loop nests of an
+//! adjoint stencil transformation into barrier-minimal, cache-blocked,
+//! dependence-checked parallel passes.
+//!
+//! The adjoint transformation (Hückelheim et al., ICPP 2019) emits one
+//! core nest plus `O(4^d)` boundary nests, all race-free by construction.
+//! Executing them as isolated plans pays one thread-pool barrier (and one
+//! sweep of cold memory) *per nest*. The follow-on OpenMP AD work
+//! (Hückelheim & Hascoët, 2021) observes that scheduling — not arithmetic
+//! — dominates adjoint loop performance. This crate closes that gap:
+//!
+//! 1. **Dependence graph** ([`graph`]): each nest's read/write footprints
+//!    come from the disjoint-region metadata in `perforad_core::regions`
+//!    ([`perforad_core::access_boxes`]); nests conflict when they write
+//!    the same array over overlapping boxes, or when one writes an array
+//!    the other reads at all.
+//! 2. **Fusion** ([`fuse`]): conflict-free nests merge into groups — the
+//!    disjoint decomposition's nests always form a *single* group, so the
+//!    53 nests of the 3-D wave adjoint run in one parallel region.
+//! 3. **Tiling** ([`schedule`]): every nest's iteration box is cut into
+//!    cache-blocked [`Tile`]s (1-D/2-D/3-D, configurable edges), so the
+//!    small boundary nests ride along with the core loop's tile stream.
+//! 4. **Execution** ([`run_schedule`]): tiles are assigned to
+//!    [`ThreadPool`] workers statically (LPT pre-assignment) or
+//!    dynamically (shared counter), via the tile-granular entry points of
+//!    `perforad_exec::tile`.
+//!
+//! ```
+//! use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+//! use perforad_exec::{Binding, Grid, ThreadPool, Workspace};
+//! use perforad_sched::{compile_schedule, run_schedule, SchedOptions};
+//! use perforad_symbolic::{ix, Array, Idx, Symbol};
+//!
+//! let (i, n) = (Symbol::new("i"), Symbol::new("n"));
+//! let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
+//! let body = c.at(ix![&i]) * (2.0*u.at(ix![&i - 1]) - 3.0*u.at(ix![&i]) + 4.0*u.at(ix![&i + 1]));
+//! let nest = make_loop_nest(&r.at(ix![&i]), body, vec![i.clone()],
+//!                           vec![(Idx::constant(1), Idx::sym(n) - 1)]).unwrap();
+//! let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+//! let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+//!
+//! let mut ws = Workspace::new()
+//!     .with("u", Grid::from_fn(&[65], |ix| ix[0] as f64))
+//!     .with("c", Grid::full(&[65], 0.5))
+//!     .with("r", Grid::zeros(&[65]))
+//!     .with("u_b", Grid::zeros(&[65]))
+//!     .with("r_b", Grid::full(&[65], 1.0));
+//! let bind = Binding::new().size("n", 64);
+//!
+//! let schedule = compile_schedule(&adj, &ws, &bind, &SchedOptions::default()).unwrap();
+//! assert_eq!(schedule.group_count(), 1);   // all 5 nests fused, one barrier
+//! assert_eq!(schedule.max_fused(), 5);
+//!
+//! let pool = ThreadPool::new(4);
+//! run_schedule(&schedule, &mut ws, &pool).unwrap();
+//! assert!(ws.grid("u_b").sum() != 0.0);
+//! ```
+//!
+//! [`Tile`]: perforad_exec::Tile
+//! [`ThreadPool`]: perforad_exec::ThreadPool
+
+pub mod error;
+pub mod fuse;
+pub mod graph;
+pub mod schedule;
+
+pub use error::SchedError;
+pub use fuse::fuse_groups;
+pub use graph::{dependence_graph, resolve_boxes, DepGraph, ResolvedBox};
+pub use schedule::{
+    compile_schedule, compile_schedule_nests, default_tile, run_schedule, run_schedule_serial,
+    FusedGroup, SchedOptions, Schedule, TilePolicy,
+};

@@ -1,0 +1,636 @@
+//! Schedule compilation and execution.
+//!
+//! [`compile_schedule`] turns an [`Adjoint`] (or any list of loop nests
+//! sharing counters) into a [`Schedule`]: the nests are partitioned into
+//! fusion groups by the dependence graph, each group is compiled into an
+//! executable [`Plan`], and its iteration space is cut into cache-blocked
+//! [`Tile`]s. [`run_schedule`] then executes each group as a *single*
+//! parallel region — core and boundary nests interleaved tile by tile —
+//! paying one barrier per group instead of one per nest.
+
+use crate::error::SchedError;
+use crate::fuse::fuse_groups;
+use crate::graph::{dependence_graph, DepGraph};
+use perforad_core::{Adjoint, BoundaryStrategy, LoopNest};
+use perforad_exec::kernel::PlanOptions;
+use perforad_exec::{
+    compile_nests_opts, tile_nest, Binding, ExecStats, Plan, ThreadPool, Tile, TileRunner,
+    Workspace,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How tiles are assigned to pool workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TilePolicy {
+    /// Tiles are pre-assigned to workers by longest-processing-time
+    /// balancing of their point counts (OpenMP `schedule(static)` in
+    /// spirit: zero runtime coordination).
+    Static,
+    /// Workers pull tiles from a shared atomic counter as they finish
+    /// (work-stealing-style; OpenMP `schedule(dynamic)`), absorbing the
+    /// irregular boundary tiles without idling.
+    #[default]
+    Dynamic,
+}
+
+/// Options for [`compile_schedule`].
+#[derive(Clone, Debug, Default)]
+pub struct SchedOptions {
+    /// Per-dimension tile edges. `None` picks a rank-based default; a
+    /// single element broadcasts to every dimension.
+    pub tile: Option<Vec<i64>>,
+    /// Tile-to-worker assignment policy.
+    pub policy: TilePolicy,
+    /// Apply per-statement common-subexpression elimination when lowering.
+    pub cse: bool,
+}
+
+impl SchedOptions {
+    pub fn with_tile(mut self, tile: &[i64]) -> Self {
+        self.tile = Some(tile.to_vec());
+        self
+    }
+
+    pub fn with_policy(mut self, policy: TilePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_cse(mut self, cse: bool) -> Self {
+        self.cse = cse;
+        self
+    }
+}
+
+/// Default tile edges per rank: long innermost blocks (the contiguous,
+/// streamed dimension), small outer blocks, sized so a tile's working set
+/// (a handful of f64 arrays) stays within a per-core L2.
+pub fn default_tile(rank: usize) -> Vec<i64> {
+    match rank {
+        1 => vec![1 << 14],
+        2 => vec![64, 1 << 10],
+        3 => vec![16, 32, 512],
+        r => {
+            let mut t = vec![8; r];
+            t[r - 1] = 256;
+            t
+        }
+    }
+}
+
+/// One fusion group: a set of mutually independent nests compiled into
+/// their own [`Plan`], executed as a single parallel region.
+///
+/// Each group carries a separate plan so that cross-group producer →
+/// consumer flows (nest B reads what nest A wrote) compile: within one
+/// plan the executor forbids write/read aliasing — precisely the
+/// single-region race condition — while across groups the barrier makes
+/// the flow safe.
+#[derive(Clone, Debug)]
+pub struct FusedGroup {
+    /// Indices into the source nest list, aligned with `plan.nests`.
+    pub nests: Vec<usize>,
+    /// The group's compiled nests.
+    pub plan: Plan,
+    /// The group's tiles (`Tile::nest` indexes `plan.nests`), sorted by
+    /// descending point count (LPT order).
+    pub tiles: Vec<Tile>,
+}
+
+impl FusedGroup {
+    /// Iteration points across the group.
+    pub fn points(&self) -> u64 {
+        self.tiles.iter().map(Tile::points).sum()
+    }
+}
+
+/// A fused, tiled, dependence-checked execution schedule.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    /// Fusion groups in execution order; a barrier separates consecutive
+    /// groups, no synchronisation happens within one.
+    pub groups: Vec<FusedGroup>,
+    /// The dependence graph the grouping was derived from.
+    pub graph: DepGraph,
+    /// Tile edges used, aligned with the nest rank.
+    pub tile: Vec<i64>,
+    /// Worker-assignment policy.
+    pub policy: TilePolicy,
+}
+
+impl Schedule {
+    /// Number of barrier-separated parallel regions.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Size of the largest fusion group (how many nests share one region).
+    pub fn max_fused(&self) -> usize {
+        self.groups.iter().map(|g| g.nests.len()).max().unwrap_or(0)
+    }
+
+    /// Total tile count.
+    pub fn tile_count(&self) -> usize {
+        self.groups.iter().map(|g| g.tiles.len()).sum()
+    }
+
+    /// True when every scheduled nest writes only at its centre point.
+    pub fn gather_only(&self) -> bool {
+        self.groups.iter().all(|g| g.plan.gather_only)
+    }
+
+    /// Total iteration points over all groups.
+    pub fn points(&self) -> u64 {
+        self.groups.iter().map(|g| g.plan.points()).sum()
+    }
+
+    /// One-line summary for logs and bench output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} nests -> {} group(s), {} tiles (tile {:?}, {:?}, {} conflict edges)",
+            self.graph.len(),
+            self.group_count(),
+            self.tile_count(),
+            self.tile,
+            self.policy,
+            self.graph.edge_count(),
+        )
+    }
+}
+
+fn resolve_tile(opts: &SchedOptions, rank: usize) -> Result<Vec<i64>, SchedError> {
+    let tile = match &opts.tile {
+        None => default_tile(rank),
+        Some(t) if t.len() == 1 => vec![t[0]; rank],
+        Some(t) if t.len() == rank => t.clone(),
+        Some(t) => {
+            return Err(SchedError::BadTile(format!(
+                "{} tile edges for a rank-{rank} nest",
+                t.len()
+            )))
+        }
+    };
+    if let Some(&bad) = tile.iter().find(|&&t| t < 1) {
+        return Err(SchedError::BadTile(format!("non-positive tile edge {bad}")));
+    }
+    Ok(tile)
+}
+
+/// Compile a list of loop nests (sharing counters, as produced by one
+/// adjoint transformation) into a fused, tiled schedule.
+pub fn compile_schedule_nests(
+    nests: &[LoopNest],
+    ws: &Workspace,
+    binding: &Binding,
+    padded: bool,
+    opts: &SchedOptions,
+) -> Result<Schedule, SchedError> {
+    if nests.is_empty() {
+        return Err(SchedError::BadInput("no nests to schedule".into()));
+    }
+    if let Some(bad) = nests.iter().find(|n| n.rank() != nests[0].rank()) {
+        return Err(SchedError::BadInput(format!(
+            "mixed ranks in one nest list ({} vs {})",
+            nests[0].rank(),
+            bad.rank()
+        )));
+    }
+    let graph = dependence_graph(nests, &binding.sizes)?;
+    let tile = resolve_tile(opts, nests[0].rank())?;
+    let plan_opts = PlanOptions {
+        padded,
+        cse: opts.cse,
+    };
+    let groups = fuse_groups(&graph)
+        .into_iter()
+        .map(|members| {
+            let group_nests: Vec<LoopNest> = members.iter().map(|&m| nests[m].clone()).collect();
+            let plan = compile_nests_opts(&group_nests, ws, binding, plan_opts)?;
+            let mut tiles: Vec<Tile> = (0..plan.nests.len())
+                .flat_map(|local| tile_nest(&plan, local, &tile))
+                .collect();
+            // LPT order: hand the big core tiles out first so stragglers
+            // are the small boundary tiles.
+            tiles.sort_by_key(|t| std::cmp::Reverse(t.points()));
+            let group = FusedGroup {
+                nests: members,
+                plan,
+                tiles,
+            };
+            debug_assert_eq!(
+                group.points(),
+                group.plan.points(),
+                "tiles must cover the group's iteration space exactly"
+            );
+            Ok(group)
+        })
+        .collect::<Result<Vec<_>, SchedError>>()?;
+    Ok(Schedule {
+        groups,
+        graph,
+        tile,
+        policy: opts.policy,
+    })
+}
+
+/// Compile a full adjoint into a fused, tiled schedule, checking the
+/// minimum-extent requirement of the disjoint decomposition (as
+/// [`perforad_exec::compile_adjoint`] does) and honouring the padded
+/// boundary strategy.
+pub fn compile_schedule(
+    adj: &Adjoint,
+    ws: &Workspace,
+    binding: &Binding,
+    opts: &SchedOptions,
+) -> Result<Schedule, SchedError> {
+    perforad_exec::check_adjoint_extents(adj, binding)?;
+    let padded = adj.strategy == BoundaryStrategy::Padded;
+    compile_schedule_nests(&adj.nests, ws, binding, padded, opts)
+}
+
+/// Execute a schedule on a worker pool: each fusion group runs as one
+/// parallel region (tiles of all member nests interleaved), groups
+/// separated by the pool's region barrier. Requires a gather-only plan —
+/// the race-freedom argument is per-point centre writes plus the
+/// dependence check.
+pub fn run_schedule(
+    schedule: &Schedule,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, SchedError> {
+    if !schedule.gather_only() {
+        return Err(SchedError::ScatterPlan);
+    }
+    for group in &schedule.groups {
+        let runner = TileRunner::new(&group.plan, ws)?;
+        match schedule.policy {
+            TilePolicy::Dynamic => {
+                let counter = AtomicUsize::new(0);
+                pool.run(&|_tid| {
+                    let mut scratch = runner.scratch();
+                    loop {
+                        let k = counter.fetch_add(1, Ordering::Relaxed);
+                        if k >= group.tiles.len() {
+                            break;
+                        }
+                        // SAFETY: tiles within a group have disjoint write
+                        // sets (gather-only plan + per-nest disjoint boxes +
+                        // dependence-checked cross-nest write regions), and
+                        // the atomic counter hands each tile to one worker.
+                        unsafe { runner.run_tile(&group.tiles[k], &mut scratch) };
+                    }
+                });
+            }
+            TilePolicy::Static => {
+                let assignment = lpt_assign(&group.tiles, pool.size());
+                pool.run(&|tid| {
+                    let mut scratch = runner.scratch();
+                    for &k in &assignment[tid] {
+                        // SAFETY: as above; the LPT bins partition the tile
+                        // list, so no tile runs on two workers.
+                        unsafe { runner.run_tile(&group.tiles[k], &mut scratch) };
+                    }
+                });
+            }
+        }
+    }
+    Ok(ExecStats {
+        points: schedule.points(),
+    })
+}
+
+/// Run serially (tile order, no pool) — the determinism reference.
+pub fn run_schedule_serial(
+    schedule: &Schedule,
+    ws: &mut Workspace,
+) -> Result<ExecStats, SchedError> {
+    if !schedule.gather_only() {
+        return Err(SchedError::ScatterPlan);
+    }
+    for group in &schedule.groups {
+        let runner = TileRunner::new(&group.plan, ws)?;
+        let mut scratch = runner.scratch();
+        for t in &group.tiles {
+            // SAFETY: single-threaded execution cannot race.
+            unsafe { runner.run_tile(t, &mut scratch) };
+        }
+    }
+    Ok(ExecStats {
+        points: schedule.points(),
+    })
+}
+
+/// Longest-processing-time assignment of tiles to `workers` bins (tiles
+/// are already sorted descending by points).
+fn lpt_assign(tiles: &[Tile], workers: usize) -> Vec<Vec<usize>> {
+    let workers = workers.max(1);
+    let mut bins: Vec<Vec<usize>> = vec![Vec::new(); workers];
+    let mut load = vec![0u64; workers];
+    for (k, t) in tiles.iter().enumerate() {
+        let w = (0..workers).min_by_key(|&w| load[w]).unwrap();
+        bins[w].push(k);
+        load[w] += t.points().max(1);
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+    use perforad_exec::{compile_adjoint, run_serial, Grid};
+    use perforad_symbolic::{ix, Array, Idx, Symbol};
+
+    fn paper_nest() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c) = (Array::new("u"), Array::new("c"));
+        make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    fn setup(n: usize) -> (Workspace, Binding) {
+        let mut ws = Workspace::new();
+        ws.insert(
+            "u",
+            Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5),
+        );
+        ws.insert("c", Grid::from_fn(&[n + 1], |ix| 0.5 + 0.1 * ix[0] as f64));
+        ws.insert("r", Grid::zeros(&[n + 1]));
+        ws.insert("u_b", Grid::zeros(&[n + 1]));
+        ws.insert("r_b", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).cos()));
+        (ws, Binding::new().size("n", n as i64))
+    }
+
+    #[test]
+    fn adjoint_fuses_into_one_group() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, bind) = setup(64);
+        let s = compile_schedule(&adj, &ws, &bind, &SchedOptions::default()).unwrap();
+        assert_eq!(s.group_count(), 1, "{}", s.describe());
+        assert_eq!(s.max_fused(), 5);
+        assert!(s.gather_only());
+    }
+
+    #[test]
+    fn fused_parallel_matches_unfused_serial_bitwise() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+
+        // Unfused serial reference through the existing executor.
+        let (mut ws_ref, bind) = setup(257);
+        let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+        run_serial(&plan, &mut ws_ref).unwrap();
+
+        for policy in [TilePolicy::Dynamic, TilePolicy::Static] {
+            let (mut ws, _) = setup(257);
+            let opts = SchedOptions::default().with_tile(&[16]).with_policy(policy);
+            let s = compile_schedule(&adj, &ws, &bind, &opts).unwrap();
+            let pool = ThreadPool::new(4);
+            run_schedule(&s, &mut ws, &pool).unwrap();
+            assert_eq!(
+                ws.grid("u_b").max_abs_diff(ws_ref.grid("u_b")),
+                0.0,
+                "policy {policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_writes_never_fuse() {
+        // Negative dependence test: two gather nests writing the same array
+        // over overlapping boxes must land in different groups.
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let mk = |lo: i64, hi: i64| {
+            make_loop_nest(
+                &Array::new("w").at(ix![&i]),
+                u.at(ix![&i]),
+                vec![i.clone()],
+                vec![(Idx::constant(lo), Idx::constant(hi))],
+            )
+            .unwrap()
+        };
+        let nests = [mk(1, 20), mk(10, 30)];
+        let ws = Workspace::new()
+            .with("u", Grid::zeros(&[40]))
+            .with("w", Grid::zeros(&[40]));
+        let bind = Binding::new();
+        let s =
+            compile_schedule_nests(&nests, &ws, &bind, false, &SchedOptions::default()).unwrap();
+        assert_eq!(s.group_count(), 2, "{}", s.describe());
+        assert!(s.graph.conflicts(0, 1));
+
+        // Disjoint variants fuse.
+        let nests = [mk(1, 20), mk(21, 30)];
+        let s =
+            compile_schedule_nests(&nests, &ws, &bind, false, &SchedOptions::default()).unwrap();
+        assert_eq!(s.group_count(), 1);
+    }
+
+    #[test]
+    fn barrier_between_groups_orders_raw_dependences() {
+        // Nest 1 reads what nest 0 writes: a fused run must still see the
+        // serial result because the groups execute in order.
+        let i = Symbol::new("i");
+        let (u, w) = (Array::new("u"), Array::new("w"));
+        let first = make_loop_nest(
+            &w.at(ix![&i]),
+            2.0 * u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::constant(30))],
+        )
+        .unwrap();
+        let second = make_loop_nest(
+            &Array::new("v").at(ix![&i]),
+            w.at(ix![&i - 1]) + w.at(ix![&i + 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(2), Idx::constant(29))],
+        )
+        .unwrap();
+        let nests = [first.clone(), second.clone()];
+        let build = || {
+            Workspace::new()
+                .with("u", Grid::from_fn(&[32], |ix| ix[0] as f64))
+                .with("w", Grid::zeros(&[32]))
+                .with("v", Grid::zeros(&[32]))
+        };
+        let bind = Binding::new();
+        let mut ws = build();
+        let opts = SchedOptions::default().with_tile(&[4]);
+        let s = compile_schedule_nests(&nests, &ws, &bind, false, &opts).unwrap();
+        assert_eq!(s.group_count(), 2);
+        let pool = ThreadPool::new(4);
+        run_schedule(&s, &mut ws, &pool).unwrap();
+
+        let mut ws_ref = build();
+        let p1 = perforad_exec::compile_nest(&first, &ws_ref, &bind).unwrap();
+        run_serial(&p1, &mut ws_ref).unwrap();
+        let p2 = perforad_exec::compile_nest(&second, &ws_ref, &bind).unwrap();
+        run_serial(&p2, &mut ws_ref).unwrap();
+        assert_eq!(ws.grid("v").max_abs_diff(ws_ref.grid("v")), 0.0);
+    }
+
+    #[test]
+    fn disjoint_producer_consumer_schedules_into_two_groups() {
+        // Nest 0 writes w[1..10]; nest 1 reads w[20..30] (disjoint) into v.
+        // The executor cannot host both in one plan (AliasedWrite), so the
+        // scheduler must split them rather than fail compilation.
+        let i = Symbol::new("i");
+        let (u, w) = (Array::new("u"), Array::new("w"));
+        let producer = make_loop_nest(
+            &w.at(ix![&i]),
+            3.0 * u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::constant(10))],
+        )
+        .unwrap();
+        let consumer = make_loop_nest(
+            &Array::new("v").at(ix![&i]),
+            w.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(20), Idx::constant(30))],
+        )
+        .unwrap();
+        let mut ws = Workspace::new()
+            .with("u", Grid::from_fn(&[40], |ix| ix[0] as f64))
+            .with("w", Grid::full(&[40], 7.0))
+            .with("v", Grid::zeros(&[40]));
+        let bind = Binding::new();
+        let s = compile_schedule_nests(
+            &[producer, consumer],
+            &ws,
+            &bind,
+            false,
+            &SchedOptions::default(),
+        )
+        .expect("disjoint producer/consumer must schedule, not fail");
+        assert_eq!(s.group_count(), 2, "{}", s.describe());
+        let pool = ThreadPool::new(2);
+        run_schedule(&s, &mut ws, &pool).unwrap();
+        assert_eq!(ws.grid("w").get(&[5]), 15.0);
+        assert_eq!(ws.grid("v").get(&[25]), 7.0);
+    }
+
+    #[test]
+    fn scatter_plans_are_rejected() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let sc = paper_nest().scatter_adjoint(&act).unwrap();
+        let (mut ws, bind) = setup(32);
+        let s = compile_schedule_nests(
+            std::slice::from_ref(&sc),
+            &ws,
+            &bind,
+            false,
+            &SchedOptions::default(),
+        )
+        .unwrap();
+        let pool = ThreadPool::new(2);
+        assert_eq!(
+            run_schedule(&s, &mut ws, &pool).unwrap_err(),
+            SchedError::ScatterPlan
+        );
+    }
+
+    #[test]
+    fn extent_check_matches_compile_adjoint() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, _) = setup(10);
+        let err = compile_schedule(
+            &adj,
+            &ws,
+            &Binding::new().size("n", 2),
+            &SchedOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::Exec(perforad_exec::ExecError::ExtentTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_mixed_rank_nest_lists_are_errors_not_panics() {
+        let ws = Workspace::new()
+            .with("u", Grid::zeros(&[8]))
+            .with("w", Grid::zeros(&[8]));
+        let bind = Binding::new();
+        let err =
+            compile_schedule_nests(&[], &ws, &bind, false, &SchedOptions::default()).unwrap_err();
+        assert!(matches!(err, SchedError::BadInput(_)), "{err}");
+
+        let i = Symbol::new("i");
+        let j = Symbol::new("j");
+        let u = Array::new("u");
+        let one_d = make_loop_nest(
+            &Array::new("w").at(ix![&i]),
+            u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::constant(5))],
+        )
+        .unwrap();
+        let two_d = make_loop_nest(
+            &Array::new("v").at(ix![&i, &j]),
+            Array::new("p").at(ix![&i, &j]),
+            vec![i.clone(), j.clone()],
+            vec![
+                (Idx::constant(1), Idx::constant(5)),
+                (Idx::constant(1), Idx::constant(5)),
+            ],
+        )
+        .unwrap();
+        let err =
+            compile_schedule_nests(&[one_d, two_d], &ws, &bind, false, &SchedOptions::default())
+                .unwrap_err();
+        assert!(matches!(err, SchedError::BadInput(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_tiles_are_rejected() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, bind) = setup(32);
+        for bad in [vec![0i64], vec![4, 4]] {
+            let opts = SchedOptions::default().with_tile(&bad);
+            assert!(matches!(
+                compile_schedule(&adj, &ws, &bind, &opts),
+                Err(SchedError::BadTile(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn lpt_balances_loads() {
+        let tiles: Vec<Tile> = (0..10)
+            .map(|k| Tile {
+                nest: 0,
+                lo: vec![0],
+                hi: vec![9 - (k % 3)],
+            })
+            .collect();
+        let bins = lpt_assign(&tiles, 3);
+        assert_eq!(bins.iter().map(Vec::len).sum::<usize>(), 10);
+        let loads: Vec<u64> = bins
+            .iter()
+            .map(|b| b.iter().map(|&k| tiles[k].points()).sum())
+            .collect();
+        let (lo, hi) = (loads.iter().min().unwrap(), loads.iter().max().unwrap());
+        assert!(hi - lo <= 10, "loads {loads:?}");
+    }
+}

@@ -52,7 +52,10 @@ pub fn diff(e: &Expr, v: &DiffVar) -> Result<Expr, SymError> {
             _ => Expr::zero(),
         },
         Node::Add(ts) => {
-            let parts = ts.iter().map(|t| diff(t, v)).collect::<Result<Vec<_>, _>>()?;
+            let parts = ts
+                .iter()
+                .map(|t| diff(t, v))
+                .collect::<Result<Vec<_>, _>>()?;
             Expr::add_all(parts)
         }
         Node::Mul(fs) => {
@@ -120,7 +123,9 @@ pub fn diff(e: &Expr, v: &DiffVar) -> Result<Expr, SymError> {
                 }
             }
             if depends {
-                return Err(SymError::SecondOrderUninterpreted(app.name.name().to_string()));
+                return Err(SymError::SecondOrderUninterpreted(
+                    app.name.name().to_string(),
+                ));
             }
             Expr::zero()
         }

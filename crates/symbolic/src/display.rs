@@ -200,10 +200,7 @@ mod tests {
         let (_, uc, _) = parts();
         assert_eq!(uc.clone().powi(2).to_string(), "u(i)**2");
         assert_eq!(uc.clone().sin().to_string(), "sin(u(i))");
-        assert_eq!(
-            uc.clone().max(Expr::zero()).to_string(),
-            "max(u(i), 0)"
-        );
+        assert_eq!(uc.clone().max(Expr::zero()).to_string(), "max(u(i), 0)");
     }
 
     #[test]

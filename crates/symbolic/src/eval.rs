@@ -329,7 +329,8 @@ mod tests {
         let i = Symbol::new("i");
         let u = Array::new("u");
         let c = Array::new("c");
-        let e = c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
+        let e = c.at(ix![&i])
+            * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1]));
         let ctx = MapCtx::new()
             .index("i", 1)
             .array1("u", vec![1.0, 2.0, 3.0])

@@ -412,24 +412,30 @@ impl Ord for Expr {
         if Arc::ptr_eq(&self.0, &other.0) {
             return Ordering::Equal;
         }
-        self.rank().cmp(&other.rank()).then_with(|| match (self.node(), other.node()) {
-            (Node::Num(a), Node::Num(b)) => a.total_cmp(b),
-            (Node::Sym(a), Node::Sym(b)) => a.cmp(b),
-            (Node::Access(a), Node::Access(b)) => a.cmp(b),
-            (Node::Pow(ab, ae), Node::Pow(bb, be)) => ab.cmp(bb).then_with(|| ae.cmp(be)),
-            (Node::Mul(a), Node::Mul(b)) | (Node::Add(a), Node::Add(b)) => cmp_slices(a, b),
-            (Node::Call(af, aa), Node::Call(bf, ba)) => af.cmp(bf).then_with(|| cmp_slices(aa, ba)),
-            (Node::Select(ac, at, ae), Node::Select(bc, bt, be)) => ac
-                .lhs
-                .cmp(&bc.lhs)
-                .then_with(|| ac.rel.cmp(&bc.rel))
-                .then_with(|| ac.rhs.cmp(&bc.rhs))
-                .then_with(|| at.cmp(bt))
-                .then_with(|| ae.cmp(be)),
-            (Node::UFun(a), Node::UFun(b)) => cmp_ufun(a, b),
-            (Node::UDeriv(a, ak), Node::UDeriv(b, bk)) => cmp_ufun(a, b).then_with(|| ak.cmp(bk)),
-            _ => unreachable!("rank already distinguishes variants"),
-        })
+        self.rank()
+            .cmp(&other.rank())
+            .then_with(|| match (self.node(), other.node()) {
+                (Node::Num(a), Node::Num(b)) => a.total_cmp(b),
+                (Node::Sym(a), Node::Sym(b)) => a.cmp(b),
+                (Node::Access(a), Node::Access(b)) => a.cmp(b),
+                (Node::Pow(ab, ae), Node::Pow(bb, be)) => ab.cmp(bb).then_with(|| ae.cmp(be)),
+                (Node::Mul(a), Node::Mul(b)) | (Node::Add(a), Node::Add(b)) => cmp_slices(a, b),
+                (Node::Call(af, aa), Node::Call(bf, ba)) => {
+                    af.cmp(bf).then_with(|| cmp_slices(aa, ba))
+                }
+                (Node::Select(ac, at, ae), Node::Select(bc, bt, be)) => ac
+                    .lhs
+                    .cmp(&bc.lhs)
+                    .then_with(|| ac.rel.cmp(&bc.rel))
+                    .then_with(|| ac.rhs.cmp(&bc.rhs))
+                    .then_with(|| at.cmp(bt))
+                    .then_with(|| ae.cmp(be)),
+                (Node::UFun(a), Node::UFun(b)) => cmp_ufun(a, b),
+                (Node::UDeriv(a, ak), Node::UDeriv(b, bk)) => {
+                    cmp_ufun(a, b).then_with(|| ak.cmp(bk))
+                }
+                _ => unreachable!("rank already distinguishes variants"),
+            })
     }
 }
 

@@ -167,6 +167,7 @@ impl Number {
         }
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Number) -> Number {
         match (self.as_ratio(), other.as_ratio()) {
             (Some((an, ad)), Some((bn, bd))) => Number::from_checked(
@@ -177,19 +178,25 @@ impl Number {
         }
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Number) -> Number {
         match (self.as_ratio(), other.as_ratio()) {
-            (Some((an, ad)), Some((bn, bd))) => {
-                Number::from_checked(Rational::checked(an * bn, ad * bd), self.to_f64() * other.to_f64())
-            }
+            (Some((an, ad)), Some((bn, bd))) => Number::from_checked(
+                Rational::checked(an * bn, ad * bd),
+                self.to_f64() * other.to_f64(),
+            ),
             _ => Number::Float(self.to_f64() * other.to_f64()),
         }
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Number {
         match self {
             Number::Int(i) => Number::Int(-i),
-            Number::Rat(r) => Number::Rat(Rational { num: -r.num, den: r.den }),
+            Number::Rat(r) => Number::Rat(Rational {
+                num: -r.num,
+                den: r.den,
+            }),
             Number::Float(f) => Number::Float(-f),
         }
     }
@@ -252,7 +259,10 @@ impl Number {
                 }
             }
             if !overflow {
-                return Number::from_checked(Rational::checked(rn, rd), self.to_f64().powi(e as i32));
+                return Number::from_checked(
+                    Rational::checked(rn, rd),
+                    self.to_f64().powi(e as i32),
+                );
             }
         }
         Number::Float(self.to_f64().powi(e as i32))
@@ -404,6 +414,9 @@ mod tests {
     #[test]
     fn int_and_float_two_are_distinct_but_close_in_order() {
         assert_ne!(Number::Int(2), Number::Float(2.0));
-        assert_ne!(Number::Int(2).total_cmp(&Number::Float(2.0)), Ordering::Equal);
+        assert_ne!(
+            Number::Int(2).total_cmp(&Number::Float(2.0)),
+            Ordering::Equal
+        );
     }
 }

@@ -197,13 +197,18 @@ pub fn call(f: Func, args: Vec<Expr>) -> Expr {
         if let Some(n) = args[0].as_num() {
             let x = n.to_f64();
             if n.is_exact() {
+                #[allow(clippy::redundant_guards)] // float literal patterns are forbidden
                 match (f, x) {
                     (Func::Sin | Func::Tan | Func::Tanh | Func::Sqrt, v) if v == 0.0 => {
                         return Expr::zero()
                     }
                     (Func::Cos | Func::Exp, v) if v == 0.0 => return Expr::one(),
                     (Func::Ln | Func::Sqrt, v) if v == 1.0 => {
-                        return if f == Func::Ln { Expr::zero() } else { Expr::one() }
+                        return if f == Func::Ln {
+                            Expr::zero()
+                        } else {
+                            Expr::one()
+                        }
                     }
                     _ => {}
                 }
@@ -437,10 +442,7 @@ mod tests {
         let inner = Expr::add_all(vec![x.clone(), y.clone()]);
         let e = Expr::add_all(vec![inner, x.clone()]);
         // x appears twice -> coefficient 2
-        let expected = Expr::add_all(vec![
-            Expr::mul_all(vec![Expr::int(2), x]),
-            y,
-        ]);
+        let expected = Expr::add_all(vec![Expr::mul_all(vec![Expr::int(2), x]), y]);
         assert_eq!(e, expected);
     }
 
@@ -479,7 +481,10 @@ mod tests {
         let x = u_at(0);
         let y = u_at(1);
         // 2*(x + y) -> 2x + 2y
-        let e = Expr::mul_all(vec![Expr::int(2), Expr::add_all(vec![x.clone(), y.clone()])]);
+        let e = Expr::mul_all(vec![
+            Expr::int(2),
+            Expr::add_all(vec![x.clone(), y.clone()]),
+        ]);
         let ex = expand(&e);
         let expected = Expr::add_all(vec![
             Expr::mul_all(vec![Expr::int(2), x.clone()]),

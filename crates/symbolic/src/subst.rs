@@ -39,12 +39,20 @@ fn rebuild(
         ),
         Node::UFun(app) => {
             let mut app = app.clone();
-            app.args = app.args.iter().map(|t| rebuild(t, on_access, on_sym)).collect();
+            app.args = app
+                .args
+                .iter()
+                .map(|t| rebuild(t, on_access, on_sym))
+                .collect();
             Expr::ufun(app)
         }
         Node::UDeriv(app, k) => {
             let mut app = app.clone();
-            app.args = app.args.iter().map(|t| rebuild(t, on_access, on_sym)).collect();
+            app.args = app
+                .args
+                .iter()
+                .map(|t| rebuild(t, on_access, on_sym))
+                .collect();
             Expr::uderiv(app, *k)
         }
     }
@@ -91,14 +99,10 @@ pub fn shift(e: &Expr, counters: &[Symbol], delta: &[i64]) -> Expr {
 
 /// Substitute scalar expressions for scalar symbols (array indices untouched).
 pub fn subst_sym(e: &Expr, map: &BTreeMap<Symbol, Expr>) -> Expr {
-    rebuild(
-        e,
-        &|a| Expr::access(a.clone()),
-        &|s| match map.get(s) {
-            Some(rep) => rep.clone(),
-            None => Expr::sym(s.clone()),
-        },
-    )
+    rebuild(e, &|a| Expr::access(a.clone()), &|s| match map.get(s) {
+        Some(rep) => rep.clone(),
+        None => Expr::sym(s.clone()),
+    })
 }
 
 /// Replace whole array accesses by expressions (used to inline primal values
@@ -119,7 +123,10 @@ pub fn rename_arrays(e: &Expr, map: &BTreeMap<Symbol, Symbol>) -> Expr {
     rebuild(
         e,
         &|a| {
-            let name = map.get(&a.array).cloned().unwrap_or_else(|| a.array.clone());
+            let name = map
+                .get(&a.array)
+                .cloned()
+                .unwrap_or_else(|| a.array.clone());
             Expr::access(Access::new(name, a.indices.clone()))
         },
         &|s| Expr::sym(s.clone()),
@@ -138,7 +145,7 @@ mod tests {
         let u = Array::new("u");
         let c = Array::new("c");
         let e = c.at(ix![&i]) * u.at(ix![&i - 1]);
-        let shifted = shift(&e, &[i.clone()], &[1]);
+        let shifted = shift(&e, std::slice::from_ref(&i), &[1]);
         let expected = c.at(ix![&i + 1]) * u.at(ix![&i]);
         assert_eq!(shifted, expected);
     }

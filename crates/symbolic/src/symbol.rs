@@ -70,7 +70,7 @@ mod tests {
 
     #[test]
     fn symbols_order_by_name() {
-        let mut v = vec![Symbol::new("k"), Symbol::new("i"), Symbol::new("j")];
+        let mut v = [Symbol::new("k"), Symbol::new("i"), Symbol::new("j")];
         v.sort();
         let names: Vec<_> = v.iter().map(|s| s.name().to_string()).collect();
         assert_eq!(names, ["i", "j", "k"]);

@@ -50,7 +50,10 @@ pub fn accesses(e: &Expr) -> Vec<Access> {
 
 /// All distinct accesses to a particular array.
 pub fn accesses_of(e: &Expr, array: &Symbol) -> Vec<Access> {
-    accesses(e).into_iter().filter(|a| &a.array == array).collect()
+    accesses(e)
+        .into_iter()
+        .filter(|a| &a.array == array)
+        .collect()
 }
 
 /// Names of all arrays accessed.
@@ -120,7 +123,8 @@ mod tests {
         let i = Symbol::new("i");
         let u = Array::new("u");
         let c = Array::new("c");
-        let e = c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4 * u.at(ix![&i + 1]))
+        let e = c.at(ix![&i])
+            * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4 * u.at(ix![&i + 1]))
             + u.at(ix![&i]);
         let acc = accesses(&e);
         assert_eq!(acc.len(), 4); // c(i), u(i-1), u(i), u(i+1)

@@ -30,18 +30,28 @@ fn main() {
     let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
     let n = 256usize;
     let mut ws = Workspace::new()
-        .with("u_1", Grid::from_fn(&[n, n], |ix| {
-            if ix[0].abs_diff(n / 2) < n / 8 && ix[1].abs_diff(n / 2) < n / 8 {
-                1.0
-            } else {
-                0.0
-            }
-        }))
+        .with(
+            "u_1",
+            Grid::from_fn(&[n, n], |ix| {
+                if ix[0].abs_diff(n / 2) < n / 8 && ix[1].abs_diff(n / 2) < n / 8 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }),
+        )
         .with("u", Grid::zeros(&[n, n]))
-        .with("u_b", Grid::from_fn(&[n, n], |ix| {
-            let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
-            if interior { 1.0 } else { 0.0 }
-        }))
+        .with(
+            "u_b",
+            Grid::from_fn(&[n, n], |ix| {
+                let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
+                if interior {
+                    1.0
+                } else {
+                    0.0
+                }
+            }),
+        )
         .with("u_1_b", Grid::zeros(&[n, n]));
     let bind = Binding::new().size("n", n as i64).param("D", 0.2);
 

@@ -12,6 +12,7 @@
 //! * [`core`] — the loop-nest IR and the adjoint stencil transformation;
 //! * [`codegen`] — C/Rust back-ends and a DSL front-end;
 //! * [`exec`] — grids, thread pool, atomic-f64 baseline, bytecode VM;
+//! * [`sched`] — the fusion + tiling execution scheduler;
 //! * [`autodiff`] — tape-based conventional AD (verification baseline);
 //! * [`perfmodel`] — Broadwell/KNL analytic models for the figures;
 //! * [`pde`] — the wave/Burgers/heat test cases, seismic gradients,
@@ -28,13 +29,60 @@
 //! let adjoint = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
 //! assert_eq!(adjoint.nest_count(), 5);
 //! ```
+//!
+//! ## Scheduling
+//!
+//! The transformation emits a *set* of race-free loop nests — one core
+//! nest plus `O(4^d)` boundary nests. Executing each as its own
+//! [`exec::Plan`] re-synchronises the thread pool once per nest; the
+//! [`sched`] subsystem removes that overhead with a fuse/tile pipeline:
+//!
+//! 1. **Dependence graph** — read/write footprints from
+//!    [`core::access_boxes`] (the disjoint-region metadata of §3.3.3);
+//!    two nests conflict when they write the same array over overlapping
+//!    boxes, or when one writes an array the other reads at all.
+//! 2. **Fusion** — conflict-free nests merge into groups; the disjoint
+//!    adjoint decomposition always fuses into a *single* group (its write
+//!    regions are pairwise disjoint by construction), and nests with
+//!    overlapping write regions are never fused.
+//! 3. **Tiling** — each group's iteration space is cut into cache-blocked
+//!    [`exec::Tile`]s with configurable edges.
+//! 4. **Execution** — [`sched::run_schedule`] runs every group as one
+//!    parallel region, assigning tiles to workers statically (LPT) or
+//!    dynamically (shared counter), so boundary nests ride along with the
+//!    core loop instead of each paying a barrier.
+//!
+//! ```
+//! use perforad::prelude::*;
+//!
+//! let nest = parse_stencil(
+//!     "for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }",
+//! ).unwrap();
+//! let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+//! let adjoint = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+//!
+//! let mut ws = Workspace::new()
+//!     .with("u", Grid::from_fn(&[129], |ix| ix[0] as f64))
+//!     .with("c", Grid::full(&[129], 0.5))
+//!     .with("r", Grid::zeros(&[129]))
+//!     .with("u_b", Grid::zeros(&[129]))
+//!     .with("r_b", Grid::full(&[129], 1.0));
+//! let bind = Binding::new().size("n", 128);
+//!
+//! let schedule = compile_schedule(&adjoint, &ws, &bind, &SchedOptions::default()).unwrap();
+//! assert_eq!(schedule.group_count(), 1);   // 5 nests, one parallel region
+//!
+//! let pool = ThreadPool::new(4);
+//! run_schedule(&schedule, &mut ws, &pool).unwrap();
+//! ```
 
 pub use perforad_autodiff as autodiff;
 pub use perforad_codegen as codegen;
 pub use perforad_core as core;
 pub use perforad_exec as exec;
-pub use perforad_perfmodel as perfmodel;
 pub use perforad_pde as pde;
+pub use perforad_perfmodel as perfmodel;
+pub use perforad_sched as sched;
 pub use perforad_symbolic as symbolic;
 
 /// The most common imports in one place.
@@ -45,8 +93,9 @@ pub mod prelude {
         StencilSpec,
     };
     pub use perforad_exec::{
-        compile_adjoint, compile_nest, run_parallel, run_scatter_atomic, run_serial, Binding,
-        Grid, ThreadPool, Workspace,
+        compile_adjoint, compile_nest, run_parallel, run_scatter_atomic, run_serial, Binding, Grid,
+        ThreadPool, Workspace,
     };
+    pub use perforad_sched::{compile_schedule, run_schedule, SchedOptions, Schedule, TilePolicy};
     pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
 }

@@ -1,0 +1,56 @@
+//! Shared helpers for the integration tests.
+//!
+//! Randomness comes from a small deterministic xorshift generator (the
+//! workspace builds offline without proptest); every failure therefore
+//! reproduces exactly.
+
+// Each integration-test binary includes this module separately and uses a
+// different subset of the helpers.
+#![allow(dead_code)]
+
+/// Deterministic xorshift64* generator.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform in `[lo, hi]` (inclusive).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo + 1) as u64) as i64
+    }
+
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_i64(lo as i64, hi as i64) as usize
+    }
+
+    /// A sorted set of distinct offsets in `[lo, hi]`, size in `[1, max_len]`.
+    pub fn offset_set(&mut self, lo: i64, hi: i64, max_len: usize) -> Vec<i64> {
+        let len = self.range_usize(1, max_len);
+        let mut set = std::collections::BTreeSet::new();
+        while set.len() < len {
+            set.insert(self.range_i64(lo, hi));
+        }
+        set.into_iter().collect()
+    }
+
+    /// Coefficients in `[lo, hi]`, at least one non-zero.
+    pub fn coeffs(&mut self, lo: i64, hi: i64, len: usize) -> Vec<i64> {
+        loop {
+            let v: Vec<i64> = (0..len).map(|_| self.range_i64(lo, hi)).collect();
+            if v.iter().any(|&c| c != 0) {
+                return v;
+            }
+        }
+    }
+}

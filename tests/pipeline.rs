@@ -5,10 +5,9 @@ use perforad::prelude::*;
 
 #[test]
 fn dsl_roundtrip_matches_builder() {
-    let parsed = parse_stencil(
-        "for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }",
-    )
-    .unwrap();
+    let parsed =
+        parse_stencil("for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }")
+            .unwrap();
     let i = Symbol::new("i");
     let n = Symbol::new("n");
     let (u, c, r) = (Array::new("u"), Array::new("c"), Array::new("r"));
@@ -25,12 +24,13 @@ fn dsl_roundtrip_matches_builder() {
 #[test]
 fn c_codegen_of_paper_example_is_stable() {
     // The merged §3.2 core loop in C — constants swapped vs the primal.
-    let nest = parse_stencil(
-        "for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }",
-    )
-    .unwrap();
+    let nest =
+        parse_stencil("for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }")
+            .unwrap();
     let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
-    let adj = nest.adjoint(&act, &AdjointOptions::default().merged()).unwrap();
+    let adj = nest
+        .adjoint(&act, &AdjointOptions::default().merged())
+        .unwrap();
     let code = c_nest(adj.core_nest().unwrap(), &COptions::default(), 0);
     let expected = concat!(
         "#pragma omp parallel for private(i)\n",
@@ -59,7 +59,10 @@ fn two_d_anisotropic_stencil_full_pipeline() {
     let n = 24usize;
     let build_ws = || {
         Workspace::new()
-            .with("u", Grid::from_fn(&[n, n], |ix| ((ix[0] * 3 + ix[1]) % 7) as f64 - 3.0))
+            .with(
+                "u",
+                Grid::from_fn(&[n, n], |ix| ((ix[0] * 3 + ix[1]) % 7) as f64 - 3.0),
+            )
             .with("r", Grid::zeros(&[n, n]))
             .with("u_b", Grid::zeros(&[n, n]))
             .with(
@@ -105,7 +108,10 @@ fn uninterpreted_function_path_reaches_codegen() {
     let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
     let core = adj.core_nest().unwrap();
     let code = c_nest(core, &COptions::default(), 0);
-    assert!(code.contains("f_da("), "expected uninterpreted derivative call: {code}");
+    assert!(
+        code.contains("f_da("),
+        "expected uninterpreted derivative call: {code}"
+    );
     assert!(code.contains("f_db("), "{code}");
 }
 
@@ -122,5 +128,8 @@ fn extent_too_small_is_rejected_at_bind_time() {
         .with("u_b", Grid::zeros(&[n + 3]))
         .with("r_b", Grid::zeros(&[n + 3]));
     let err = compile_adjoint(&adj, &ws, &Binding::new().size("n", n as i64)).unwrap_err();
-    assert!(matches!(err, perforad::exec::ExecError::ExtentTooSmall { .. }));
+    assert!(matches!(
+        err,
+        perforad::exec::ExecError::ExtentTooSmall { .. }
+    ));
 }

@@ -69,7 +69,9 @@ fn adjoint_dot_product_identity_wave() {
     let (ws0, bind) = wave3d::workspace(n, 0.1);
 
     // v: direction in u_1; w: seed in u.
-    let v = Grid::from_fn(&[n, n, n], |ix| ((ix[0] * 7 + ix[1] * 3 + ix[2]) % 5) as f64 - 2.0);
+    let v = Grid::from_fn(&[n, n, n], |ix| {
+        ((ix[0] * 7 + ix[1] * 3 + ix[2]) % 5) as f64 - 2.0
+    });
     let w = Grid::from_fn(&[n, n, n], |ix| {
         let interior = ix.iter().all(|&x| x >= 1 && x <= n - 2);
         if interior {
