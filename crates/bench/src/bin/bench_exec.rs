@@ -1,0 +1,133 @@
+//! Executor micro-bench with machine-readable output: times the adjoint
+//! sweep of each paper kernel under the per-point interpreter, the
+//! register-IR row executor, and the fused + tiled schedule, then writes
+//! `BENCH_exec.json` so the repo's perf trajectory is recorded run over
+//! run.
+//!
+//! Knobs: `PERFORAD_N` (wave grid edge, default 48), `PERFORAD_N_BURGERS`
+//! (cells, default 2^18), `PERFORAD_SAMPLES` (best-of reps, default 5),
+//! `PERFORAD_THREADS` (pool size), `PERFORAD_BENCH_JSON` (output path,
+//! default `BENCH_exec.json`).
+
+use perforad_bench::{env_size, json_escape, time_best, Case};
+use perforad_exec::{run_parallel, run_parallel_rows, run_serial, run_serial_rows, ThreadPool};
+use perforad_sched::run_schedule;
+
+struct Measured {
+    name: &'static str,
+    points: u64,
+    series: Vec<(&'static str, f64)>,
+}
+
+fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
+    let plan = case.adjoint_plan.clone();
+    let fused = case.schedule.clone();
+    let fused_rows = case.schedule_rows.clone();
+    let ws = &mut case.ws;
+    let series = vec![
+        (
+            "interpreter_serial",
+            time_best(reps, || {
+                run_serial(&plan, ws).unwrap();
+            }),
+        ),
+        (
+            "rows_serial",
+            time_best(reps, || {
+                run_serial_rows(&plan, ws).unwrap();
+            }),
+        ),
+        (
+            "interpreter_parallel",
+            time_best(reps, || {
+                run_parallel(&plan, ws, pool).unwrap();
+            }),
+        ),
+        (
+            "rows_parallel",
+            time_best(reps, || {
+                run_parallel_rows(&plan, ws, pool).unwrap();
+            }),
+        ),
+        (
+            "fused_interpreter",
+            time_best(reps, || {
+                run_schedule(&fused, ws, pool).unwrap();
+            }),
+        ),
+        (
+            "fused_rows",
+            time_best(reps, || {
+                run_schedule(&fused_rows, ws, pool).unwrap();
+            }),
+        ),
+    ];
+    Measured {
+        name: case.name,
+        points: plan.points(),
+        series,
+    }
+}
+
+fn main() {
+    let n = env_size("PERFORAD_N", 48);
+    let nb = env_size("PERFORAD_N_BURGERS", 1 << 18);
+    let reps = env_size("PERFORAD_SAMPLES", 5);
+    let threads = env_size(
+        "PERFORAD_THREADS",
+        std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(2),
+    );
+    let pool = ThreadPool::new(threads);
+
+    let cases = vec![
+        measure(Case::wave(n), &pool, reps),
+        measure(Case::burgers(nb), &pool, reps),
+    ];
+
+    let mut case_json = Vec::new();
+    for m in &cases {
+        println!(
+            "\n## {} adjoint ({} points, {} threads)",
+            m.name, m.points, threads
+        );
+        for (label, secs) in &m.series {
+            println!("{label:<24} {secs:>12.6} s");
+        }
+        let by_label = |label: &str| {
+            m.series
+                .iter()
+                .find(|(l, _)| *l == label)
+                .map(|&(_, s)| s)
+                .expect("series label present")
+        };
+        let interp = by_label("interpreter_serial");
+        let rows = by_label("rows_serial");
+        println!(
+            "rows speedup vs interpreter (serial): {:.2}x",
+            interp / rows
+        );
+        let series: Vec<String> = m
+            .series
+            .iter()
+            .map(|(l, s)| format!("{{\"label\":{},\"seconds\":{s}}}", json_escape(l)))
+            .collect();
+        case_json.push(format!(
+            "{{\"name\":{},\"points\":{},\"series\":[{}],\"rows_speedup_serial\":{}}}",
+            json_escape(m.name),
+            m.points,
+            series.join(","),
+            interp / rows
+        ));
+    }
+    let payload = format!(
+        "{{\"bench\":\"exec_lowering\",\"threads\":{threads},\"samples\":{reps},\
+         \"wave_n\":{n},\"burgers_n\":{nb},\"cases\":[{}]}}",
+        case_json.join(",")
+    );
+    let path =
+        std::env::var("PERFORAD_BENCH_JSON").unwrap_or_else(|_| "BENCH_exec.json".to_string());
+    std::fs::write(&path, &payload).expect("write bench JSON");
+    println!("\nwrote {path}");
+}

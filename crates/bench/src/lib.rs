@@ -13,8 +13,8 @@
 
 use perforad_core::{ActivityMap, Adjoint, AdjointOptions, LoopNest};
 use perforad_exec::{
-    compile_adjoint, compile_nest, run_parallel, run_scatter_atomic, run_serial, Binding, Plan,
-    ThreadPool, Workspace,
+    compile_adjoint, compile_nest, run_parallel, run_parallel_rows, run_scatter_atomic, run_serial,
+    run_serial_rows, Binding, Plan, ThreadPool, Workspace,
 };
 use perforad_pde::{burgers, heat2d, wave3d};
 use perforad_perfmodel::{KernelProfile, Machine};
@@ -76,6 +76,8 @@ pub struct Case {
     pub scatter_plan: Plan,
     /// Fused + tiled schedule of the gather adjoint (one parallel region).
     pub schedule: Schedule,
+    /// The same schedule with the vectorized row-executor lowering.
+    pub schedule_rows: Schedule,
     pub sizes: BTreeMap<Symbol, i64>,
 }
 
@@ -96,6 +98,9 @@ impl Case {
         let scatter_plan = compile_nest(&scatter, &ws, &bind).expect("scatter plan");
         let schedule =
             compile_schedule(&adjoint, &ws, &bind, &SchedOptions::default()).expect("schedule");
+        let schedule_rows =
+            compile_schedule(&adjoint, &ws, &bind, &SchedOptions::default().with_rows())
+                .expect("rows schedule");
         let sizes = bind.sizes.clone();
         Case {
             name,
@@ -108,6 +113,7 @@ impl Case {
             adjoint_plan,
             scatter_plan,
             schedule,
+            schedule_rows,
             sizes,
         }
     }
@@ -159,6 +165,33 @@ impl Case {
         let ws = &mut self.ws;
         time_once(|| {
             run_parallel(&plan, ws, pool).unwrap();
+        })
+    }
+
+    /// One adjoint sweep through the vectorized row executor, serially.
+    pub fn perforad_serial_rows(&mut self) -> f64 {
+        let plan = self.adjoint_plan.clone();
+        let ws = &mut self.ws;
+        time_once(|| {
+            run_serial_rows(&plan, ws).unwrap();
+        })
+    }
+
+    /// One adjoint sweep through the vectorized row executor on the pool.
+    pub fn perforad_parallel_rows(&mut self, pool: &ThreadPool) -> f64 {
+        let plan = self.adjoint_plan.clone();
+        let ws = &mut self.ws;
+        time_once(|| {
+            run_parallel_rows(&plan, ws, pool).unwrap();
+        })
+    }
+
+    /// One fused + tiled adjoint sweep with row-executor tiles.
+    pub fn fused_parallel_rows(&mut self, pool: &ThreadPool) -> f64 {
+        let schedule = self.schedule_rows.clone();
+        let ws = &mut self.ws;
+        time_once(|| {
+            run_schedule(&schedule, ws, pool).unwrap();
         })
     }
 
@@ -227,8 +260,10 @@ fn maybe_json(title: &str, payload: String) {
 }
 
 /// A JSON string literal. Rust's `Debug` formatting is *not* used: it
-/// emits `\u{9}`-style braced escapes, which are invalid JSON.
-fn json_escape(s: &str) -> String {
+/// emits `\u{9}`-style braced escapes, which are invalid JSON. Public so
+/// the bench binaries (which emit machine-readable JSON files) share one
+/// escaper.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -333,8 +368,16 @@ pub fn run_scaling(case: &mut Case, machine: &Machine, paper_n: i64, figure: &st
         label: "PerforAD".into(),
         rows: vec![],
     };
+    let mut rows_exec = Series {
+        label: "Rows".into(),
+        rows: vec![],
+    };
     let mut fused = Series {
         label: "Fused".into(),
+        rows: vec![],
+    };
+    let mut fused_rows = Series {
+        label: "FusedRows".into(),
         rows: vec![],
     };
     let mut atomics = Series {
@@ -356,6 +399,13 @@ pub fn run_scaling(case: &mut Case, machine: &Machine, paper_n: i64, figure: &st
                 time_best(2, || {
                     let p = case.adjoint_plan.clone();
                     run_serial(&p, &mut case.ws).unwrap();
+                }),
+            ));
+            rows_exec.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.adjoint_plan.clone();
+                    run_serial_rows(&p, &mut case.ws).unwrap();
                 }),
             ));
             atomics.rows.push((
@@ -380,6 +430,13 @@ pub fn run_scaling(case: &mut Case, machine: &Machine, paper_n: i64, figure: &st
                     run_parallel(&p, &mut case.ws, &pool).unwrap();
                 }),
             ));
+            rows_exec.rows.push((
+                t,
+                time_best(2, || {
+                    let p = case.adjoint_plan.clone();
+                    run_parallel_rows(&p, &mut case.ws, &pool).unwrap();
+                }),
+            ));
             atomics.rows.push((
                 t,
                 time_best(2, || {
@@ -395,10 +452,17 @@ pub fn run_scaling(case: &mut Case, machine: &Machine, paper_n: i64, figure: &st
                 run_schedule(&s, &mut case.ws, &pool).unwrap();
             }),
         ));
+        fused_rows.rows.push((
+            t,
+            time_best(2, || {
+                let s = case.schedule_rows.clone();
+                run_schedule(&s, &mut case.ws, &pool).unwrap();
+            }),
+        ));
     }
     print_speedup_figure(
         &format!("{figure} [measured on host, {}]", case.name),
-        &[primal, perforad, fused, atomics],
+        &[primal, perforad, rows_exec, fused, fused_rows, atomics],
     );
 
     // Model projection at paper scale.
@@ -440,13 +504,22 @@ pub fn run_runtimes(
     let bars = vec![
         ("Primal Serial".to_string(), case.primal_serial()),
         ("PerforAD Serial".to_string(), case.perforad_serial()),
+        ("Rows Serial".to_string(), case.perforad_serial_rows()),
         ("Adjoint Serial".to_string(), case.scatter_serial()),
         ("Primal Parallel".to_string(), case.primal_parallel(&pool)),
         (
             "PerforAD Parallel".to_string(),
             case.perforad_parallel(&pool),
         ),
+        (
+            "Rows Parallel".to_string(),
+            case.perforad_parallel_rows(&pool),
+        ),
         ("Fused Parallel".to_string(), case.fused_parallel(&pool)),
+        (
+            "Fused Rows Parallel".to_string(),
+            case.fused_parallel_rows(&pool),
+        ),
         ("Atomics Parallel".to_string(), case.scatter_atomic(&pool)),
     ];
     print_runtime_figure(

@@ -280,6 +280,37 @@ impl Program {
         self.n_tmps
     }
 
+    /// A stable structural key over the op sequence (constants keyed by
+    /// bit pattern). Two programs with equal fingerprints evaluate
+    /// identically at every point, so plan compilation dedups on this —
+    /// adjoint decompositions repeat the same RHS across many nests.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        let mut key = Vec::with_capacity(self.ops.len() * 2);
+        for op in &self.ops {
+            match op {
+                Op::Const(v) => key.extend([0, v.to_bits()]),
+                Op::Counter(d) => key.extend([1, *d as u64]),
+                Op::Load { slot, rel } => key.extend([2, *slot as u64, *rel as u32 as u64]),
+                Op::LoadPadded { slot, offsets } => {
+                    key.extend([3, *slot as u64, offsets.len() as u64]);
+                    key.extend(offsets.iter().map(|&o| o as u64));
+                }
+                Op::Add => key.push(4),
+                Op::Mul => key.push(5),
+                Op::Neg => key.push(6),
+                Op::Powi(k) => key.extend([7, *k as u32 as u64]),
+                Op::Powf => key.push(8),
+                Op::Call1(f) => key.extend([9, *f as u64]),
+                Op::Max => key.push(10),
+                Op::Min => key.push(11),
+                Op::Select(rel) => key.extend([12, *rel as u64]),
+                Op::StoreTmp(k) => key.extend([13, *k as u64]),
+                Op::LoadTmp(k) => key.extend([14, *k as u64]),
+            }
+        }
+        key
+    }
+
     /// Evaluate at one grid point. `stack` is caller-provided scratch, so a
     /// hot loop performs no allocation.
     #[inline]
@@ -346,26 +377,7 @@ impl Program {
                 Op::Powf => binop(stack, f64::powf),
                 Op::Call1(f) => {
                     let a = stack.last_mut().unwrap();
-                    *a = match f {
-                        Func::Sin => a.sin(),
-                        Func::Cos => a.cos(),
-                        Func::Tan => a.tan(),
-                        Func::Exp => a.exp(),
-                        Func::Ln => a.ln(),
-                        Func::Sqrt => a.sqrt(),
-                        Func::Abs => a.abs(),
-                        Func::Sign => {
-                            if *a > 0.0 {
-                                1.0
-                            } else if *a < 0.0 {
-                                -1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                        Func::Tanh => a.tanh(),
-                        Func::Max | Func::Min => unreachable!("binary funcs use Max/Min ops"),
-                    };
+                    *a = call1(*f, *a);
                 }
                 Op::Max => binop(stack, |a, b| if a >= b { a } else { b }),
                 Op::Min => binop(stack, |a, b| if a <= b { a } else { b }),
@@ -386,6 +398,34 @@ impl Program {
         }
         debug_assert_eq!(stack.len(), 1);
         stack.pop().unwrap()
+    }
+}
+
+/// Apply a unary function exactly as the VM does — shared by the stack
+/// interpreter, the register-IR constant folder, and the row executor so
+/// all three stay bitwise-identical (`Sign` in particular has bespoke
+/// zero handling).
+#[inline]
+pub fn call1(f: Func, a: f64) -> f64 {
+    match f {
+        Func::Sin => a.sin(),
+        Func::Cos => a.cos(),
+        Func::Tan => a.tan(),
+        Func::Exp => a.exp(),
+        Func::Ln => a.ln(),
+        Func::Sqrt => a.sqrt(),
+        Func::Abs => a.abs(),
+        Func::Sign => {
+            if a > 0.0 {
+                1.0
+            } else if a < 0.0 {
+                -1.0
+            } else {
+                0.0
+            }
+        }
+        Func::Tanh => a.tanh(),
+        Func::Max | Func::Min => unreachable!("binary funcs use Max/Min ops"),
     }
 }
 

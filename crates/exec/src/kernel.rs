@@ -8,12 +8,20 @@
 
 use crate::bytecode::{compile, compile_with_bindings, CompileCtx, Program};
 use crate::error::ExecError;
+use crate::regir::{lower, RegProgram};
 use crate::workspace::{Binding, Workspace};
 use perforad_core::{Adjoint, AssignOp, BoundaryStrategy, LoopNest};
 use perforad_symbolic::{subst, visit, Expr, Idx, Symbol};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// One compiled statement.
+///
+/// The two program handles are the two lowering stages: `prog` is the
+/// stack bytecode the per-point interpreter runs, `row` is its
+/// register-IR lowering for the row executor. Both are shared `Arc`s —
+/// statements with identical right-hand sides (adjoint nests repeat the
+/// same RHS shifted across boundary regions) point at one compiled copy.
 #[derive(Clone, Debug)]
 pub struct StmtPlan {
     /// Slot of the array being written.
@@ -26,8 +34,10 @@ pub struct StmtPlan {
     pub overwrite: bool,
     /// Optional per-dimension inclusive counter ranges (guarded strategy).
     pub guard: Option<Vec<(i64, i64)>>,
-    /// Compiled right-hand side.
-    pub prog: Program,
+    /// Compiled right-hand side (stack bytecode, per-point reference path).
+    pub prog: Arc<Program>,
+    /// Register-IR lowering of `prog` (vectorized row path).
+    pub row: Arc<RegProgram>,
 }
 
 /// One compiled loop nest.
@@ -82,6 +92,22 @@ impl Plan {
             .iter()
             .flat_map(|n| n.stmts.iter().map(|s| s.out_slot))
             .collect()
+    }
+
+    /// Total statements across all nests.
+    pub fn statements(&self) -> usize {
+        self.nests.iter().map(|n| n.stmts.len()).sum()
+    }
+
+    /// Number of *distinct* compiled programs after cross-statement dedup
+    /// (equal-fingerprint statements share one `Arc`d program pair).
+    pub fn unique_programs(&self) -> usize {
+        self.nests
+            .iter()
+            .flat_map(|n| n.stmts.iter())
+            .map(|s| Arc::as_ptr(&s.prog))
+            .collect::<BTreeSet<_>>()
+            .len()
     }
 }
 
@@ -192,6 +218,11 @@ pub fn compile_nests_opts(
 
     let mut nest_plans = Vec::with_capacity(nests.len());
     let mut gather_only = true;
+    // Cross-statement program cache: adjoint decompositions repeat the
+    // same compiled RHS across many boundary nests, so identical programs
+    // (keyed on their op fingerprint) are compiled and lowered once and
+    // shared — smaller plans, better icache behavior.
+    let mut prog_cache: BTreeMap<Vec<u64>, (Arc<Program>, Arc<RegProgram>)> = BTreeMap::new();
     for nest in nests {
         debug_assert_eq!(nest.counters, counters, "nests must share counters");
         let mut lo = Vec::with_capacity(rank);
@@ -293,6 +324,13 @@ pub fn compile_nests_opts(
             } else {
                 compile(&rhs, &cctx)?
             };
+            let (prog, row) = prog_cache
+                .entry(prog.fingerprint())
+                .or_insert_with(|| {
+                    let row = Arc::new(lower(&prog));
+                    (Arc::new(prog), row)
+                })
+                .clone();
 
             stmts.push(StmtPlan {
                 out_slot,
@@ -301,6 +339,7 @@ pub fn compile_nests_opts(
                 overwrite: s.op == AssignOp::Assign,
                 guard,
                 prog,
+                row,
             });
         }
         nest_plans.push(NestPlan {

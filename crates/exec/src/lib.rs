@@ -9,9 +9,33 @@
 //!   scheduling and exact thread-count control (the figures sweep threads);
 //! * [`AtomicF64`] — CAS-loop `+=`, the `#pragma omp atomic` equivalent;
 //! * [`bytecode`] — statement bodies compiled to a small stack VM;
+//! * [`regir`]/[`rows`] — the second lowering stage: stack programs
+//!   converted to a register-based linear IR and evaluated over whole
+//!   innermost-dimension rows in vectorizable lane chunks;
 //! * [`kernel`]/[`run`] — plans binding loop nests to storage, executed
 //!   serially, gather-parallel (race-free by construction), or
 //!   scatter-parallel with atomics (the conventional-adjoint baseline).
+//!
+//! ## The two-stage lowering pipeline
+//!
+//! A loop nest travels `LoopNest → Plan → RegProgram → row execution`:
+//!
+//! 1. [`kernel::compile_nests_opts`] resolves bounds, slots and guards,
+//!    proves every access in range, and compiles each statement body to
+//!    stack bytecode ([`bytecode::Program`]). Identical bodies across
+//!    statements are deduped through a fingerprint-keyed cache.
+//! 2. Each unique program is lowered once to a register-based linear IR
+//!    ([`regir::RegProgram`]): stack→register conversion, constant
+//!    folding, identity/neg-mul peepholes, load/const value numbering and
+//!    dead-register elimination — all bitwise-neutral.
+//! 3. At run time, [`Lowering::PerPoint`] interprets the stack program at
+//!    every grid point (the reference), while [`Lowering::Rows`] executes
+//!    the register IR over whole contiguous innermost-dimension runs in
+//!    fixed-width lane chunks with guards and zero-padding hoisted out of
+//!    the inner loop (see [`rows`]). Every execution surface —
+//!    [`run::run`], the `*_rows` entry points, and the tile-granular
+//!    [`TileRunner`] used by `perforad-sched` — accepts the switch; the
+//!    two lowerings produce bitwise-identical results.
 //!
 //! ```
 //! use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
@@ -51,6 +75,8 @@ pub mod error;
 pub mod grid;
 pub mod kernel;
 pub mod pool;
+pub mod regir;
+pub mod rows;
 pub mod run;
 pub mod tile;
 pub mod workspace;
@@ -63,6 +89,10 @@ pub use kernel::{
     compile_nests_opts, Plan, PlanOptions,
 };
 pub use pool::ThreadPool;
-pub use run::{run, run_parallel, run_rayon, run_scatter_atomic, run_serial, ExecMode, ExecStats};
+pub use regir::RegProgram;
+pub use run::{
+    run, run_parallel, run_parallel_rows, run_rayon, run_rayon_rows, run_scatter_atomic,
+    run_scatter_atomic_rows, run_serial, run_serial_rows, ExecMode, ExecStats, Lowering, Strategy,
+};
 pub use tile::{tile_nest, Tile, TileRunner, TileScratch};
 pub use workspace::{Binding, Workspace};

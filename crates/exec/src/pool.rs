@@ -119,22 +119,39 @@ impl ThreadPool {
     /// `0..njobs` from a shared counter. Good for irregular work like the
     /// boundary nests of an adjoint.
     pub fn parallel_dynamic(&self, njobs: usize, f: impl Fn(usize) + Sync) {
+        self.parallel_dynamic_scratch(njobs, || (), |k, ()| f(k));
+    }
+
+    /// [`ThreadPool::parallel_dynamic`] with per-worker scratch: each
+    /// worker builds its scratch once with `init` and reuses it across
+    /// every job it pulls (executor register files and VM stacks are
+    /// too large to allocate per job).
+    pub fn parallel_dynamic_scratch<S>(
+        &self,
+        njobs: usize,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(usize, &mut S) + Sync,
+    ) {
         if njobs == 0 {
             return;
         }
         if self.size() == 1 {
+            let mut s = init();
             for k in 0..njobs {
-                f(k);
+                f(k, &mut s);
             }
             return;
         }
         let counter = AtomicUsize::new(0);
-        self.run(&move |_tid| loop {
-            let k = counter.fetch_add(1, Ordering::Relaxed);
-            if k >= njobs {
-                break;
+        self.run(&move |_tid| {
+            let mut s = init();
+            loop {
+                let k = counter.fetch_add(1, Ordering::Relaxed);
+                if k >= njobs {
+                    break;
+                }
+                f(k, &mut s);
             }
-            f(k);
         });
     }
 }

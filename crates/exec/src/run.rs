@@ -1,5 +1,5 @@
 //! Plan execution: serial, pool-parallel (gather), pool-parallel with
-//! atomics (scatter), and Rayon.
+//! atomics (scatter), and Rayon — each available with two lowerings.
 //!
 //! Parallelisation follows the paper's OpenMP usage: the outermost loop
 //! dimension is chunked across threads. Gather nests need no further care —
@@ -8,12 +8,19 @@
 //! region with no barriers (§3.3.4). Scatter nests are raced unless each
 //! update is atomic; [`run_scatter_atomic`] is the `#pragma omp atomic`
 //! equivalent whose cost the paper's "Atomics" series measures.
+//!
+//! Orthogonally to the parallel strategy, every entry point runs one of
+//! two lowerings ([`Lowering`]): the per-point stack interpreter (the
+//! reference implementation) or the vectorized register-IR row executor
+//! ([`crate::rows`]), selected via [`ExecMode`] or the `*_rows` variants.
+//! Both produce bitwise-identical results.
 
 use crate::atomic::AtomicF64;
 use crate::bytecode::{ArrayView, PointEnv};
 use crate::error::ExecError;
 use crate::kernel::{NestPlan, Plan};
 use crate::pool::ThreadPool;
+use crate::rows::{self, RowScratch};
 use crate::workspace::Workspace;
 
 /// Execution statistics.
@@ -23,17 +30,86 @@ pub struct ExecStats {
     pub points: u64,
 }
 
-/// How to run a plan.
+/// Which lowering the executor runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Lowering {
+    /// Stack-bytecode interpreter dispatched once per grid point — the
+    /// reference implementation.
+    #[default]
+    PerPoint,
+    /// Register-IR programs evaluated over whole innermost-dimension rows
+    /// in vectorizable lane chunks (see [`crate::regir`] / [`crate::rows`]).
+    Rows,
+}
+
+/// Parallel strategy for a run.
 #[derive(Clone, Copy)]
-pub enum ExecMode<'a> {
+pub enum Strategy<'a> {
     /// Single thread, in nest order.
     Serial,
     /// Gather-parallel on the given pool (no atomics). Errors on scatter plans.
     Parallel(&'a ThreadPool),
     /// Scatter-parallel: every `+=` is an atomic CAS add.
     ParallelAtomic(&'a ThreadPool),
-    /// Gather-parallel on Rayon's global pool.
+    /// Gather-parallel on a transient global-style pool.
     Rayon,
+}
+
+/// How to run a plan: a parallel [`Strategy`] plus a [`Lowering`].
+///
+/// ```
+/// # use perforad_exec::{ExecMode, ThreadPool};
+/// let pool = ThreadPool::new(2);
+/// let _reference = ExecMode::serial();              // per-point interpreter
+/// let _fast = ExecMode::parallel(&pool).rows();     // vectorized rows
+/// ```
+#[derive(Clone, Copy)]
+pub struct ExecMode<'a> {
+    pub strategy: Strategy<'a>,
+    pub lowering: Lowering,
+}
+
+impl<'a> ExecMode<'a> {
+    /// Single thread, per-point interpreter (the reference mode).
+    pub fn serial() -> Self {
+        Strategy::Serial.into()
+    }
+
+    /// Gather-parallel on `pool`.
+    pub fn parallel(pool: &'a ThreadPool) -> Self {
+        Strategy::Parallel(pool).into()
+    }
+
+    /// Scatter-parallel with atomic adds on `pool`.
+    pub fn parallel_atomic(pool: &'a ThreadPool) -> Self {
+        Strategy::ParallelAtomic(pool).into()
+    }
+
+    /// Gather-parallel on a transient global-style pool.
+    pub fn rayon() -> Self {
+        Strategy::Rayon.into()
+    }
+
+    /// Switch to the vectorized row executor.
+    pub fn rows(mut self) -> Self {
+        self.lowering = Lowering::Rows;
+        self
+    }
+
+    /// Switch to the per-point interpreter.
+    pub fn per_point(mut self) -> Self {
+        self.lowering = Lowering::PerPoint;
+        self
+    }
+}
+
+impl<'a> From<Strategy<'a>> for ExecMode<'a> {
+    fn from(strategy: Strategy<'a>) -> Self {
+        ExecMode {
+            strategy,
+            lowering: Lowering::default(),
+        }
+    }
 }
 
 pub(crate) struct Buffers {
@@ -75,6 +151,39 @@ pub(crate) fn make_buffers(plan: &Plan, ws: &mut Workspace) -> Result<Buffers, E
         write_ptrs,
         lens,
     })
+}
+
+/// Per-worker scratch (loop counters, VM stack, CSE temporaries, register
+/// lane file, row box bounds), sized for the one lowering it will run so
+/// interpreter jobs don't pay for lane files and vice versa.
+pub(crate) struct JobScratch {
+    pub(crate) counters: Vec<i64>,
+    pub(crate) stack: Vec<f64>,
+    pub(crate) tmps: Vec<f64>,
+    pub(crate) rows: RowScratch,
+    row_lo: Vec<i64>,
+    row_hi: Vec<i64>,
+}
+
+impl JobScratch {
+    pub(crate) fn for_plan(plan: &Plan, lowering: Lowering) -> JobScratch {
+        let (stack, tmps, rows) = match lowering {
+            Lowering::PerPoint => (
+                Vec::with_capacity(max_stack(plan)),
+                vec![0.0; max_tmps(plan)],
+                RowScratch::empty(),
+            ),
+            Lowering::Rows => (Vec::new(), Vec::new(), RowScratch::for_plan(plan)),
+        };
+        JobScratch {
+            counters: vec![0i64; plan.rank],
+            stack,
+            tmps,
+            rows,
+            row_lo: vec![0i64; plan.rank],
+            row_hi: vec![0i64; plan.rank],
+        }
+    }
 }
 
 #[inline]
@@ -123,7 +232,8 @@ pub(crate) fn exec_point(
     }
 }
 
-/// Execute a nest over `[lo0, hi0]` of the outermost counter.
+/// Execute a nest over `[lo0, hi0]` of the outermost counter with the
+/// requested lowering.
 #[allow(clippy::too_many_arguments)]
 fn exec_nest_range(
     plan: &Plan,
@@ -132,13 +242,40 @@ fn exec_nest_range(
     lo0: i64,
     hi0: i64,
     atomic: bool,
-    counters: &mut [i64],
-    stack: &mut Vec<f64>,
-    tmps: &mut [f64],
+    lowering: Lowering,
+    scratch: &mut JobScratch,
 ) {
-    walk(
-        plan, nest, bufs, 0, 0, lo0, hi0, atomic, counters, stack, tmps,
-    );
+    match lowering {
+        Lowering::PerPoint => walk(
+            plan,
+            nest,
+            bufs,
+            0,
+            0,
+            lo0,
+            hi0,
+            atomic,
+            &mut scratch.counters,
+            &mut scratch.stack,
+            &mut scratch.tmps,
+        ),
+        Lowering::Rows => {
+            scratch.row_lo.copy_from_slice(&nest.lo);
+            scratch.row_hi.copy_from_slice(&nest.hi);
+            scratch.row_lo[0] = lo0;
+            scratch.row_hi[0] = hi0;
+            rows::exec_box_rows(
+                plan,
+                nest,
+                bufs,
+                &scratch.row_lo,
+                &scratch.row_hi,
+                atomic,
+                &mut scratch.counters,
+                &mut scratch.rows,
+            );
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -235,12 +372,13 @@ pub(crate) fn max_tmps(plan: &Plan) -> usize {
         .unwrap_or(0)
 }
 
-/// Run single-threaded, nests in order.
-pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+fn run_serial_with(
+    plan: &Plan,
+    ws: &mut Workspace,
+    lowering: Lowering,
+) -> Result<ExecStats, ExecError> {
     let bufs = make_buffers(plan, ws)?;
-    let mut counters = vec![0i64; plan.rank];
-    let mut stack = Vec::with_capacity(max_stack(plan));
-    let mut tmps = vec![0.0; max_tmps(plan)];
+    let mut scratch = JobScratch::for_plan(plan, lowering);
     for nest in &plan.nests {
         if nest.empty {
             continue;
@@ -252,14 +390,23 @@ pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecErro
             nest.lo[0],
             nest.hi[0],
             false,
-            &mut counters,
-            &mut stack,
-            &mut tmps,
+            lowering,
+            &mut scratch,
         );
     }
     Ok(ExecStats {
         points: plan.points(),
     })
+}
+
+/// Run single-threaded, nests in order (per-point interpreter).
+pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    run_serial_with(plan, ws, Lowering::PerPoint)
+}
+
+/// Run single-threaded with the vectorized row executor.
+pub fn run_serial_rows(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    run_serial_with(plan, ws, Lowering::Rows)
 }
 
 /// Run gather-parallel on a pool. The plan must be gather-only; for adjoint
@@ -270,10 +417,16 @@ pub fn run_parallel(
     ws: &mut Workspace,
     pool: &ThreadPool,
 ) -> Result<ExecStats, ExecError> {
-    if !plan.gather_only {
-        return Err(ExecError::ScatterNeedsAtomics);
-    }
-    run_pool(plan, ws, pool, false)
+    run_pool_gather(plan, ws, pool, Lowering::PerPoint)
+}
+
+/// [`run_parallel`] with the vectorized row executor.
+pub fn run_parallel_rows(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, ExecError> {
+    run_pool_gather(plan, ws, pool, Lowering::Rows)
 }
 
 /// Run scatter-parallel: every increment is an atomic CAS add
@@ -284,7 +437,30 @@ pub fn run_scatter_atomic(
     ws: &mut Workspace,
     pool: &ThreadPool,
 ) -> Result<ExecStats, ExecError> {
-    run_pool(plan, ws, pool, true)
+    run_pool(plan, ws, pool, true, Lowering::PerPoint)
+}
+
+/// [`run_scatter_atomic`] with the vectorized row executor.
+pub fn run_scatter_atomic_rows(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, ExecError> {
+    run_pool(plan, ws, pool, true, Lowering::Rows)
+}
+
+/// Non-atomic pool execution with the single scatter-safety check every
+/// gather entry point shares.
+fn run_pool_gather(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+    lowering: Lowering,
+) -> Result<ExecStats, ExecError> {
+    if !plan.gather_only {
+        return Err(ExecError::ScatterNeedsAtomics);
+    }
+    run_pool(plan, ws, pool, false, lowering)
 }
 
 fn run_pool(
@@ -292,28 +468,18 @@ fn run_pool(
     ws: &mut Workspace,
     pool: &ThreadPool,
     atomic: bool,
+    lowering: Lowering,
 ) -> Result<ExecStats, ExecError> {
     let bufs = make_buffers(plan, ws)?;
     let jobs = make_jobs(plan, pool.size());
-    let stack_cap = max_stack(plan);
-    let tmp_cap = max_tmps(plan);
-    pool.parallel_dynamic(jobs.len(), |j| {
-        let (k, s, e) = jobs[j];
-        let mut counters = vec![0i64; plan.rank];
-        let mut stack = Vec::with_capacity(stack_cap);
-        let mut tmps = vec![0.0; tmp_cap];
-        exec_nest_range(
-            plan,
-            &plan.nests[k],
-            &bufs,
-            s,
-            e,
-            atomic,
-            &mut counters,
-            &mut stack,
-            &mut tmps,
-        );
-    });
+    pool.parallel_dynamic_scratch(
+        jobs.len(),
+        || JobScratch::for_plan(plan, lowering),
+        |j, scratch| {
+            let (k, s, e) = jobs[j];
+            exec_nest_range(plan, &plan.nests[k], &bufs, s, e, atomic, lowering, scratch);
+        },
+    );
     Ok(ExecStats {
         points: plan.points(),
     })
@@ -327,6 +493,19 @@ fn run_pool(
 /// The explicit [`ThreadPool`] is used when an exact thread count is
 /// required.
 pub fn run_rayon(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    run_rayon_with(plan, ws, Lowering::PerPoint)
+}
+
+/// [`run_rayon`] with the vectorized row executor.
+pub fn run_rayon_rows(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    run_rayon_with(plan, ws, Lowering::Rows)
+}
+
+fn run_rayon_with(
+    plan: &Plan,
+    ws: &mut Workspace,
+    lowering: Lowering,
+) -> Result<ExecStats, ExecError> {
     if !plan.gather_only {
         return Err(ExecError::ScatterNeedsAtomics);
     }
@@ -335,13 +514,9 @@ pub fn run_rayon(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError
         .map(|c| c.get())
         .unwrap_or(2);
     let jobs = make_jobs(plan, threads);
-    let stack_cap = max_stack(plan);
-    let tmp_cap = max_tmps(plan);
     let counter = std::sync::atomic::AtomicUsize::new(0);
     let work = |_tid: usize| {
-        let mut counters = vec![0i64; plan.rank];
-        let mut stack = Vec::with_capacity(stack_cap);
-        let mut tmps = vec![0.0; tmp_cap];
+        let mut scratch = JobScratch::for_plan(plan, lowering);
         loop {
             let j = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if j >= jobs.len() {
@@ -355,9 +530,8 @@ pub fn run_rayon(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError
                 s,
                 e,
                 false,
-                &mut counters,
-                &mut stack,
-                &mut tmps,
+                lowering,
+                &mut scratch,
             );
         }
     };
@@ -379,11 +553,11 @@ pub fn run_rayon(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError
 
 /// Dispatch on an [`ExecMode`].
 pub fn run(plan: &Plan, ws: &mut Workspace, mode: ExecMode<'_>) -> Result<ExecStats, ExecError> {
-    match mode {
-        ExecMode::Serial => run_serial(plan, ws),
-        ExecMode::Parallel(pool) => run_parallel(plan, ws, pool),
-        ExecMode::ParallelAtomic(pool) => run_scatter_atomic(plan, ws, pool),
-        ExecMode::Rayon => run_rayon(plan, ws),
+    match mode.strategy {
+        Strategy::Serial => run_serial_with(plan, ws, mode.lowering),
+        Strategy::Parallel(pool) => run_pool_gather(plan, ws, pool, mode.lowering),
+        Strategy::ParallelAtomic(pool) => run_pool(plan, ws, pool, true, mode.lowering),
+        Strategy::Rayon => run_rayon_with(plan, ws, mode.lowering),
     }
 }
 
@@ -391,7 +565,7 @@ pub fn run(plan: &Plan, ws: &mut Workspace, mode: ExecMode<'_>) -> Result<ExecSt
 mod tests {
     use super::*;
     use crate::grid::Grid;
-    use crate::kernel::{compile_adjoint, compile_nest};
+    use crate::kernel::{compile_adjoint, compile_adjoint_opts, compile_nest};
     use crate::workspace::Binding;
     use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
     use perforad_symbolic::{ix, Array, Idx, Symbol};
@@ -458,6 +632,109 @@ mod tests {
     }
 
     #[test]
+    fn rows_match_interpreter_bitwise_on_primal_and_adjoint() {
+        let (mut ws1, bind) = setup(101);
+        let plan = compile_nest(&paper_nest(), &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = setup(101);
+        run_serial_rows(&plan, &mut ws2).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws2.grid("r")), 0.0);
+
+        let pool = ThreadPool::new(4);
+        let (mut ws3, _) = setup(101);
+        run_parallel_rows(&plan, &mut ws3, &pool).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws3.grid("r")), 0.0);
+
+        let (mut ws4, _) = setup(101);
+        run_rayon_rows(&plan, &mut ws4).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws4.grid("r")), 0.0);
+
+        // Adjoint, serial interpreter vs parallel rows.
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (mut wa1, _) = setup(101);
+        let aplan = compile_adjoint(&adj, &wa1, &bind).unwrap();
+        run_serial(&aplan, &mut wa1).unwrap();
+        let (mut wa2, _) = setup(101);
+        run_parallel_rows(&aplan, &mut wa2, &pool).unwrap();
+        assert_eq!(wa1.grid("u_b").max_abs_diff(wa2.grid("u_b")), 0.0);
+    }
+
+    #[test]
+    fn rows_match_interpreter_on_guarded_and_padded_adjoints() {
+        use perforad_core::BoundaryStrategy;
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let n = 57;
+        for strategy in [BoundaryStrategy::Guarded, BoundaryStrategy::Padded] {
+            let adj = paper_nest()
+                .adjoint(&act, &AdjointOptions::default().with_strategy(strategy))
+                .unwrap();
+            let (mut ws1, bind) = setup(n);
+            // Padded semantics need the seed zero outside the primal range.
+            ws1.grid_mut("r_b").set(&[0], 0.0);
+            ws1.grid_mut("r_b").set(&[n], 0.0);
+            let mut ws2 = ws1.clone();
+            let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+            run_serial(&plan, &mut ws1).unwrap();
+            run_serial_rows(&plan, &mut ws2).unwrap();
+            assert_eq!(
+                ws1.grid("u_b").max_abs_diff(ws2.grid("u_b")),
+                0.0,
+                "{strategy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rows_match_interpreter_with_cse_temporaries() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (mut ws1, bind) = setup(64);
+        let plan = compile_adjoint_opts(&adj, &ws1, &bind, true).unwrap();
+        let mut ws2 = ws1.clone();
+        run_serial(&plan, &mut ws1).unwrap();
+        run_serial_rows(&plan, &mut ws2).unwrap();
+        assert_eq!(ws1.grid("u_b").max_abs_diff(ws2.grid("u_b")), 0.0);
+    }
+
+    #[test]
+    fn exec_mode_dispatch_covers_rows() {
+        let (mut ws1, bind) = setup(33);
+        let plan = compile_nest(&paper_nest(), &ws1, &bind).unwrap();
+        run(&plan, &mut ws1, ExecMode::serial()).unwrap();
+        let (mut ws2, _) = setup(33);
+        run(&plan, &mut ws2, ExecMode::serial().rows()).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws2.grid("r")), 0.0);
+        let pool = ThreadPool::new(2);
+        let (mut ws3, _) = setup(33);
+        run(&plan, &mut ws3, ExecMode::parallel(&pool).rows()).unwrap();
+        assert_eq!(ws1.grid("r").max_abs_diff(ws3.grid("r")), 0.0);
+    }
+
+    #[test]
+    fn adjoint_programs_dedup_across_nests() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, bind) = setup(64);
+        let plan = compile_adjoint(&adj, &ws, &bind).unwrap();
+        // The disjoint decomposition repeats shifted copies of the same
+        // RHS: the program cache must collapse them.
+        assert!(
+            plan.unique_programs() < plan.statements(),
+            "{} unique of {} statements",
+            plan.unique_programs(),
+            plan.statements()
+        );
+    }
+
+    #[test]
     fn gather_adjoint_equals_scatter_adjoint() {
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let nest = paper_nest();
@@ -484,6 +761,12 @@ mod tests {
         run_scatter_atomic(&plan_s, &mut ws_a, &pool).unwrap();
         let d = ws_g.grid("u_b").max_abs_diff(ws_a.grid("u_b"));
         assert!(d < 1e-13, "gather vs atomic scatter differ by {d}");
+
+        // Row executor over the scatter plan with atomics agrees as well.
+        let (mut ws_r, _) = setup(n);
+        run_scatter_atomic_rows(&plan_s, &mut ws_r, &pool).unwrap();
+        let d = ws_g.grid("u_b").max_abs_diff(ws_r.grid("u_b"));
+        assert!(d < 1e-13, "gather vs atomic scatter rows differ by {d}");
     }
 
     #[test]
@@ -497,7 +780,12 @@ mod tests {
             run_parallel(&plan, &mut ws, &pool).unwrap_err(),
             ExecError::ScatterNeedsAtomics
         );
+        assert_eq!(
+            run_parallel_rows(&plan, &mut ws, &pool).unwrap_err(),
+            ExecError::ScatterNeedsAtomics
+        );
         assert!(run_rayon(&plan, &mut ws).is_err());
+        assert!(run_rayon_rows(&plan, &mut ws).is_err());
     }
 
     #[test]

@@ -16,7 +16,8 @@
 
 use crate::error::ExecError;
 use crate::kernel::Plan;
-use crate::run::{exec_point, make_buffers, max_stack, max_tmps, Buffers};
+use crate::rows::{self, RowScratch};
+use crate::run::{exec_point, make_buffers, max_stack, max_tmps, Buffers, Lowering};
 use crate::workspace::Workspace;
 
 /// A rectangular slice of one nest's iteration space (inclusive bounds,
@@ -43,11 +44,13 @@ impl Tile {
 }
 
 /// Per-thread scratch state for tile execution (loop counters, VM stack,
-/// CSE temporaries). Create one per worker with [`TileRunner::scratch`].
+/// CSE temporaries, register lane file). Create one per worker with
+/// [`TileRunner::scratch`].
 pub struct TileScratch {
     counters: Vec<i64>,
     stack: Vec<f64>,
     tmps: Vec<f64>,
+    rows: RowScratch,
 }
 
 /// A plan with its workspace buffers pinned, ready to execute tiles.
@@ -58,6 +61,7 @@ pub struct TileRunner<'a> {
     plan: &'a Plan,
     bufs: Buffers,
     atomic: bool,
+    lowering: Lowering,
 }
 
 // SAFETY: the buffers are only written through `run_tile`, whose contract
@@ -74,6 +78,7 @@ impl<'a> TileRunner<'a> {
             plan,
             bufs: make_buffers(plan, ws)?,
             atomic: false,
+            lowering: Lowering::default(),
         })
     }
 
@@ -84,15 +89,33 @@ impl<'a> TileRunner<'a> {
             plan,
             bufs: make_buffers(plan, ws)?,
             atomic: true,
+            lowering: Lowering::default(),
         })
     }
 
-    /// Fresh per-thread scratch sized for this plan.
+    /// Select the lowering tiles run with (per-point interpreter or
+    /// vectorized rows); both are bitwise-identical.
+    pub fn with_lowering(mut self, lowering: Lowering) -> Self {
+        self.lowering = lowering;
+        self
+    }
+
+    /// Fresh per-thread scratch sized for this plan and this runner's
+    /// lowering (create scratch *after* [`TileRunner::with_lowering`]).
     pub fn scratch(&self) -> TileScratch {
+        let (stack, tmps, rows) = match self.lowering {
+            Lowering::PerPoint => (
+                Vec::with_capacity(max_stack(self.plan)),
+                vec![0.0; max_tmps(self.plan)],
+                RowScratch::empty(),
+            ),
+            Lowering::Rows => (Vec::new(), Vec::new(), RowScratch::for_plan(self.plan)),
+        };
         TileScratch {
             counters: vec![0i64; self.plan.rank],
-            stack: Vec::with_capacity(max_stack(self.plan)),
-            tmps: vec![0.0; max_tmps(self.plan)],
+            stack,
+            tmps,
+            rows,
         }
     }
 
@@ -129,7 +152,19 @@ impl<'a> TileRunner<'a> {
         if tile.points() == 0 {
             return;
         }
-        self.walk_box(nest, tile, 0, 0, scratch);
+        match self.lowering {
+            Lowering::PerPoint => self.walk_box(nest, tile, 0, 0, scratch),
+            Lowering::Rows => rows::exec_box_rows(
+                self.plan,
+                nest,
+                &self.bufs,
+                &tile.lo,
+                &tile.hi,
+                self.atomic,
+                &mut scratch.counters,
+                &mut scratch.rows,
+            ),
+        }
     }
 
     fn walk_box(
@@ -267,6 +302,36 @@ mod tests {
         let mut ws2 = build();
         {
             let runner = TileRunner::new(&plan, &mut ws2).unwrap();
+            let mut scratch = runner.scratch();
+            for t in tile_nest(&plan, 0, &[7]) {
+                // SAFETY: single-threaded execution cannot race.
+                unsafe { runner.run_tile(&t, &mut scratch) };
+            }
+        }
+        assert_eq!(ws1.grid("r").max_abs_diff(ws2.grid("r")), 0.0);
+    }
+
+    #[test]
+    fn tiled_rows_execution_matches_serial_bitwise() {
+        let n = 53usize;
+        let build = || {
+            Workspace::new()
+                .with(
+                    "u",
+                    Grid::from_fn(&[n + 1], |ix| (ix[0] as f64 * 0.7).sin()),
+                )
+                .with("r", Grid::zeros(&[n + 1]))
+        };
+        let bind = Binding::new().size("n", n as i64);
+        let mut ws1 = build();
+        let plan = compile_nest(&nest_1d(), &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let mut ws2 = build();
+        {
+            let runner = TileRunner::new(&plan, &mut ws2)
+                .unwrap()
+                .with_lowering(Lowering::Rows);
             let mut scratch = runner.scratch();
             for t in tile_nest(&plan, 0, &[7]) {
                 // SAFETY: single-threaded execution cannot race.

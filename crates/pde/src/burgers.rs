@@ -178,6 +178,24 @@ mod tests {
     }
 
     #[test]
+    fn rows_executor_matches_interpreter_on_piecewise_adjoint() {
+        // The upwinded body produces Select ops in the adjoint; the row
+        // executor must take the same branches lane by lane.
+        use perforad_exec::run_serial_rows;
+        let n = 128usize;
+        let (mut ws1, bind) = workspace(n, 0.3, 0.1);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(n, 0.3, 0.1);
+        run_serial_rows(&plan, &mut ws2).unwrap();
+        assert_eq!(ws1.grid("u_1_b").max_abs_diff(ws2.grid("u_1_b")), 0.0);
+    }
+
+    #[test]
     fn merged_and_unmerged_agree() {
         let n = 64usize;
         let (mut ws1, bind) = workspace(n, 0.3, 0.1);

@@ -125,6 +125,34 @@ mod tests {
     }
 
     #[test]
+    fn rows_executor_matches_interpreter_bitwise_in_2d() {
+        use perforad_exec::{run_serial_rows, ThreadPool};
+        let n = 40;
+        let (mut ws1, bind) = workspace(n, 0.2);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(n, 0.2);
+        run_serial_rows(&plan, &mut ws2).unwrap();
+        assert_eq!(ws1.grid("u_1_b").max_abs_diff(ws2.grid("u_1_b")), 0.0);
+
+        // Rows lowering through the fused tiled schedule too.
+        let (mut ws3, _) = workspace(n, 0.2);
+        let s = adjoint_schedule(
+            &ws3,
+            &bind,
+            &SchedOptions::default().with_tile(&[8, 16]).with_rows(),
+        )
+        .unwrap();
+        let pool = ThreadPool::new(4);
+        perforad_sched::run_schedule(&s, &mut ws3, &pool).unwrap();
+        assert_eq!(ws1.grid("u_1_b").max_abs_diff(ws3.grid("u_1_b")), 0.0);
+    }
+
+    #[test]
     fn adjoint_of_all_ones_seed_counts_stencil_uses() {
         // With seed ≡ 1 on the interior, u_1_b[p] equals the number of
         // stencil applications reading p, weighted by coefficients — for a

@@ -197,6 +197,40 @@ mod tests {
     }
 
     #[test]
+    fn rows_executor_matches_interpreter_bitwise_on_wave_adjoint() {
+        use perforad_exec::{run_parallel_rows, run_serial_rows};
+        let (mut ws1, bind) = workspace(16, 0.1);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws1, &bind).unwrap();
+        run_serial(&plan, &mut ws1).unwrap();
+
+        let (mut ws2, _) = workspace(16, 0.1);
+        run_serial_rows(&plan, &mut ws2).unwrap();
+        let (mut ws3, _) = workspace(16, 0.1);
+        let pool = ThreadPool::new(4);
+        run_parallel_rows(&plan, &mut ws3, &pool).unwrap();
+        for arr in ["u_1_b", "u_2_b"] {
+            assert_eq!(ws1.grid(arr).max_abs_diff(ws2.grid(arr)), 0.0, "{arr}");
+            assert_eq!(ws1.grid(arr).max_abs_diff(ws3.grid(arr)), 0.0, "{arr}");
+        }
+
+        // Rows lowering through the 53-nest fused schedule.
+        let (mut ws4, _) = workspace(16, 0.1);
+        let s = adjoint_schedule(
+            &ws4,
+            &bind,
+            &SchedOptions::default().with_tile(&[4, 4, 8]).with_rows(),
+        )
+        .unwrap();
+        perforad_sched::run_schedule(&s, &mut ws4, &pool).unwrap();
+        for arr in ["u_1_b", "u_2_b"] {
+            assert_eq!(ws1.grid(arr).max_abs_diff(ws4.grid(arr)), 0.0, "{arr}");
+        }
+    }
+
+    #[test]
     fn c_active_adjoint_produces_velocity_gradient() {
         let (mut ws, bind) = workspace(10, 0.1);
         let adj = nest()

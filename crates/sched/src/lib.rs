@@ -25,7 +25,9 @@
 //! 4. **Execution** ([`run_schedule`]): tiles are assigned to
 //!    [`ThreadPool`] workers statically (LPT pre-assignment) or
 //!    dynamically (shared counter), via the tile-granular entry points of
-//!    `perforad_exec::tile`.
+//!    `perforad_exec::tile`. Each tile runs either the per-point
+//!    interpreter or the vectorized register-IR row executor
+//!    ([`SchedOptions::with_rows`]); both are bitwise-identical.
 //!
 //! ```
 //! use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
@@ -69,6 +71,7 @@ pub mod schedule;
 pub use error::SchedError;
 pub use fuse::fuse_groups;
 pub use graph::{dependence_graph, resolve_boxes, DepGraph, ResolvedBox};
+pub use perforad_exec::Lowering;
 pub use schedule::{
     compile_schedule, compile_schedule_nests, default_tile, run_schedule, run_schedule_serial,
     FusedGroup, SchedOptions, Schedule, TilePolicy,

@@ -14,8 +14,8 @@ use crate::graph::{dependence_graph, DepGraph};
 use perforad_core::{Adjoint, BoundaryStrategy, LoopNest};
 use perforad_exec::kernel::PlanOptions;
 use perforad_exec::{
-    compile_nests_opts, tile_nest, Binding, ExecStats, Plan, ThreadPool, Tile, TileRunner,
-    Workspace,
+    compile_nests_opts, tile_nest, Binding, ExecStats, Lowering, Plan, ThreadPool, Tile,
+    TileRunner, Workspace,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -43,6 +43,9 @@ pub struct SchedOptions {
     pub policy: TilePolicy,
     /// Apply per-statement common-subexpression elimination when lowering.
     pub cse: bool,
+    /// Statement lowering tiles run with: the per-point interpreter
+    /// (default, reference) or the vectorized register-IR row executor.
+    pub lowering: Lowering,
 }
 
 impl SchedOptions {
@@ -59,6 +62,16 @@ impl SchedOptions {
     pub fn with_cse(mut self, cse: bool) -> Self {
         self.cse = cse;
         self
+    }
+
+    pub fn with_lowering(mut self, lowering: Lowering) -> Self {
+        self.lowering = lowering;
+        self
+    }
+
+    /// Shorthand for selecting the vectorized row executor.
+    pub fn with_rows(self) -> Self {
+        self.with_lowering(Lowering::Rows)
     }
 }
 
@@ -116,6 +129,8 @@ pub struct Schedule {
     pub tile: Vec<i64>,
     /// Worker-assignment policy.
     pub policy: TilePolicy,
+    /// Statement lowering tiles run with.
+    pub lowering: Lowering,
 }
 
 impl Schedule {
@@ -147,12 +162,13 @@ impl Schedule {
     /// One-line summary for logs and bench output.
     pub fn describe(&self) -> String {
         format!(
-            "{} nests -> {} group(s), {} tiles (tile {:?}, {:?}, {} conflict edges)",
+            "{} nests -> {} group(s), {} tiles (tile {:?}, {:?}, {:?}, {} conflict edges)",
             self.graph.len(),
             self.group_count(),
             self.tile_count(),
             self.tile,
             self.policy,
+            self.lowering,
             self.graph.edge_count(),
         )
     }
@@ -230,6 +246,7 @@ pub fn compile_schedule_nests(
         graph,
         tile,
         policy: opts.policy,
+        lowering: opts.lowering,
     })
 }
 
@@ -262,7 +279,7 @@ pub fn run_schedule(
         return Err(SchedError::ScatterPlan);
     }
     for group in &schedule.groups {
-        let runner = TileRunner::new(&group.plan, ws)?;
+        let runner = TileRunner::new(&group.plan, ws)?.with_lowering(schedule.lowering);
         match schedule.policy {
             TilePolicy::Dynamic => {
                 let counter = AtomicUsize::new(0);
@@ -308,7 +325,7 @@ pub fn run_schedule_serial(
         return Err(SchedError::ScatterPlan);
     }
     for group in &schedule.groups {
-        let runner = TileRunner::new(&group.plan, ws)?;
+        let runner = TileRunner::new(&group.plan, ws)?.with_lowering(schedule.lowering);
         let mut scratch = runner.scratch();
         for t in &group.tiles {
             // SAFETY: single-threaded execution cannot race.
@@ -405,6 +422,38 @@ mod tests {
                 "policy {policy:?}"
             );
         }
+    }
+
+    #[test]
+    fn rows_lowering_matches_interpreter_bitwise_through_tiles() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (mut ws_ref, bind) = setup(201);
+        let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+        run_serial(&plan, &mut ws_ref).unwrap();
+
+        for policy in [TilePolicy::Dynamic, TilePolicy::Static] {
+            let (mut ws, _) = setup(201);
+            let opts = SchedOptions::default()
+                .with_tile(&[16])
+                .with_policy(policy)
+                .with_rows();
+            let s = compile_schedule(&adj, &ws, &bind, &opts).unwrap();
+            let pool = ThreadPool::new(4);
+            run_schedule(&s, &mut ws, &pool).unwrap();
+            assert_eq!(
+                ws.grid("u_b").max_abs_diff(ws_ref.grid("u_b")),
+                0.0,
+                "rows lowering, policy {policy:?}"
+            );
+        }
+        // Serial tile order agrees too.
+        let (mut ws, _) = setup(201);
+        let s = compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_rows()).unwrap();
+        run_schedule_serial(&s, &mut ws).unwrap();
+        assert_eq!(ws.grid("u_b").max_abs_diff(ws_ref.grid("u_b")), 0.0);
     }
 
     #[test]

@@ -93,8 +93,8 @@ pub mod prelude {
         StencilSpec,
     };
     pub use perforad_exec::{
-        compile_adjoint, compile_nest, run_parallel, run_scatter_atomic, run_serial, Binding, Grid,
-        ThreadPool, Workspace,
+        compile_adjoint, compile_nest, run_parallel, run_parallel_rows, run_scatter_atomic,
+        run_serial, run_serial_rows, Binding, ExecMode, Grid, Lowering, ThreadPool, Workspace,
     };
     pub use perforad_sched::{compile_schedule, run_schedule, SchedOptions, Schedule, TilePolicy};
     pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
