@@ -1,30 +1,52 @@
-//! Executor micro-bench with machine-readable output: times the adjoint
-//! sweep of each paper kernel under the per-point interpreter, the
-//! register-IR row executor, and the fused + tiled schedule, then writes
-//! `BENCH_exec.json` so the repo's perf trajectory is recorded run over
-//! run.
+//! Executor micro-bench with machine-readable output and a regression
+//! gate: times the adjoint sweep of each paper kernel under the per-point
+//! interpreter, the register-IR row executor, the fused + tiled schedule,
+//! and the *autotuned* schedule (`perforad-tune` closing the
+//! model→schedule loop), writes `BENCH_exec.json`, then — when a baseline
+//! file exists — diffs against it and exits nonzero on regressions.
+//!
+//! The gate compares **normalized** series (each series divided by the
+//! same run's `interpreter_serial` for that case): what is gated is
+//! "rows/fused/tuned lost their relative win", not wall-clock noise.
+//! Normalization removes absolute machine speed but *not*
+//! microarchitecture — relative wins themselves vary across CPUs (the
+//! autotuner's whole premise) — so re-record `BENCH_baseline.json` on
+//! the machine class the gate runs on (CI: the pinned sizes/threads in
+//! `.github/workflows/ci.yml`) whenever that class changes, and loosen
+//! `PERFORAD_BENCH_GATE_TOL` if a runner fleet is heterogeneous. Series
+//! faster than a floor (µs-scale smoke runs) are exempt — they are
+//! timing noise, not signal.
 //!
 //! Knobs: `PERFORAD_N` (wave grid edge, default 48), `PERFORAD_N_BURGERS`
 //! (cells, default 2^18), `PERFORAD_SAMPLES` (best-of reps, default 5),
 //! `PERFORAD_THREADS` (pool size), `PERFORAD_BENCH_JSON` (output path,
-//! default `BENCH_exec.json`).
+//! default `BENCH_exec.json`), `PERFORAD_BENCH_BASELINE` (baseline path,
+//! default `BENCH_baseline.json`; missing file skips the gate),
+//! `PERFORAD_BENCH_GATE_TOL` (allowed relative regression, default 0.25),
+//! `PERFORAD_BENCH_GATE_FLOOR_US` (min gated series time, default 100).
 
 use perforad_bench::{env_size, json_escape, time_best, Case};
 use perforad_exec::{run_parallel, run_parallel_rows, run_serial, run_serial_rows, ThreadPool};
-use perforad_sched::run_schedule;
+use perforad_sched::{run_schedule, run_tuned};
+use perforad_tune::json::{self, Value};
+use perforad_tune::{autotune_adjoint, Measure, TuneOptions};
 
 struct Measured {
     name: &'static str,
     points: u64,
     series: Vec<(&'static str, f64)>,
+    tuned_config: String,
+    tuned_cache_hit: bool,
 }
 
 fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
     let plan = case.adjoint_plan.clone();
     let fused = case.schedule.clone();
     let fused_rows = case.schedule_rows.clone();
+    let bind = case.bind.clone();
+    let adjoint = case.adjoint.clone();
     let ws = &mut case.ws;
-    let series = vec![
+    let mut series = vec![
         (
             "interpreter_serial",
             time_best(reps, || {
@@ -62,11 +84,100 @@ fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
             }),
         ),
     ];
+    // The closed loop: autotune this adjoint (model prune + timing; the
+    // tuning cache makes the second bench run skip the search) and time
+    // the winner like any other series.
+    let topts = TuneOptions::default()
+        .with_top_k(6)
+        .with_measure(Measure::Wall {
+            samples: reps.max(1),
+        });
+    let (tuned_sched, report) =
+        autotune_adjoint(&adjoint, ws, &bind, pool, &topts).expect("autotune");
+    series.push((
+        "tuned",
+        time_best(reps, || {
+            run_tuned(&tuned_sched, &report.config, ws, pool).unwrap();
+        }),
+    ));
     Measured {
         name: case.name,
         points: plan.points(),
         series,
+        tuned_config: report.config.describe(),
+        tuned_cache_hit: report.cache_hit,
     }
+}
+
+/// `(case, label, seconds)` triples parsed from a bench JSON document.
+fn flatten(doc: &Value) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    let Some(cases) = doc.get("cases").and_then(Value::as_array) else {
+        return out;
+    };
+    for case in cases {
+        let (Some(name), Some(series)) = (
+            case.get("name").and_then(Value::as_str),
+            case.get("series").and_then(Value::as_array),
+        ) else {
+            continue;
+        };
+        for s in series {
+            if let (Some(label), Some(secs)) = (
+                s.get("label").and_then(Value::as_str),
+                s.get("seconds").and_then(Value::as_f64),
+            ) {
+                out.push((name.to_string(), label.to_string(), secs));
+            }
+        }
+    }
+    out
+}
+
+fn lookup(series: &[(String, String, f64)], case: &str, label: &str) -> Option<f64> {
+    series
+        .iter()
+        .find(|(c, l, _)| c == case && l == label)
+        .map(|&(_, _, s)| s)
+}
+
+/// Diff current against baseline; returns human-readable regression lines.
+fn gate(
+    current: &[(String, String, f64)],
+    baseline: &[(String, String, f64)],
+    tol: f64,
+    floor_s: f64,
+) -> Vec<String> {
+    let reference = "interpreter_serial";
+    let mut regressions = Vec::new();
+    for (case, label, secs) in current {
+        if label == reference {
+            continue;
+        }
+        let (Some(cur_ref), Some(base_ref), Some(base_secs)) = (
+            lookup(current, case, reference),
+            lookup(baseline, case, reference),
+            lookup(baseline, case, label),
+        ) else {
+            continue; // new case/series: nothing to regress against
+        };
+        if *secs < floor_s || cur_ref <= 0.0 || base_ref <= 0.0 || base_secs <= 0.0 {
+            continue;
+        }
+        let cur_norm = secs / cur_ref;
+        let base_norm = base_secs / base_ref;
+        if cur_norm > base_norm * (1.0 + tol) {
+            regressions.push(format!(
+                "{case}/{label}: {:.3}x of interpreter_serial, baseline {:.3}x \
+                 (+{:.0}% > {:.0}% allowed)",
+                cur_norm,
+                base_norm,
+                (cur_norm / base_norm - 1.0) * 100.0,
+                tol * 100.0
+            ));
+        }
+    }
+    regressions
 }
 
 fn main() {
@@ -95,6 +206,15 @@ fn main() {
         for (label, secs) in &m.series {
             println!("{label:<24} {secs:>12.6} s");
         }
+        println!(
+            "tuned config: {}{}",
+            m.tuned_config,
+            if m.tuned_cache_hit {
+                " [cache hit]"
+            } else {
+                ""
+            }
+        );
         let by_label = |label: &str| {
             m.series
                 .iter()
@@ -114,11 +234,14 @@ fn main() {
             .map(|(l, s)| format!("{{\"label\":{},\"seconds\":{s}}}", json_escape(l)))
             .collect();
         case_json.push(format!(
-            "{{\"name\":{},\"points\":{},\"series\":[{}],\"rows_speedup_serial\":{}}}",
+            "{{\"name\":{},\"points\":{},\"series\":[{}],\"rows_speedup_serial\":{},\
+             \"tuned_config\":{},\"tuned_cache_hit\":{}}}",
             json_escape(m.name),
             m.points,
             series.join(","),
-            interp / rows
+            interp / rows,
+            json_escape(&m.tuned_config),
+            m.tuned_cache_hit
         ));
     }
     let payload = format!(
@@ -130,4 +253,48 @@ fn main() {
         std::env::var("PERFORAD_BENCH_JSON").unwrap_or_else(|_| "BENCH_exec.json".to_string());
     std::fs::write(&path, &payload).expect("write bench JSON");
     println!("\nwrote {path}");
+
+    // Regression gate against the committed baseline.
+    let baseline_path = std::env::var("PERFORAD_BENCH_BASELINE")
+        .unwrap_or_else(|_| "BENCH_baseline.json".to_string());
+    let Ok(baseline_text) = std::fs::read_to_string(&baseline_path) else {
+        println!("no baseline at {baseline_path}; gate skipped");
+        return;
+    };
+    let baseline = json::parse(&baseline_text)
+        .unwrap_or_else(|e| panic!("baseline {baseline_path} is not valid JSON: {e}"));
+    let current = json::parse(&payload).expect("own payload parses");
+    // Normalized ratios only compare within one problem shape: a run at
+    // other sizes (or another thread count) measures different physics.
+    for knob in ["wave_n", "burgers_n", "threads"] {
+        let (b, c) = (
+            baseline.get(knob).and_then(Value::as_i64),
+            current.get(knob).and_then(Value::as_i64),
+        );
+        if b != c {
+            println!(
+                "baseline {baseline_path} was recorded at {knob}={b:?}, this run at {c:?}; \
+                 gate skipped"
+            );
+            return;
+        }
+    }
+    let tol = std::env::var("PERFORAD_BENCH_GATE_TOL")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    let floor_s = env_size("PERFORAD_BENCH_GATE_FLOOR_US", 100) as f64 * 1e-6;
+    let regressions = gate(&flatten(&current), &flatten(&baseline), tol, floor_s);
+    if regressions.is_empty() {
+        println!(
+            "bench gate vs {baseline_path}: OK (tol {:.0}%)",
+            tol * 100.0
+        );
+    } else {
+        eprintln!("\nbench gate vs {baseline_path}: REGRESSIONS");
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -21,23 +21,13 @@ use perforad_perfmodel::{KernelProfile, Machine};
 use perforad_sched::{compile_schedule, run_schedule, SchedOptions, Schedule};
 use perforad_symbolic::Symbol;
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 pub mod micro;
 
-/// Time one invocation (the paper times single steps of large grids).
-pub fn time_once(mut f: impl FnMut()) -> f64 {
-    let t0 = Instant::now();
-    f();
-    t0.elapsed().as_secs_f64()
-}
-
-/// Best of `reps` invocations.
-pub fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
-    (0..reps.max(1))
-        .map(|_| time_once(&mut f))
-        .fold(f64::MAX, f64::min)
-}
+// The timers live in `perforad-tune` (its empirical stage measures the
+// same way this harness reports), re-exported here so existing callers
+// keep their import paths.
+pub use perforad_tune::timing::{time_best, time_once};
 
 /// Environment-overridable problem size.
 pub fn env_size(var: &str, default: usize) -> usize {
@@ -262,23 +252,11 @@ fn maybe_json(title: &str, payload: String) {
 /// A JSON string literal. Rust's `Debug` formatting is *not* used: it
 /// emits `\u{9}`-style braced escapes, which are invalid JSON. Public so
 /// the bench binaries (which emit machine-readable JSON files) share one
-/// escaper.
+/// escaper — the implementation lives beside the workspace's JSON reader
+/// in `perforad_tune::json`, so escape and parse round-trip by
+/// construction.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    perforad_tune::json::escape(s)
 }
 
 fn json_rows(rows: &[(usize, f64)]) -> String {

@@ -5,9 +5,10 @@
 //! differentiable, producing ternary operators in the adjoint (Fig. 7).
 
 use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
-use perforad_exec::{Binding, Grid, Workspace};
-use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule};
+use perforad_exec::{Binding, Grid, ThreadPool, Workspace};
+use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule, TunedConfig};
 use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+use perforad_tune::{autotune_adjoint, TuneError, TuneOptions};
 
 /// The upwinded Burgers stencil nest as built by the Fig. 6 script.
 pub fn nest() -> LoopNest {
@@ -82,6 +83,22 @@ pub fn adjoint_schedule(
         .adjoint(&activity(), &AdjointOptions::default())
         .expect("burgers adjoint transforms");
     compile_schedule(&adj, ws, bind, opts)
+}
+
+/// Autotuned adjoint schedule (two-stage tuner over the full
+/// configuration space). Drive the result with
+/// [`perforad_sched::run_tuned`].
+pub fn adjoint_schedule_tuned(
+    ws: &mut Workspace,
+    bind: &Binding,
+    pool: &ThreadPool,
+    topts: &TuneOptions,
+) -> Result<(Schedule, TunedConfig), TuneError> {
+    let adj = nest()
+        .adjoint(&activity(), &AdjointOptions::default())
+        .expect("burgers adjoint transforms");
+    let (schedule, report) = autotune_adjoint(&adj, ws, bind, pool, topts)?;
+    Ok((schedule, report.config))
 }
 
 #[cfg(test)]
@@ -193,6 +210,35 @@ mod tests {
         let (mut ws2, _) = workspace(n, 0.3, 0.1);
         run_serial_rows(&plan, &mut ws2).unwrap();
         assert_eq!(ws1.grid("u_1_b").max_abs_diff(ws2.grid("u_1_b")), 0.0);
+    }
+
+    #[test]
+    fn tuned_schedule_matches_serial_reference_bitwise() {
+        use perforad_sched::run_tuned;
+        use perforad_tune::Measure;
+        let n = 200usize;
+        let (mut ws_ref, bind) = workspace(n, 0.3, 0.1);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+        run_serial(&plan, &mut ws_ref).unwrap();
+
+        let (mut ws, _) = workspace(n, 0.3, 0.1);
+        let pool = ThreadPool::new(2);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_top_k(3)
+            .with_measure(Measure::Wall { samples: 1 });
+        let (schedule, cfg) = adjoint_schedule_tuned(&mut ws, &bind, &pool, &opts).unwrap();
+        // The adjoint accumulates with `+=`, so the tuner's timing sweeps
+        // dirtied `ws` — compare on a fresh workspace.
+        let (mut ws_fresh, _) = workspace(n, 0.3, 0.1);
+        run_tuned(&schedule, &cfg, &mut ws_fresh, &pool).unwrap();
+        assert_eq!(
+            ws_ref.grid("u_1_b").max_abs_diff(ws_fresh.grid("u_1_b")),
+            0.0
+        );
     }
 
     #[test]

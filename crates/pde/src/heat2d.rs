@@ -2,9 +2,10 @@
 //! decomposition Fig. 3 of the paper illustrates (17 loop nests).
 
 use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
-use perforad_exec::{Binding, Grid, Workspace};
-use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule};
+use perforad_exec::{Binding, Grid, ThreadPool, Workspace};
+use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule, TunedConfig};
 use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+use perforad_tune::{autotune_adjoint, TuneError, TuneOptions};
 
 /// `u[i][j] = u_1[i][j] + D*(u_1[i±1][j] + u_1[i][j±1] - 4 u_1[i][j])`.
 pub fn nest() -> LoopNest {
@@ -76,6 +77,22 @@ pub fn adjoint_schedule(
         .adjoint(&activity(), &AdjointOptions::default())
         .expect("heat2d adjoint transforms");
     compile_schedule(&adj, ws, bind, opts)
+}
+
+/// Autotuned adjoint schedule (two-stage tuner over the full
+/// configuration space). Drive the result with
+/// [`perforad_sched::run_tuned`].
+pub fn adjoint_schedule_tuned(
+    ws: &mut Workspace,
+    bind: &Binding,
+    pool: &ThreadPool,
+    topts: &TuneOptions,
+) -> Result<(Schedule, TunedConfig), TuneError> {
+    let adj = nest()
+        .adjoint(&activity(), &AdjointOptions::default())
+        .expect("heat2d adjoint transforms");
+    let (schedule, report) = autotune_adjoint(&adj, ws, bind, pool, topts)?;
+    Ok((schedule, report.config))
 }
 
 #[cfg(test)]

@@ -11,7 +11,10 @@
 use crate::wave3d;
 use perforad_core::AdjointOptions;
 use perforad_exec::{compile_nest, run_serial, Binding, Grid, ThreadPool, Workspace};
-use perforad_sched::{compile_schedule, run_schedule, SchedOptions};
+use perforad_sched::{
+    compile_schedule, run_tuned, SchedOptions, Schedule, TunedConfig, TunedStrategy,
+};
+use perforad_tune::{autotune_adjoint, TuneError, TuneOptions};
 
 /// Problem configuration.
 #[derive(Clone, Copy, Debug)]
@@ -85,19 +88,41 @@ pub fn misfit(u: &Grid, data: &Grid) -> f64 {
     j
 }
 
+/// Autotuned schedule for the `c`-active single-step wave adjoint that
+/// the reverse sweep of [`gradient`] drives: the two-stage tuner (model
+/// prune + wall-clock timing on `pool`) searches
+/// `Strategy×Lowering×TilePolicy×tile×fusion` once, and the tuning cache
+/// makes repeated gradients (every seismic inversion iterates) skip the
+/// search. Timing runs overwrite the adjoint/output grids in `ws`, so
+/// tune before seeding real data — the sweep refills them each step.
+pub fn adjoint_schedule_tuned(
+    ws: &mut Workspace,
+    bind: &Binding,
+    pool: &ThreadPool,
+    topts: &TuneOptions,
+) -> Result<(Schedule, TunedConfig), TuneError> {
+    let adj = wave3d::nest()
+        .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
+        .expect("c-active wave adjoint transforms");
+    let (schedule, report) = autotune_adjoint(&adj, ws, bind, pool, topts)?;
+    Ok((schedule, report.config))
+}
+
 /// Misfit and its gradient with respect to the velocity model `c`.
 ///
-/// The reverse sweep drives the *scheduled* adjoint: all 53 disjoint
-/// nests of the `c`-active wave adjoint fused into one tiled parallel
-/// region per time step, on a pool that persists across the whole sweep,
-/// with the register-IR row executor lowering each tile (bitwise
-/// identical to the interpreter, several times faster).
+/// The reverse sweep drives the *autotuned* scheduled adjoint: the tuner
+/// picks the fastest `Strategy×Lowering×TilePolicy×tile×fusion` point
+/// for this grid size and machine (cached across calls), falling back to
+/// the hand-picked fused row-executor schedule if tuning fails. The pool
+/// persists across the whole sweep; every configuration the tuner can
+/// select is bitwise-identical to the serial interpreter reference.
 pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (f64, Grid) {
     let dims = [cfg.n, cfg.n, cfg.n];
     let traj = forward(cfg, c, source);
     let j = misfit(&traj[cfg.steps], data);
 
-    // Adjoint of one step with c active.
+    // Adjoint of one step with c active (computed once; both the tuner
+    // and the fallback compile from it).
     let nest = wave3d::nest();
     let adj = nest
         .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
@@ -110,12 +135,27 @@ pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (
     ws.insert("u_1_b", Grid::zeros(&dims));
     ws.insert("u_2_b", Grid::zeros(&dims));
     ws.insert("c_b", Grid::zeros(&dims));
-    let schedule = compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_rows())
-        .expect("adjoint schedules");
     let threads = std::thread::available_parallelism()
         .map(|t| t.get().min(8))
         .unwrap_or(2);
     let pool = ThreadPool::new(threads);
+    let (schedule, tuned) =
+        match autotune_adjoint(&adj, &mut ws, &bind, &pool, &TuneOptions::quick()) {
+            Ok((s, report)) => (s, report.config),
+            Err(_) => {
+                // Tuning is best-effort; the hand-picked schedule of PR 2
+                // keeps the gradient available.
+                let s = compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_rows())
+                    .expect("adjoint schedules");
+                let fallback = TunedConfig {
+                    strategy: TunedStrategy::Parallel,
+                    lowering: perforad_exec::Lowering::Rows,
+                    threads,
+                    ..TunedConfig::default()
+                };
+                (s, fallback)
+            }
+        };
 
     // λ_t = ∂J/∂u_t; only λ_T seeded directly. Source injection is additive
     // and c-independent, so it contributes nothing to the adjoint.
@@ -138,7 +178,7 @@ pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (
         ws.grid_mut("u_1_b").fill(0.0);
         ws.grid_mut("u_2_b").fill(0.0);
         ws.grid_mut("c_b").fill(0.0);
-        run_schedule(&schedule, &mut ws, &pool).expect("adjoint step");
+        run_tuned(&schedule, &tuned, &mut ws, &pool).expect("adjoint step");
         // Scatter-free accumulation into earlier adjoint fields.
         add_into(&mut lambda[t - 1], ws.grid("u_1_b"));
         if t >= 2 {

@@ -6,9 +6,10 @@
 //! `c = a²` (spatially varying) and `D = (dt/dx)²`.
 
 use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions, LoopNest};
-use perforad_exec::{Binding, Grid, Workspace};
-use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule};
+use perforad_exec::{Binding, Grid, ThreadPool, Workspace};
+use perforad_sched::{compile_schedule, SchedError, SchedOptions, Schedule, TunedConfig};
 use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+use perforad_tune::{autotune_adjoint, TuneError, TuneOptions};
 
 /// The wave-equation stencil nest exactly as built by the Fig. 4 script.
 pub fn nest() -> LoopNest {
@@ -103,6 +104,24 @@ pub fn adjoint_schedule(
         .adjoint(&activity(), &AdjointOptions::default())
         .expect("wave3d adjoint transforms");
     compile_schedule(&adj, ws, bind, opts)
+}
+
+/// Autotuned adjoint schedule: searches the
+/// `Strategy×Lowering×TilePolicy×tile×fusion` space with the two-stage
+/// tuner (model prune + wall-clock timing on `pool`) instead of taking a
+/// hand-picked configuration. Drive the result with
+/// [`perforad_sched::run_tuned`].
+pub fn adjoint_schedule_tuned(
+    ws: &mut Workspace,
+    bind: &Binding,
+    pool: &ThreadPool,
+    topts: &TuneOptions,
+) -> Result<(Schedule, TunedConfig), TuneError> {
+    let adj = nest()
+        .adjoint(&activity(), &AdjointOptions::default())
+        .expect("wave3d adjoint transforms");
+    let (schedule, report) = autotune_adjoint(&adj, ws, bind, pool, topts)?;
+    Ok((schedule, report.config))
 }
 
 #[cfg(test)]
@@ -227,6 +246,38 @@ mod tests {
         perforad_sched::run_schedule(&s, &mut ws4, &pool).unwrap();
         for arr in ["u_1_b", "u_2_b"] {
             assert_eq!(ws1.grid(arr).max_abs_diff(ws4.grid(arr)), 0.0, "{arr}");
+        }
+    }
+
+    #[test]
+    fn tuned_schedule_matches_serial_reference_bitwise() {
+        use perforad_sched::run_tuned;
+        use perforad_tune::Measure;
+        let (mut ws_ref, bind) = workspace(14, 0.1);
+        let adj = nest()
+            .adjoint(&activity(), &AdjointOptions::default())
+            .unwrap();
+        let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+        run_serial(&plan, &mut ws_ref).unwrap();
+
+        let (mut ws, _) = workspace(14, 0.1);
+        let pool = ThreadPool::new(3);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_top_k(4)
+            .with_measure(Measure::Wall { samples: 1 });
+        let (schedule, cfg) = adjoint_schedule_tuned(&mut ws, &bind, &pool, &opts).unwrap();
+        assert_eq!(cfg.tile.len(), 3, "{}", cfg.describe());
+        // The adjoint accumulates with `+=`, so the tuner's timing sweeps
+        // dirtied `ws` — compare on a fresh workspace.
+        let (mut ws_fresh, _) = workspace(14, 0.1);
+        run_tuned(&schedule, &cfg, &mut ws_fresh, &pool).unwrap();
+        for arr in ["u_1_b", "u_2_b"] {
+            assert_eq!(
+                ws_ref.grid(arr).max_abs_diff(ws_fresh.grid(arr)),
+                0.0,
+                "{arr}"
+            );
         }
     }
 

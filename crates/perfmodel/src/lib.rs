@@ -15,4 +15,6 @@ pub mod machine;
 pub mod model;
 
 pub use machine::{broadwell, host, knl, Machine};
-pub use model::{predict, profile, speedup_series, with_stack, KernelProfile};
+pub use model::{
+    predict, predict_schedule, profile, speedup_series, with_stack, KernelProfile, ScheduleShape,
+};

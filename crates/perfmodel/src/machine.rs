@@ -30,6 +30,14 @@ pub struct Machine {
     pub atomic_contention: f64,
     /// Effective cost per byte pushed/popped on a sequential value stack, ns.
     pub stack_byte_ns: f64,
+    /// Cost of one parallel-region barrier (pool fork/join), µs.
+    pub barrier_us: f64,
+    /// Per-tile dispatch overhead (scratch set-up, bounds resolution), ns.
+    pub tile_dispatch_ns: f64,
+    /// Per-point dispatch overhead of the stack-bytecode interpreter, ns.
+    pub interp_point_ns: f64,
+    /// Per-point overhead of the vectorized register-IR row executor, ns.
+    pub rows_point_ns: f64,
 }
 
 impl Machine {
@@ -63,6 +71,10 @@ pub fn broadwell() -> Machine {
         atomic_ns: 12.0,
         atomic_contention: 1.3,
         stack_byte_ns: 0.35,
+        barrier_us: 8.0,
+        tile_dispatch_ns: 120.0,
+        interp_point_ns: 16.0,
+        rows_point_ns: 2.5,
     }
 }
 
@@ -79,6 +91,10 @@ pub fn knl() -> Machine {
         atomic_ns: 40.0,
         atomic_contention: 2.0,
         stack_byte_ns: 1.1,
+        barrier_us: 60.0,
+        tile_dispatch_ns: 400.0,
+        interp_point_ns: 45.0,
+        rows_point_ns: 6.0,
     }
 }
 
@@ -95,5 +111,14 @@ pub fn host(cores: usize) -> Machine {
         atomic_ns: 15.0,
         atomic_contention: 1.2,
         stack_byte_ns: 0.5,
+        // A std condvar fork/join on a handful of workers.
+        barrier_us: 15.0,
+        tile_dispatch_ns: 150.0,
+        // Calibrated against the recorded BENCH_exec rows-vs-interpreter
+        // serial speedups (several-fold, ≈3–11× across kernels and runs):
+        // interpreter dispatch dominates per-point cost, the row executor
+        // amortises it away.
+        interp_point_ns: 20.0,
+        rows_point_ns: 3.0,
     }
 }

@@ -74,6 +74,72 @@ pub fn predict(m: &Machine, p: &KernelProfile, threads: usize) -> f64 {
     t_flops.max(t_mem) + t_atomic + t_stack
 }
 
+/// Shape of one *scheduled* execution of a kernel: how the iteration
+/// space is cut up and driven, orthogonal to the arithmetic captured by
+/// [`KernelProfile`]. Built by the `perforad-tune` autotuner from a
+/// candidate `Strategy×Lowering×TilePolicy×tile×fusion` configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ScheduleShape {
+    /// Worker count driving the schedule (1 = serial execution).
+    pub threads: usize,
+    /// Barrier-separated parallel regions per sweep (the fusion knob:
+    /// fused schedules have one region per fusion group, unfused ones pay
+    /// one barrier per nest).
+    pub barriers: usize,
+    /// Total tile count across all regions.
+    pub tiles: usize,
+    /// True under the vectorized register-IR row executor, false under
+    /// the per-point stack interpreter.
+    pub rows: bool,
+    /// True for dynamic (shared-counter) tile assignment, false for
+    /// static LPT pre-assignment.
+    pub dynamic: bool,
+}
+
+/// Predicted wall-clock seconds for one scheduled sweep: the roofline of
+/// [`predict`] plus the scheduling overheads the tuner trades off —
+/// per-point lowering dispatch, per-tile dispatch, region barriers, and
+/// the assignment policy's imbalance/contention terms.
+///
+/// The model only has to *rank* candidate configurations well enough that
+/// the true winner survives the top-K cut before empirical timing; its
+/// absolute numbers are roofline-grade, not cycle-accurate.
+pub fn predict_schedule(m: &Machine, p: &KernelProfile, s: &ScheduleShape) -> f64 {
+    let threads = s.threads.max(1);
+    let t_flops = p.points * p.flops_per_point / (m.flops(threads) * 1e9);
+    let t_mem = p.points * p.bytes_per_point / (m.bandwidth(threads) * 1e9);
+    // Lowering dispatch is CPU work on the executing threads; it cannot
+    // hide behind the memory wall in this simple in-order model.
+    let point_ns = if s.rows {
+        m.rows_point_ns
+    } else {
+        m.interp_point_ns
+    };
+    let t_dispatch = p.points * point_ns * 1e-9 / threads as f64;
+    let tiles = s.tiles.max(1);
+    let mut t_tiles = tiles as f64 * m.tile_dispatch_ns * 1e-9 / threads as f64;
+    let mut imbalance = 1.0;
+    if threads > 1 {
+        if s.dynamic {
+            // One shared-counter fetch per tile.
+            t_tiles += tiles as f64 * m.atomic_cost(threads) * 1e-9 / threads as f64;
+        } else {
+            // LPT pre-assignment cannot rebalance at run time; the penalty
+            // fades as tiles-per-worker grows.
+            imbalance += 0.5 * (threads - 1) as f64 / tiles as f64;
+        }
+    }
+    // Serial execution never forks the pool, so it pays no barriers.
+    let t_barrier = if threads > 1 {
+        s.barriers as f64 * m.barrier_us * 1e-6
+    } else {
+        0.0
+    };
+    let t_atomic = p.points * p.atomics_per_point * m.atomic_cost(threads) * 1e-9;
+    let t_stack = p.points * p.stack_bytes_per_point * m.stack_byte_ns * 1e-9;
+    (t_flops.max(t_mem) + t_dispatch) * imbalance + t_tiles + t_barrier + t_atomic + t_stack
+}
+
 /// `(threads, seconds, speedup-vs-1-thread)` across a sweep.
 pub fn speedup_series(m: &Machine, p: &KernelProfile, threads: &[usize]) -> Vec<(usize, f64, f64)> {
     let t1 = predict(m, p, 1);
@@ -221,6 +287,108 @@ mod tests {
         let rk = ratio(&knl());
         assert!(rk > rb, "KNL ratio {rk} must exceed Broadwell {rb}");
         assert!(rk > 8.0, "KNL ratio should be order-of-magnitude, got {rk}");
+    }
+
+    #[test]
+    fn schedule_model_ranks_the_recorded_wins() {
+        // The tuner's pruning stage only needs the model to rank: rows
+        // beat the interpreter, fused beats unfused, and a tiny problem
+        // prefers serial over paying parallel-region barriers.
+        let m = crate::machine::host(8);
+        let act = ActivityMap::new()
+            .with_suffixed("u")
+            .with_suffixed("u_1")
+            .with_suffixed("u_2");
+        let adj = wave_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let p = profile(&adj.nests, &sizes(96));
+        let base = ScheduleShape {
+            threads: 8,
+            barriers: 1,
+            tiles: 256,
+            rows: false,
+            dynamic: true,
+        };
+        let interp = predict_schedule(&m, &p, &base);
+        let rows = predict_schedule(&m, &p, &ScheduleShape { rows: true, ..base });
+        assert!(
+            interp > rows,
+            "rows must rank first: interp {interp} vs rows {rows}"
+        );
+        // Serially (where BENCH_exec recorded 4.8×/11.1×) the margin is wide.
+        let serial = ScheduleShape { threads: 1, ..base };
+        let interp1 = predict_schedule(&m, &p, &serial);
+        let rows1 = predict_schedule(
+            &m,
+            &p,
+            &ScheduleShape {
+                rows: true,
+                ..serial
+            },
+        );
+        assert!(
+            interp1 / rows1 > 2.0,
+            "serial rows speedup: {}",
+            interp1 / rows1
+        );
+        // Unfused: one barrier per nest (53), a tile stream per nest.
+        let unfused = predict_schedule(
+            &m,
+            &p,
+            &ScheduleShape {
+                barriers: 53,
+                ..base
+            },
+        );
+        assert!(
+            unfused > interp,
+            "barriers must cost: {unfused} vs {interp}"
+        );
+
+        // Tiny problem: serial avoids the barrier + dispatch overhead.
+        let tiny = profile(&adj.nests, &sizes(6));
+        let par = predict_schedule(
+            &m,
+            &tiny,
+            &ScheduleShape {
+                tiles: 53,
+                barriers: 1,
+                ..base
+            },
+        );
+        let ser = predict_schedule(
+            &m,
+            &tiny,
+            &ScheduleShape {
+                threads: 1,
+                tiles: 53,
+                barriers: 1,
+                ..base
+            },
+        );
+        assert!(ser < par, "serial must win a 6³ problem: {ser} vs {par}");
+    }
+
+    #[test]
+    fn schedule_model_reduces_to_roofline_plus_overheads() {
+        let m = broadwell();
+        let p = profile(std::slice::from_ref(&wave_nest()), &sizes(200));
+        let s = ScheduleShape {
+            threads: 1,
+            barriers: 1,
+            tiles: 1,
+            rows: true,
+            dynamic: false,
+        };
+        let sched = predict_schedule(&m, &p, &s);
+        let plain = predict(&m, &p, 1);
+        // Same roofline core, plus small per-point/tile overheads.
+        assert!(sched >= plain);
+        assert!(
+            sched < plain * 2.0,
+            "overheads dominate: {sched} vs {plain}"
+        );
     }
 
     #[test]

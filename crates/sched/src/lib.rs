@@ -67,6 +67,7 @@ pub mod error;
 pub mod fuse;
 pub mod graph;
 pub mod schedule;
+pub mod tuned;
 
 pub use error::SchedError;
 pub use fuse::fuse_groups;
@@ -76,3 +77,4 @@ pub use schedule::{
     compile_schedule, compile_schedule_nests, default_tile, run_schedule, run_schedule_serial,
     FusedGroup, SchedOptions, Schedule, TilePolicy,
 };
+pub use tuned::{run_tuned, TunedConfig, TunedStrategy};

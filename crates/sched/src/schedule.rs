@@ -34,7 +34,7 @@ pub enum TilePolicy {
 }
 
 /// Options for [`compile_schedule`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SchedOptions {
     /// Per-dimension tile edges. `None` picks a rank-based default; a
     /// single element broadcasts to every dimension.
@@ -46,6 +46,23 @@ pub struct SchedOptions {
     /// Statement lowering tiles run with: the per-point interpreter
     /// (default, reference) or the vectorized register-IR row executor.
     pub lowering: Lowering,
+    /// Merge conflict-free nests into shared parallel regions (default).
+    /// Off, every nest becomes its own group — one barrier per nest, the
+    /// unfused baseline the paper's figures compare against and one axis
+    /// of the autotuner's search space.
+    pub fuse: bool,
+}
+
+impl Default for SchedOptions {
+    fn default() -> Self {
+        SchedOptions {
+            tile: None,
+            policy: TilePolicy::default(),
+            cse: false,
+            lowering: Lowering::default(),
+            fuse: true,
+        }
+    }
 }
 
 impl SchedOptions {
@@ -72,6 +89,24 @@ impl SchedOptions {
     /// Shorthand for selecting the vectorized row executor.
     pub fn with_rows(self) -> Self {
         self.with_lowering(Lowering::Rows)
+    }
+
+    pub fn with_fuse(mut self, fuse: bool) -> Self {
+        self.fuse = fuse;
+        self
+    }
+
+    /// Options matching a tuner-selected configuration (the run-time half
+    /// — serial vs pool — lives in [`crate::run_tuned`]).
+    pub fn from_tuned(cfg: &crate::TunedConfig) -> Self {
+        SchedOptions {
+            // An empty tile vector means "rank default".
+            tile: (!cfg.tile.is_empty()).then(|| cfg.tile.clone()),
+            policy: cfg.policy,
+            cse: cfg.cse,
+            lowering: cfg.lowering,
+            fuse: cfg.fuse,
+        }
     }
 }
 
@@ -131,6 +166,18 @@ pub struct Schedule {
     pub policy: TilePolicy,
     /// Statement lowering tiles run with.
     pub lowering: Lowering,
+    /// Whether conflict-free nests were merged into shared groups.
+    pub fused: bool,
+    /// Whether per-statement CSE was applied when lowering.
+    pub cse: bool,
+    /// The source nests the schedule was compiled from, in original order
+    /// — kept so the autotuner can recompile the same work under other
+    /// configurations (`perforad-tune`'s `Schedule::autotune`). Behind an
+    /// `Arc` so cloning a schedule does not deep-copy the nest IR.
+    pub source: std::sync::Arc<[LoopNest]>,
+    /// Whether out-of-range reads resolve to zero padding (the adjoint's
+    /// `BoundaryStrategy::Padded`), needed alongside `source` to recompile.
+    pub padded: bool,
 }
 
 impl Schedule {
@@ -217,7 +264,14 @@ pub fn compile_schedule_nests(
         padded,
         cse: opts.cse,
     };
-    let groups = fuse_groups(&graph)
+    let members = if opts.fuse {
+        fuse_groups(&graph)
+    } else {
+        // Unfused: one group (one barrier) per nest, source order — the
+        // original order is a valid sequential order of the nest list.
+        (0..nests.len()).map(|i| vec![i]).collect()
+    };
+    let groups = members
         .into_iter()
         .map(|members| {
             let group_nests: Vec<LoopNest> = members.iter().map(|&m| nests[m].clone()).collect();
@@ -247,6 +301,10 @@ pub fn compile_schedule_nests(
         tile,
         policy: opts.policy,
         lowering: opts.lowering,
+        fused: opts.fuse,
+        cse: opts.cse,
+        source: nests.into(),
+        padded,
     })
 }
 
@@ -454,6 +512,28 @@ mod tests {
         let s = compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_rows()).unwrap();
         run_schedule_serial(&s, &mut ws).unwrap();
         assert_eq!(ws.grid("u_b").max_abs_diff(ws_ref.grid("u_b")), 0.0);
+    }
+
+    #[test]
+    fn unfused_schedule_matches_fused_bitwise() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (mut ws_f, bind) = setup(129);
+        let fused = compile_schedule(&adj, &ws_f, &bind, &SchedOptions::default()).unwrap();
+        assert!(fused.fused);
+        assert_eq!(fused.source.len(), 5);
+        let pool = ThreadPool::new(3);
+        run_schedule(&fused, &mut ws_f, &pool).unwrap();
+
+        let (mut ws_u, _) = setup(129);
+        let opts = SchedOptions::default().with_fuse(false);
+        let unfused = compile_schedule(&adj, &ws_u, &bind, &opts).unwrap();
+        assert_eq!(unfused.group_count(), 5, "{}", unfused.describe());
+        assert!(!unfused.fused);
+        run_schedule(&unfused, &mut ws_u, &pool).unwrap();
+        assert_eq!(ws_f.grid("u_b").max_abs_diff(ws_u.grid("u_b")), 0.0);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Tuner-selected schedule configurations.
+//!
+//! A [`TunedConfig`] is the pure-data description of one point in the
+//! adjoint schedule space — parallel strategy × lowering × tile policy ×
+//! tile edges × fusion on/off — as produced by the `perforad-tune`
+//! autotuner and consumed by [`SchedOptions::from_tuned`] (compile-time
+//! half) and [`run_tuned`] (run-time half). It lives here rather than in
+//! the tuner crate so the scheduler can accept it without a dependency
+//! cycle.
+
+use crate::error::SchedError;
+use crate::schedule::{run_schedule, run_schedule_serial, SchedOptions, Schedule, TilePolicy};
+use perforad_exec::{ExecStats, Lowering, ThreadPool, Workspace};
+
+/// Run-time half of a tuned configuration: how the compiled schedule is
+/// driven (the compile-time half lives in [`SchedOptions`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TunedStrategy {
+    /// Single thread, tile order — wins on problems too small to amortise
+    /// a parallel region.
+    Serial,
+    /// Tiles distributed over a worker pool.
+    #[default]
+    Parallel,
+}
+
+/// One point of the adjoint schedule space, as selected by the tuner.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedConfig {
+    /// Serial or pool-parallel execution.
+    pub strategy: TunedStrategy,
+    /// Per-point interpreter or vectorized register-IR rows.
+    pub lowering: Lowering,
+    /// Static (LPT) or dynamic (shared-counter) tile assignment.
+    pub policy: TilePolicy,
+    /// Tile edges, one per nest dimension.
+    pub tile: Vec<i64>,
+    /// Whether conflict-free nests share parallel regions.
+    pub fuse: bool,
+    /// Apply per-statement common-subexpression elimination when
+    /// compiling. Not searched by the tuner (it is a plan-level knob set
+    /// by the caller); carried so retuning preserves it.
+    pub cse: bool,
+    /// Worker count the configuration was tuned for (1 when serial).
+    pub threads: usize,
+}
+
+impl Default for TunedConfig {
+    fn default() -> Self {
+        TunedConfig {
+            strategy: TunedStrategy::Parallel,
+            lowering: Lowering::default(),
+            policy: TilePolicy::default(),
+            tile: Vec::new(),
+            fuse: true,
+            cse: false,
+            threads: 1,
+        }
+    }
+}
+
+impl TunedConfig {
+    /// Compact one-line description for logs and bench output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{:?}/{:?}/{:?} tile {:?} fuse {} cse {} ({} threads)",
+            self.strategy, self.lowering, self.policy, self.tile, self.fuse, self.cse, self.threads
+        )
+    }
+
+    /// The scheduler options matching this configuration
+    /// (alias of [`SchedOptions::from_tuned`]).
+    pub fn sched_options(&self) -> SchedOptions {
+        SchedOptions::from_tuned(self)
+    }
+}
+
+/// Execute a schedule the way its tuned configuration asks: serially for
+/// [`TunedStrategy::Serial`], on the pool otherwise. The schedule itself
+/// must already have been compiled with [`SchedOptions::from_tuned`] for
+/// the tile/lowering/policy/fusion half of `cfg` to be in effect.
+pub fn run_tuned(
+    schedule: &Schedule,
+    cfg: &TunedConfig,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, SchedError> {
+    match cfg.strategy {
+        TunedStrategy::Serial => run_schedule_serial(schedule, ws),
+        TunedStrategy::Parallel => run_schedule(schedule, ws, pool),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_tuned_maps_every_compile_time_knob() {
+        let cfg = TunedConfig {
+            strategy: TunedStrategy::Serial,
+            lowering: Lowering::Rows,
+            policy: TilePolicy::Static,
+            tile: vec![8, 128],
+            fuse: false,
+            cse: true,
+            threads: 4,
+        };
+        let opts = SchedOptions::from_tuned(&cfg);
+        assert_eq!(opts.tile.as_deref(), Some(&[8, 128][..]));
+        assert_eq!(opts.policy, TilePolicy::Static);
+        assert_eq!(opts.lowering, Lowering::Rows);
+        assert!(!opts.fuse);
+        assert!(opts.cse, "CSE must survive the from_tuned mapping");
+        assert_eq!(cfg.sched_options().tile, opts.tile);
+    }
+
+    #[test]
+    fn default_config_is_fused_parallel_interpreter() {
+        let cfg = TunedConfig::default();
+        assert_eq!(cfg.strategy, TunedStrategy::Parallel);
+        assert!(cfg.fuse);
+        let opts = SchedOptions::from_tuned(&cfg);
+        // An empty tile vector means "pick the rank default".
+        assert_eq!(opts.tile, None);
+    }
+}

@@ -1,0 +1,400 @@
+//! The persistent tuning cache.
+//!
+//! Tuning results are keyed by a **schedule fingerprint** (a stable hash
+//! of the source nests' printed IR, the padded flag, and the integer size
+//! bindings — everything that changes the work being scheduled) plus a
+//! **machine signature** (arch, OS, worker count, cache format version —
+//! everything that changes which configuration wins). Entries live in two
+//! layers:
+//!
+//! * a process-wide in-memory map, always on by default, so repeated
+//!   `autotune` calls in one process (e.g. every time step of a seismic
+//!   sweep, or a second benchmark run) skip the search entirely;
+//! * an optional JSON file (hand-rolled like every serialised artifact in
+//!   this std-only workspace), so separate processes share tunings. Set
+//!   [`crate::TuneOptions::cache_path`] or the `PERFORAD_TUNE_CACHE`
+//!   environment variable.
+
+use crate::json::{self, Value};
+use perforad_core::LoopNest;
+use perforad_exec::{Binding, Lowering};
+use perforad_sched::{TilePolicy, TunedConfig, TunedStrategy};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::{Mutex, OnceLock};
+
+/// Bump when the key derivation or entry layout changes: old files then
+/// miss cleanly instead of deserialising garbage.
+pub const CACHE_VERSION: u32 = 1;
+
+/// FNV-1a over a byte stream — deterministic across runs and platforms.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Stable fingerprint of the *work*: the nests' printed IR (the display
+/// form is the IR's canonical syntax), the padded-boundary flag, and the
+/// integer sizes the bounds resolve against. Floating-point parameters
+/// are excluded — they change values, not schedule shape.
+pub fn fingerprint_nests(nests: &[LoopNest], padded: bool, bind: &Binding) -> u64 {
+    let mut text = String::new();
+    for nest in nests {
+        let _ = write!(text, "{nest};");
+    }
+    let _ = write!(text, "|padded={padded}");
+    for (sym, v) in &bind.sizes {
+        let _ = write!(text, "|{sym}={v}");
+    }
+    fnv1a64(text.as_bytes())
+}
+
+/// Stable description of the *machine* as seen by the tuner.
+pub fn machine_signature(threads: usize) -> String {
+    format!(
+        "v{CACHE_VERSION}|{}|{}|t{}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        threads.max(1)
+    )
+}
+
+/// Full cache key for a (work, machine) pair.
+pub fn cache_key(fingerprint: u64, threads: usize) -> String {
+    format!("{fingerprint:016x}|{}", machine_signature(threads))
+}
+
+/// One cached tuning outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// The winning configuration.
+    pub config: TunedConfig,
+    /// Its measured (or model/synthetic) seconds at tuning time.
+    pub seconds: f64,
+}
+
+/// A loadable/savable set of tuning outcomes.
+#[derive(Clone, Debug, Default)]
+pub struct TuneCache {
+    entries: Vec<(String, CacheEntry)>,
+}
+
+impl TuneCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn lookup(&self, key: &str) -> Option<&CacheEntry> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, e)| e)
+    }
+
+    /// Insert or replace the entry for `key`.
+    pub fn insert(&mut self, key: &str, entry: CacheEntry) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = entry;
+        } else {
+            self.entries.push((key.to_string(), entry));
+        }
+    }
+
+    /// Serialise to the cache file format.
+    pub fn to_json(&self) -> String {
+        let entries: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                let tile: Vec<String> = e.config.tile.iter().map(|t| t.to_string()).collect();
+                format!(
+                    "{{\"key\":{},\"strategy\":{},\"lowering\":{},\"policy\":{},\
+                     \"tile\":[{}],\"fuse\":{},\"cse\":{},\"threads\":{},\"seconds\":{}}}",
+                    json::escape(k),
+                    json::escape(strategy_name(e.config.strategy)),
+                    json::escape(lowering_name(e.config.lowering)),
+                    json::escape(policy_name(e.config.policy)),
+                    tile.join(","),
+                    e.config.fuse,
+                    e.config.cse,
+                    e.config.threads,
+                    e.seconds
+                )
+            })
+            .collect();
+        format!(
+            "{{\"version\":{CACHE_VERSION},\"entries\":[{}]}}",
+            entries.join(",")
+        )
+    }
+
+    /// Parse the cache file format. A version mismatch yields an *empty*
+    /// cache (a clean miss), not an error.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        if doc.get("version").and_then(Value::as_i64) != Some(CACHE_VERSION as i64) {
+            return Ok(TuneCache::new());
+        }
+        let mut cache = TuneCache::new();
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_array)
+            .ok_or("missing `entries` array")?;
+        for e in entries {
+            let key = e
+                .get("key")
+                .and_then(Value::as_str)
+                .ok_or("entry missing `key`")?;
+            let config = TunedConfig {
+                strategy: parse_strategy(field_str(e, "strategy")?)?,
+                lowering: parse_lowering(field_str(e, "lowering")?)?,
+                policy: parse_policy(field_str(e, "policy")?)?,
+                tile: e
+                    .get("tile")
+                    .and_then(Value::as_array)
+                    .ok_or("entry missing `tile`")?
+                    .iter()
+                    .map(|t| t.as_i64().ok_or("non-integer tile edge"))
+                    .collect::<Result<_, _>>()?,
+                fuse: e
+                    .get("fuse")
+                    .and_then(Value::as_bool)
+                    .ok_or("entry missing `fuse`")?,
+                cse: e
+                    .get("cse")
+                    .and_then(Value::as_bool)
+                    .ok_or("entry missing `cse`")?,
+                threads: e
+                    .get("threads")
+                    .and_then(Value::as_i64)
+                    .ok_or("entry missing `threads`")? as usize,
+            };
+            let seconds = e
+                .get("seconds")
+                .and_then(Value::as_f64)
+                .ok_or("entry missing `seconds`")?;
+            cache.insert(key, CacheEntry { config, seconds });
+        }
+        Ok(cache)
+    }
+
+    /// Load from a file; a missing file is an empty cache.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(TuneCache::new()),
+            Err(e) => Err(format!("read {}: {e}", path.display())),
+        }
+    }
+
+    /// Persist to a file (best effort atomicity: write-then-rename).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.to_json())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
+    }
+}
+
+fn field_str<'a>(e: &'a Value, name: &str) -> Result<&'a str, String> {
+    e.get(name)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("entry missing `{name}`"))
+}
+
+fn strategy_name(s: TunedStrategy) -> &'static str {
+    match s {
+        TunedStrategy::Serial => "Serial",
+        TunedStrategy::Parallel => "Parallel",
+    }
+}
+
+fn parse_strategy(s: &str) -> Result<TunedStrategy, String> {
+    match s {
+        "Serial" => Ok(TunedStrategy::Serial),
+        "Parallel" => Ok(TunedStrategy::Parallel),
+        other => Err(format!("unknown strategy `{other}`")),
+    }
+}
+
+fn lowering_name(l: Lowering) -> &'static str {
+    match l {
+        Lowering::PerPoint => "PerPoint",
+        Lowering::Rows => "Rows",
+    }
+}
+
+fn parse_lowering(s: &str) -> Result<Lowering, String> {
+    match s {
+        "PerPoint" => Ok(Lowering::PerPoint),
+        "Rows" => Ok(Lowering::Rows),
+        other => Err(format!("unknown lowering `{other}`")),
+    }
+}
+
+fn policy_name(p: TilePolicy) -> &'static str {
+    match p {
+        TilePolicy::Static => "Static",
+        TilePolicy::Dynamic => "Dynamic",
+    }
+}
+
+fn parse_policy(s: &str) -> Result<TilePolicy, String> {
+    match s {
+        "Static" => Ok(TilePolicy::Static),
+        "Dynamic" => Ok(TilePolicy::Dynamic),
+        other => Err(format!("unknown policy `{other}`")),
+    }
+}
+
+fn memory() -> &'static Mutex<HashMap<String, CacheEntry>> {
+    static MEM: OnceLock<Mutex<HashMap<String, CacheEntry>>> = OnceLock::new();
+    MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Look up the process-wide in-memory cache.
+pub fn memory_lookup(key: &str) -> Option<CacheEntry> {
+    memory().lock().expect("tune cache lock").get(key).cloned()
+}
+
+/// Store into the process-wide in-memory cache.
+pub fn memory_store(key: &str, entry: CacheEntry) {
+    memory()
+        .lock()
+        .expect("tune cache lock")
+        .insert(key.to_string(), entry);
+}
+
+/// Drop every in-memory entry (tests use this to force re-tuning).
+pub fn memory_clear() {
+    memory().lock().expect("tune cache lock").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::make_loop_nest;
+    use perforad_symbolic::{ix, Array, Idx, Symbol};
+
+    fn nest() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            u.at(ix![&i - 1]) + u.at(ix![&i + 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    fn entry() -> CacheEntry {
+        CacheEntry {
+            config: TunedConfig {
+                strategy: TunedStrategy::Parallel,
+                lowering: Lowering::Rows,
+                policy: TilePolicy::Static,
+                tile: vec![16, 32, 512],
+                fuse: true,
+                cse: true,
+                threads: 8,
+            },
+            seconds: 1.25e-3,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let bind = Binding::new().size("n", 64);
+        let nests = [nest()];
+        let a = fingerprint_nests(&nests, false, &bind);
+        let b = fingerprint_nests(&nests, false, &bind);
+        assert_eq!(a, b);
+        // Padded flag, sizes, and nest structure all perturb the key.
+        assert_ne!(a, fingerprint_nests(&nests, true, &bind));
+        assert_ne!(
+            a,
+            fingerprint_nests(&nests, false, &Binding::new().size("n", 65))
+        );
+        let two = [nest(), nest()];
+        assert_ne!(a, fingerprint_nests(&two, false, &bind));
+        // Float params do not perturb it.
+        assert_eq!(
+            a,
+            fingerprint_nests(&nests, false, &Binding::new().size("n", 64).param("D", 0.5))
+        );
+    }
+
+    #[test]
+    fn json_round_trip_is_identical() {
+        let mut cache = TuneCache::new();
+        cache.insert("k1", entry());
+        let mut e2 = entry();
+        e2.config.strategy = TunedStrategy::Serial;
+        e2.config.lowering = Lowering::PerPoint;
+        e2.config.policy = TilePolicy::Dynamic;
+        e2.config.fuse = false;
+        e2.config.threads = 1;
+        cache.insert("k2", e2.clone());
+        let parsed = TuneCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.lookup("k1"), Some(&entry()));
+        assert_eq!(parsed.lookup("k2"), Some(&e2));
+    }
+
+    #[test]
+    fn version_mismatch_is_a_clean_miss() {
+        let doc = r#"{"version":0,"entries":[{"key":"k"}]}"#;
+        let cache = TuneCache::from_json(doc).unwrap();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "perforad_tune_cache_test_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        assert!(TuneCache::load(&path).unwrap().is_empty());
+        let mut cache = TuneCache::new();
+        cache.insert("k", entry());
+        cache.save(&path).unwrap();
+        let loaded = TuneCache::load(&path).unwrap();
+        assert_eq!(loaded.lookup("k"), Some(&entry()));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn insert_replaces_existing_keys() {
+        let mut cache = TuneCache::new();
+        cache.insert("k", entry());
+        let mut newer = entry();
+        newer.seconds = 9.0;
+        cache.insert("k", newer.clone());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup("k"), Some(&newer));
+    }
+
+    #[test]
+    fn machine_signature_embeds_threads_and_version() {
+        let sig = machine_signature(8);
+        assert!(sig.contains("t8"));
+        assert!(sig.starts_with(&format!("v{CACHE_VERSION}|")));
+        assert_ne!(sig, machine_signature(4));
+        let key = cache_key(0xdead_beef, 8);
+        assert!(key.starts_with("00000000deadbeef|"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Enumeration of the adjoint schedule search space.
+//!
+//! One [`TunedConfig`] per point of
+//! `Strategy × Lowering × TilePolicy × tile-size × fusion-on/off`, the
+//! knobs PRs 1–2 exposed on `SchedOptions`/`run_schedule`. The space is
+//! small (a few dozen points) by design: the analytic model prunes it to a
+//! top-K set and only those get timed, so an exhaustive enumeration here
+//! keeps the tuner simple without making it slow.
+
+use perforad_exec::Lowering;
+use perforad_sched::{default_tile, TilePolicy, TunedConfig, TunedStrategy};
+
+/// Candidate tile-edge vectors for a given nest rank: the rank default
+/// plus a smaller (boundary-friendly) and a larger (bandwidth-friendly)
+/// blocking on either side.
+pub fn tile_palette(rank: usize) -> Vec<Vec<i64>> {
+    let mut palette = match rank {
+        1 => vec![vec![1 << 12], vec![1 << 16]],
+        2 => vec![vec![32, 256], vec![128, 1 << 11]],
+        3 => vec![vec![8, 16, 256], vec![32, 64, 1 << 10]],
+        _ => Vec::new(),
+    };
+    let dflt = default_tile(rank);
+    if !palette.contains(&dflt) {
+        palette.insert(0, dflt);
+    }
+    palette
+}
+
+/// Enumerate every candidate configuration for a rank-`rank` nest list on
+/// a pool of `threads` workers. Serial candidates are included (tiny
+/// problems lose more to a parallel-region barrier than they gain from
+/// workers) but collapse the policy axis — tile order is policy-free with
+/// one worker.
+pub fn search_space(rank: usize, threads: usize) -> Vec<TunedConfig> {
+    let mut space = Vec::new();
+    for tile in tile_palette(rank) {
+        for lowering in [Lowering::Rows, Lowering::PerPoint] {
+            for fuse in [true, false] {
+                for policy in [TilePolicy::Dynamic, TilePolicy::Static] {
+                    space.push(TunedConfig {
+                        strategy: TunedStrategy::Parallel,
+                        lowering,
+                        policy,
+                        tile: tile.clone(),
+                        fuse,
+                        cse: false,
+                        threads: threads.max(1),
+                    });
+                }
+                space.push(TunedConfig {
+                    strategy: TunedStrategy::Serial,
+                    lowering,
+                    policy: TilePolicy::Dynamic,
+                    tile: tile.clone(),
+                    fuse,
+                    cse: false,
+                    threads: 1,
+                });
+            }
+        }
+    }
+    space
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn palette_always_contains_the_rank_default() {
+        for rank in 1..=5 {
+            assert!(
+                tile_palette(rank).contains(&default_tile(rank)),
+                "rank {rank}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_covers_every_axis() {
+        let space = search_space(3, 8);
+        // 3 tiles × 2 lowerings × 2 fuse × (2 parallel policies + serial).
+        assert_eq!(space.len(), 3 * 2 * 2 * 3);
+        assert!(space.iter().any(|c| c.strategy == TunedStrategy::Serial));
+        assert!(space.iter().any(|c| c.lowering == Lowering::PerPoint));
+        assert!(space.iter().any(|c| c.lowering == Lowering::Rows));
+        assert!(space.iter().any(|c| !c.fuse));
+        assert!(space.iter().any(|c| c.policy == TilePolicy::Static));
+        assert!(space
+            .iter()
+            .all(|c| (c.strategy == TunedStrategy::Serial) == (c.threads == 1)));
+        // Every candidate's tile matches the rank.
+        assert!(space.iter().all(|c| c.tile.len() == 3));
+    }
+
+    #[test]
+    fn serial_candidates_do_not_duplicate_policies() {
+        let space = search_space(1, 4);
+        let serial: Vec<_> = space
+            .iter()
+            .filter(|c| c.strategy == TunedStrategy::Serial)
+            .collect();
+        assert!(serial
+            .iter()
+            .all(|c| c.policy == TilePolicy::Dynamic && c.threads == 1));
+    }
+}

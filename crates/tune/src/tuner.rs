@@ -1,0 +1,603 @@
+//! The two-stage tuner: model-guided pruning, then empirical timing.
+//!
+//! Stage 1 ranks the whole [`search_space`] with
+//! [`perforad_perfmodel::predict_schedule`] — pure arithmetic, no
+//! execution — and keeps the top-K candidates. Stage 2 compiles each
+//! survivor into a real [`Schedule`] and times it (best-of-N wall clock,
+//! one warm-up sweep first). The winner is returned, installed, and
+//! recorded in the tuning cache so the next identical (work, machine)
+//! pair skips both stages.
+
+use crate::cache::{
+    cache_key, fingerprint_nests, fnv1a64, memory_lookup, memory_store, CacheEntry, TuneCache,
+};
+use crate::space::search_space;
+use crate::timing::time_best;
+use perforad_core::{Adjoint, BoundaryStrategy, LoopNest};
+use perforad_exec::{Binding, ThreadPool, Workspace};
+use perforad_perfmodel::{host, predict_schedule, profile, Machine, ScheduleShape};
+use perforad_sched::{
+    compile_schedule_nests, run_tuned, SchedError, SchedOptions, Schedule, TilePolicy, TunedConfig,
+    TunedStrategy,
+};
+use std::fmt;
+use std::path::PathBuf;
+
+/// How stage 2 scores the surviving candidates.
+#[derive(Clone, Copy, Debug)]
+pub enum Measure {
+    /// Best-of-`samples` wall-clock timing of real schedule executions
+    /// (one untimed warm-up sweep first). The production mode.
+    Wall { samples: usize },
+    /// Deterministic pseudo-times derived from `seed` and each
+    /// candidate's fingerprint — no execution. For tests that need the
+    /// whole tuner pipeline to be reproducible.
+    Synthetic { seed: u64 },
+    /// Trust the analytic model outright: the top-ranked candidate wins
+    /// without any execution. The cheapest mode; useful when a workload
+    /// cannot afford even top-K timing sweeps.
+    Model,
+}
+
+/// Tuner knobs.
+#[derive(Clone, Debug)]
+pub struct TuneOptions {
+    /// Candidates surviving the model prune into the timing stage.
+    pub top_k: usize,
+    /// Stage-2 scoring mode.
+    pub measure: Measure,
+    /// Machine fed to the stage-1 analytic model.
+    pub machine: Machine,
+    /// JSON tuning-cache file shared across processes. Defaults to the
+    /// `PERFORAD_TUNE_CACHE` environment variable when set.
+    pub cache_path: Option<PathBuf>,
+    /// Consult/fill the process-wide in-memory cache (default on).
+    pub memory_cache: bool,
+    /// Compile every candidate with per-statement CSE. Not a searched
+    /// axis — it is the caller's plan-level choice, applied uniformly
+    /// (and preserved by `Schedule::autotune`).
+    pub cse: bool,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(2);
+        TuneOptions {
+            top_k: 8,
+            measure: Measure::Wall { samples: 3 },
+            machine: host(threads),
+            cache_path: std::env::var_os("PERFORAD_TUNE_CACHE").map(PathBuf::from),
+            memory_cache: true,
+            cse: false,
+        }
+    }
+}
+
+impl TuneOptions {
+    /// A cheaper preset for workloads that tune inline (fewer survivors,
+    /// fewer samples) — used by the seismic driver's default path.
+    pub fn quick() -> Self {
+        TuneOptions {
+            top_k: 5,
+            measure: Measure::Wall { samples: 2 },
+            ..TuneOptions::default()
+        }
+    }
+
+    pub fn with_top_k(mut self, k: usize) -> Self {
+        self.top_k = k.max(1);
+        self
+    }
+
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    pub fn with_machine(mut self, machine: Machine) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    pub fn with_cache_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.cache_path = Some(path.into());
+        self
+    }
+
+    /// Disable both cache layers (every call re-searches).
+    pub fn without_cache(mut self) -> Self {
+        self.cache_path = None;
+        self.memory_cache = false;
+        self
+    }
+
+    pub fn with_cse(mut self, cse: bool) -> Self {
+        self.cse = cse;
+        self
+    }
+}
+
+/// Why tuning failed. (Cache-file I/O never fails a tuning run: an
+/// unreadable file is a clean miss, an unwritable one loses only the
+/// persistence, not the computed winner.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum TuneError {
+    /// Every candidate failed to compile (the last error is carried).
+    Sched(SchedError),
+    /// The search space was empty for this nest list.
+    EmptySpace,
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Sched(e) => write!(f, "schedule compilation: {e}"),
+            TuneError::EmptySpace => write!(f, "empty search space"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<SchedError> for TuneError {
+    fn from(e: SchedError) -> Self {
+        TuneError::Sched(e)
+    }
+}
+
+/// What a tuning run found.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// The winning configuration.
+    pub config: TunedConfig,
+    /// The winner's stage-2 score, seconds.
+    pub seconds: f64,
+    /// True when the result came from a cache layer (no search ran).
+    pub cache_hit: bool,
+    /// Size of the full enumerated space (0 on a cache hit — nothing was
+    /// enumerated).
+    pub candidates: usize,
+    /// Candidates that reached the timing stage (0 on a cache hit).
+    pub timed: usize,
+    /// Model ranking of the full space, best predicted first.
+    pub predictions: Vec<(TunedConfig, f64)>,
+}
+
+/// Tune a nest list: enumerate, model-prune, time, cache, and return the
+/// winning configuration together with the schedule compiled under it.
+pub fn autotune_nests(
+    nests: &[LoopNest],
+    ws: &mut Workspace,
+    bind: &Binding,
+    padded: bool,
+    pool: &ThreadPool,
+    opts: &TuneOptions,
+) -> Result<(Schedule, TuneReport), TuneError> {
+    if nests.is_empty() {
+        return Err(SchedError::BadInput("no nests to autotune".into()).into());
+    }
+    let threads = pool.size().max(1);
+    let mut key = cache_key(fingerprint_nests(nests, padded, bind), threads);
+    if opts.cse {
+        // CSE changes the compiled programs, so tunings must not be
+        // shared across the setting.
+        key.push_str("|cse");
+    }
+
+    // Cache layers first: memory, then file.
+    if opts.memory_cache {
+        if let Some(hit) = memory_lookup(&key) {
+            return finish_cached(nests, ws, bind, padded, hit);
+        }
+    }
+    if let Some(path) = &opts.cache_path {
+        // An unreadable or corrupt file is a clean miss, not a failure —
+        // the tuner can always fall back to searching.
+        let file = TuneCache::load(path).unwrap_or_default();
+        if let Some(hit) = file.lookup(&key).cloned() {
+            if opts.memory_cache {
+                memory_store(&key, hit.clone());
+            }
+            return finish_cached(nests, ws, bind, padded, hit);
+        }
+    }
+
+    // Stage 1: rank the whole space analytically.
+    let rank = nests[0].rank();
+    let space = search_space(rank, threads);
+    if space.is_empty() {
+        return Err(TuneError::EmptySpace);
+    }
+    let prof = profile(nests, &bind.sizes);
+    let mut ranked: Vec<(TunedConfig, f64)> = space
+        .into_iter()
+        .map(|mut cfg| {
+            cfg.cse = opts.cse;
+            let pred = predict_schedule(&opts.machine, &prof, &shape_of(&cfg, nests.len(), &prof));
+            (cfg, pred)
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
+    let candidates = ranked.len();
+    let k = opts.top_k.clamp(1, candidates);
+
+    // Stage 2: score the survivors.
+    let mut best: Option<(Schedule, TunedConfig, f64)> = None;
+    let mut last_err: Option<SchedError> = None;
+    let mut timed = 0usize;
+    for (cfg, pred) in ranked.iter().take(k) {
+        let schedule =
+            match compile_schedule_nests(nests, ws, bind, padded, &SchedOptions::from_tuned(cfg)) {
+                Ok(s) => s,
+                Err(e) => {
+                    last_err = Some(e);
+                    continue;
+                }
+            };
+        let secs = match opts.measure {
+            Measure::Model => *pred,
+            Measure::Synthetic { seed } => synthetic_time(seed, cfg),
+            Measure::Wall { samples } => {
+                // Warm-up run (page-in, pool wake) before the timed reps.
+                run_tuned(&schedule, cfg, ws, pool)?;
+                time_best(samples.max(1), || {
+                    run_tuned(&schedule, cfg, ws, pool).expect("timed schedule run");
+                })
+            }
+        };
+        timed += 1;
+        if best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
+            best = Some((schedule, cfg.clone(), secs));
+        }
+    }
+    let (schedule, config, seconds) = match best {
+        Some(b) => b,
+        None => {
+            return Err(last_err
+                .map(TuneError::Sched)
+                .unwrap_or(TuneError::EmptySpace))
+        }
+    };
+
+    // Record the win in both cache layers.
+    let entry = CacheEntry {
+        config: config.clone(),
+        seconds,
+    };
+    if opts.memory_cache {
+        memory_store(&key, entry.clone());
+    }
+    if let Some(path) = &opts.cache_path {
+        // Best effort: an unwritable cache file loses persistence, never
+        // the computed winner.
+        let mut file = TuneCache::load(path).unwrap_or_default();
+        file.insert(&key, entry);
+        let _ = file.save(path);
+    }
+
+    let report = TuneReport {
+        config,
+        seconds,
+        cache_hit: false,
+        candidates,
+        timed,
+        predictions: ranked,
+    };
+    Ok((schedule, report))
+}
+
+/// Tune a full adjoint (extent-checks like `compile_schedule`, honours
+/// the padded boundary strategy).
+pub fn autotune_adjoint(
+    adj: &Adjoint,
+    ws: &mut Workspace,
+    bind: &Binding,
+    pool: &ThreadPool,
+    opts: &TuneOptions,
+) -> Result<(Schedule, TuneReport), TuneError> {
+    perforad_exec::check_adjoint_extents(adj, bind).map_err(SchedError::from)?;
+    let padded = adj.strategy == BoundaryStrategy::Padded;
+    autotune_nests(&adj.nests, ws, bind, padded, pool, opts)
+}
+
+/// `Schedule::autotune` — the closed loop on an already-compiled
+/// schedule: re-search its retained source nests, replace `self` with the
+/// winning compilation, return the winning configuration.
+pub trait ScheduleAutotune {
+    /// Full outcome, including the model ranking and cache provenance.
+    fn autotune_report(
+        &mut self,
+        ws: &mut Workspace,
+        bind: &Binding,
+        pool: &ThreadPool,
+        opts: &TuneOptions,
+    ) -> Result<TuneReport, TuneError>;
+
+    /// Tune and return just the winning configuration.
+    fn autotune(
+        &mut self,
+        ws: &mut Workspace,
+        bind: &Binding,
+        pool: &ThreadPool,
+        opts: &TuneOptions,
+    ) -> Result<TunedConfig, TuneError> {
+        self.autotune_report(ws, bind, pool, opts).map(|r| r.config)
+    }
+}
+
+impl ScheduleAutotune for Schedule {
+    fn autotune_report(
+        &mut self,
+        ws: &mut Workspace,
+        bind: &Binding,
+        pool: &ThreadPool,
+        opts: &TuneOptions,
+    ) -> Result<TuneReport, TuneError> {
+        let source = self.source.clone();
+        // Retuning preserves the schedule's own CSE setting — it is the
+        // caller's plan-level choice, not a searched axis.
+        let opts = opts.clone().with_cse(self.cse);
+        let (schedule, report) = autotune_nests(&source, ws, bind, self.padded, pool, &opts)?;
+        *self = schedule;
+        Ok(report)
+    }
+}
+
+fn finish_cached(
+    nests: &[LoopNest],
+    ws: &mut Workspace,
+    bind: &Binding,
+    padded: bool,
+    hit: CacheEntry,
+) -> Result<(Schedule, TuneReport), TuneError> {
+    let schedule = compile_schedule_nests(
+        nests,
+        ws,
+        bind,
+        padded,
+        &SchedOptions::from_tuned(&hit.config),
+    )?;
+    let report = TuneReport {
+        config: hit.config,
+        seconds: hit.seconds,
+        cache_hit: true,
+        candidates: 0,
+        timed: 0,
+        predictions: Vec::new(),
+    };
+    Ok((schedule, report))
+}
+
+/// The [`ScheduleShape`] a candidate would execute with, estimated
+/// without compiling: fused disjoint decompositions collapse to one
+/// barrier (the scheduler's invariant for adjoint nest lists), unfused
+/// ones pay one per nest; the tile count is the iteration volume over the
+/// tile volume, floored at one tile per nest.
+fn shape_of(
+    cfg: &TunedConfig,
+    nest_count: usize,
+    prof: &perforad_perfmodel::KernelProfile,
+) -> ScheduleShape {
+    let tile_volume: f64 = cfg.tile.iter().map(|&t| t.max(1) as f64).product();
+    let tiles = (prof.points / tile_volume).ceil().max(nest_count as f64) as usize;
+    ScheduleShape {
+        threads: match cfg.strategy {
+            TunedStrategy::Serial => 1,
+            TunedStrategy::Parallel => cfg.threads,
+        },
+        barriers: if cfg.fuse { 1 } else { nest_count },
+        tiles,
+        rows: cfg.lowering == perforad_exec::Lowering::Rows,
+        dynamic: cfg.policy == TilePolicy::Dynamic,
+    }
+}
+
+/// Deterministic pseudo-time for [`Measure::Synthetic`]: xorshift64* over
+/// the seed and the candidate fingerprint, mapped into (0, 1].
+fn synthetic_time(seed: u64, cfg: &TunedConfig) -> f64 {
+    let mut x = seed ^ fnv1a64(cfg.describe().as_bytes());
+    if x == 0 {
+        x = 0x9e37_79b9_7f4a_7c15;
+    }
+    for _ in 0..3 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+    }
+    (x >> 11) as f64 / (1u64 << 53) as f64 + f64::EPSILON
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::memory_clear;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+    use perforad_exec::Grid;
+    use perforad_symbolic::{ix, Array, Idx, Symbol};
+
+    fn paper_nest() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c) = (Array::new("u"), Array::new("c"));
+        make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    fn setup(n: usize) -> (Workspace, Binding) {
+        let mut ws = Workspace::new();
+        ws.insert(
+            "u",
+            Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5),
+        );
+        ws.insert("c", Grid::from_fn(&[n + 1], |ix| 0.5 + 0.1 * ix[0] as f64));
+        ws.insert("r", Grid::zeros(&[n + 1]));
+        ws.insert("u_b", Grid::zeros(&[n + 1]));
+        ws.insert("r_b", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).cos()));
+        (ws, Binding::new().size("n", n as i64))
+    }
+
+    fn adjoint() -> Adjoint {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn wall_tuning_returns_a_runnable_winner() {
+        let adj = adjoint();
+        let (mut ws, bind) = setup(512);
+        let pool = ThreadPool::new(2);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_top_k(3)
+            .with_measure(Measure::Wall { samples: 1 });
+        let (schedule, report) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert!(!report.cache_hit);
+        assert_eq!(report.timed, 3);
+        assert!(report.candidates >= report.timed);
+        assert!(report.seconds > 0.0);
+        // Model ranking covers the whole space, best first.
+        assert_eq!(report.predictions.len(), report.candidates);
+        assert!(report.predictions.windows(2).all(|w| w[0].1 <= w[1].1));
+        run_tuned(&schedule, &report.config, &mut ws, &pool).unwrap();
+    }
+
+    #[test]
+    fn memory_cache_skips_retiming() {
+        memory_clear();
+        let adj = adjoint();
+        let (mut ws, bind) = setup(256);
+        let pool = ThreadPool::new(2);
+        let opts = TuneOptions::default()
+            .with_top_k(2)
+            .with_measure(Measure::Wall { samples: 1 });
+        let (_, first) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert!(!first.cache_hit);
+        let (_, second) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert!(second.cache_hit, "second run must hit the memory cache");
+        assert_eq!(second.timed, 0);
+        assert_eq!(second.config, first.config);
+        memory_clear();
+    }
+
+    #[test]
+    fn file_cache_round_trips_between_tuners() {
+        // No memory_clear() here: this test keeps the memory layer off,
+        // and clearing the process-global cache would race the (parallel)
+        // memory-cache test between its store and its lookup.
+        let path = std::env::temp_dir().join(format!(
+            "perforad_tuner_file_cache_{}.json",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let adj = adjoint();
+        let (mut ws, bind) = setup(300);
+        let pool = ThreadPool::new(2);
+        let opts = TuneOptions::default()
+            .with_cache_path(&path)
+            .with_measure(Measure::Synthetic { seed: 7 });
+        let mut opts_no_mem = opts.clone();
+        opts_no_mem.memory_cache = false;
+        let (_, first) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts_no_mem).unwrap();
+        assert!(!first.cache_hit);
+        // A fresh tuner (no memory layer) must hit the file.
+        let (_, second) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts_no_mem).unwrap();
+        assert!(second.cache_hit, "second run must hit the file cache");
+        assert_eq!(second.config, first.config);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn synthetic_measure_is_deterministic_per_seed() {
+        let adj = adjoint();
+        let pool = ThreadPool::new(2);
+        let pick = |seed: u64| {
+            let (mut ws, bind) = setup(128);
+            let opts = TuneOptions::default()
+                .without_cache()
+                .with_top_k(6)
+                .with_measure(Measure::Synthetic { seed });
+            autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts)
+                .unwrap()
+                .1
+                .config
+        };
+        assert_eq!(pick(42), pick(42), "same seed, same winner");
+        // Different seeds are *allowed* to pick different winners; the
+        // synthetic times themselves must differ.
+        let c = TunedConfig::default();
+        assert_ne!(synthetic_time(1, &c), synthetic_time(2, &c));
+        assert!(synthetic_time(1, &c) > 0.0);
+    }
+
+    #[test]
+    fn model_measure_trusts_the_top_prediction() {
+        let adj = adjoint();
+        let (mut ws, bind) = setup(256);
+        let pool = ThreadPool::new(2);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_measure(Measure::Model);
+        let (_, report) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert_eq!(report.config, report.predictions[0].0);
+        assert_eq!(report.seconds, report.predictions[0].1);
+    }
+
+    #[test]
+    fn schedule_autotune_installs_the_winner_in_place() {
+        use perforad_sched::compile_schedule;
+        let adj = adjoint();
+        let (mut ws, bind) = setup(400);
+        let mut schedule = compile_schedule(&adj, &ws, &bind, &SchedOptions::default()).unwrap();
+        let pool = ThreadPool::new(2);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_measure(Measure::Synthetic { seed: 3 });
+        let cfg = schedule.autotune(&mut ws, &bind, &pool, &opts).unwrap();
+        // The schedule now reflects the winning compile-time knobs.
+        assert_eq!(schedule.lowering, cfg.lowering);
+        assert_eq!(schedule.policy, cfg.policy);
+        assert_eq!(schedule.fused, cfg.fuse);
+        assert_eq!(schedule.tile, cfg.tile);
+        assert_eq!(schedule.source.len(), 5, "source nests are retained");
+        run_tuned(&schedule, &cfg, &mut ws, &pool).unwrap();
+    }
+
+    #[test]
+    fn empty_nest_lists_error_cleanly() {
+        let (mut ws, bind) = setup(32);
+        let pool = ThreadPool::new(1);
+        let err =
+            autotune_nests(&[], &mut ws, &bind, false, &pool, &TuneOptions::default()).unwrap_err();
+        assert!(matches!(err, TuneError::Sched(SchedError::BadInput(_))));
+    }
+
+    #[test]
+    fn shape_estimate_tracks_the_knobs() {
+        let prof = perforad_perfmodel::KernelProfile {
+            points: 10_000.0,
+            ..Default::default()
+        };
+        let cfg = TunedConfig {
+            tile: vec![10, 10],
+            fuse: false,
+            threads: 4,
+            ..Default::default()
+        };
+        let s = shape_of(&cfg, 17, &prof);
+        assert_eq!(s.tiles, 100);
+        assert_eq!(s.barriers, 17);
+        assert_eq!(s.threads, 4);
+        let fused = shape_of(&TunedConfig { fuse: true, ..cfg }, 17, &prof);
+        assert_eq!(fused.barriers, 1);
+    }
+}

@@ -13,6 +13,7 @@
 //! * [`codegen`] — C/Rust back-ends and a DSL front-end;
 //! * [`exec`] — grids, thread pool, atomic-f64 baseline, bytecode VM;
 //! * [`sched`] — the fusion + tiling execution scheduler;
+//! * [`tune`] — the perf-model-guided autotuner for adjoint schedules;
 //! * [`autodiff`] — tape-based conventional AD (verification baseline);
 //! * [`perfmodel`] — Broadwell/KNL analytic models for the figures;
 //! * [`pde`] — the wave/Burgers/heat test cases, seismic gradients,
@@ -75,6 +76,44 @@
 //! let pool = ThreadPool::new(4);
 //! run_schedule(&schedule, &mut ws, &pool).unwrap();
 //! ```
+//!
+//! ## Autotuning
+//!
+//! The best schedule configuration — fuse or not, tile sizes, lowering,
+//! tile policy, serial vs. parallel — depends on the kernel and the
+//! machine. Instead of hand-picking [`sched::SchedOptions`], the
+//! [`tune`] subsystem searches the whole space: the analytic model
+//! ([`perfmodel::predict_schedule`]) prunes it to a top-K set, the
+//! survivors are wall-clock timed, and the winner is cached under a
+//! schedule fingerprint + machine signature so the next run skips the
+//! search.
+//!
+//! ```
+//! use perforad::prelude::*;
+//!
+//! let nest = parse_stencil(
+//!     "for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }",
+//! ).unwrap();
+//! let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+//! let adjoint = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+//!
+//! let mut ws = Workspace::new()
+//!     .with("u", Grid::from_fn(&[257], |ix| ix[0] as f64))
+//!     .with("c", Grid::full(&[257], 0.5))
+//!     .with("r", Grid::zeros(&[257]))
+//!     .with("u_b", Grid::zeros(&[257]))
+//!     .with("r_b", Grid::full(&[257], 1.0));
+//! let bind = Binding::new().size("n", 256);
+//! let pool = ThreadPool::new(2);
+//!
+//! // `Measure::Model` trusts the analytic ranking (no timing runs) —
+//! // production callers use the default wall-clock measure instead.
+//! let opts = TuneOptions::default().without_cache().with_measure(Measure::Model);
+//! let mut schedule = compile_schedule(&adjoint, &ws, &bind, &SchedOptions::default()).unwrap();
+//! let cfg: TunedConfig = schedule.autotune(&mut ws, &bind, &pool, &opts).unwrap();
+//! run_tuned(&schedule, &cfg, &mut ws, &pool).unwrap();
+//! assert!(ws.grid("u_b").sum() != 0.0);
+//! ```
 
 pub use perforad_autodiff as autodiff;
 pub use perforad_codegen as codegen;
@@ -84,6 +123,7 @@ pub use perforad_pde as pde;
 pub use perforad_perfmodel as perfmodel;
 pub use perforad_sched as sched;
 pub use perforad_symbolic as symbolic;
+pub use perforad_tune as tune;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -96,6 +136,13 @@ pub mod prelude {
         compile_adjoint, compile_nest, run_parallel, run_parallel_rows, run_scatter_atomic,
         run_serial, run_serial_rows, Binding, ExecMode, Grid, Lowering, ThreadPool, Workspace,
     };
-    pub use perforad_sched::{compile_schedule, run_schedule, SchedOptions, Schedule, TilePolicy};
+    pub use perforad_sched::{
+        compile_schedule, run_schedule, run_tuned, SchedOptions, Schedule, TilePolicy, TunedConfig,
+        TunedStrategy,
+    };
     pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
+    pub use perforad_tune::{
+        autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TuneError, TuneOptions,
+        TuneReport,
+    };
 }
