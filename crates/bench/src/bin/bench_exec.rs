@@ -1,9 +1,12 @@
 //! Executor micro-bench with machine-readable output and a regression
 //! gate: times the adjoint sweep of each paper kernel under the per-point
 //! interpreter, the register-IR row executor, the fused + tiled schedule,
-//! and the *autotuned* schedule (`perforad-tune` closing the
-//! model→schedule loop), writes `BENCH_exec.json`, then — when a baseline
-//! file exists — diffs against it and exits nonzero on regressions.
+//! the *JIT-compiled* fused schedule (`perforad-jit`'s native lowering;
+//! the series is skipped — and so exempt from the gate — when the host
+//! has neither a toolchain nor cached artifacts), and the *autotuned*
+//! schedule (`perforad-tune` closing the model→schedule loop), writes
+//! `BENCH_exec.json`, then — when a baseline file exists — diffs against
+//! it and exits nonzero on regressions.
 //!
 //! The gate compares **normalized** series (each series divided by the
 //! same run's `interpreter_serial` for that case): what is gated is
@@ -24,10 +27,13 @@
 //! default `BENCH_baseline.json`; missing file skips the gate),
 //! `PERFORAD_BENCH_GATE_TOL` (allowed relative regression, default 0.25),
 //! `PERFORAD_BENCH_GATE_FLOOR_US` (min gated series time, default 100).
+//! The jit series additionally honours `PERFORAD_JIT_CACHE` (artifact
+//! directory) and `PERFORAD_JIT_RUSTC` (toolchain override).
 
 use perforad_bench::{env_size, json_escape, time_best, Case};
 use perforad_exec::{run_parallel, run_parallel_rows, run_serial, run_serial_rows, ThreadPool};
-use perforad_sched::{run_schedule, run_tuned};
+use perforad_jit::{prepare_schedule, JitOptions};
+use perforad_sched::{compile_schedule, run_schedule, run_tuned, SchedOptions};
 use perforad_tune::json::{self, Value};
 use perforad_tune::{autotune_adjoint, Measure, TuneOptions};
 
@@ -37,6 +43,12 @@ struct Measured {
     series: Vec<(&'static str, f64)>,
     tuned_config: String,
     tuned_cache_hit: bool,
+    /// Milliseconds of out-of-process `rustc` builds for the jit series
+    /// (`None` when the series was skipped).
+    jit_compile_ms: Option<f64>,
+    /// True when every fused group came from the registry or the
+    /// persistent artifact cache (zero compiles).
+    jit_cache_hit: Option<bool>,
 }
 
 fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
@@ -84,6 +96,30 @@ fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
             }),
         ),
     ];
+    // The native tier: compile the fused schedule's groups to machine
+    // code (persistent artifact cache ⇒ the out-of-process build is paid
+    // once per fingerprint) and time it like any other series. Skipped
+    // cleanly when the host can neither build nor load native code.
+    let mut jit_compile_ms = None;
+    let mut jit_cache_hit = None;
+    let sched_jit = compile_schedule(&adjoint, ws, &bind, &SchedOptions::default().with_jit())
+        .expect("jit schedule compiles");
+    match prepare_schedule(&sched_jit, &bind, &JitOptions::default()) {
+        Ok(report) => {
+            jit_compile_ms = Some(report.compile_ms);
+            jit_cache_hit = Some(report.cache_hit());
+            series.push((
+                "jit",
+                time_best(reps, || {
+                    run_schedule(&sched_jit, ws, pool).unwrap();
+                }),
+            ));
+        }
+        Err(e) => {
+            println!("jit series skipped ({e})");
+        }
+    }
+
     // The closed loop: autotune this adjoint (model prune + timing; the
     // tuning cache makes the second bench run skip the search) and time
     // the winner like any other series.
@@ -106,6 +142,8 @@ fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
         series,
         tuned_config: report.config.describe(),
         tuned_cache_hit: report.cache_hit,
+        jit_compile_ms,
+        jit_cache_hit,
     }
 }
 
@@ -228,13 +266,28 @@ fn main() {
             "rows speedup vs interpreter (serial): {:.2}x",
             interp / rows
         );
+        let maybe_jit = m.series.iter().find(|(l, _)| *l == "jit").map(|&(_, s)| s);
+        if let (Some(jit), Some(ms), Some(hit)) = (maybe_jit, m.jit_compile_ms, m.jit_cache_hit) {
+            let fused_rows = by_label("fused_rows");
+            println!("jit speedup vs fused rows: {:.2}x", fused_rows / jit);
+            println!(
+                "jit artifacts: {} ({ms:.0} ms compiling)",
+                if hit { "[cache hit]" } else { "compiled" }
+            );
+        }
         let series: Vec<String> = m
             .series
             .iter()
             .map(|(l, s)| format!("{{\"label\":{},\"seconds\":{s}}}", json_escape(l)))
             .collect();
+        let jit_json = match (m.jit_compile_ms, m.jit_cache_hit) {
+            (Some(ms), Some(hit)) => {
+                format!(",\"jit_compile_ms\":{ms},\"jit_cache_hit\":{hit}")
+            }
+            _ => String::new(),
+        };
         case_json.push(format!(
-            "{{\"name\":{},\"points\":{},\"series\":[{}],\"rows_speedup_serial\":{},\
+            "{{\"name\":{},\"points\":{},\"series\":[{}],\"rows_speedup_serial\":{}{jit_json},\
              \"tuned_config\":{},\"tuned_cache_hit\":{}}}",
             json_escape(m.name),
             m.points,

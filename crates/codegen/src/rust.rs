@@ -11,7 +11,7 @@
 //! harness can chunk it across threads; `{name}` runs every nest serially.
 
 use perforad_core::{AssignOp, LoopNest};
-use perforad_symbolic::{Expr, Func, Idx, Node, Number, Symbol};
+use perforad_symbolic::{subst, Expr, Func, Idx, Node, Number, Symbol};
 use std::collections::BTreeSet;
 use std::fmt::Write;
 
@@ -275,6 +275,358 @@ pub fn print_module(name: &str, nests: &[LoopNest]) -> String {
     out
 }
 
+// ---------------------------------------------------------------------------
+// JIT back-end: tile-granular, guard-hoisted `extern "C"` entry points.
+//
+// The functions above generate *build-time* kernels (checked into
+// `perforad-pde`, idiomatic slices, symbolic sizes as arguments). The
+// `perforad-jit` crate instead compiles *run-time* schedules: sizes and
+// parameters are known, so they are baked in as constants, and each fused
+// group's nests become self-contained `extern "C"` functions that take
+// only an inclusive iteration box (so the tile-granular executors can
+// drive arbitrary sub-boxes) and the group's array base pointers in plan
+// slot order. Guards are hoisted into the loop bounds, and numeric
+// constants are emitted via `f64::from_bits` so the compiled code is
+// **bitwise identical** to the interpreter and row executor: the renderer
+// mirrors the bytecode compiler's traversal (left-folded sums/products,
+// `-1·x` as negation, `powi` for integer exponents, the VM's exact
+// max/min/sign semantics).
+// ---------------------------------------------------------------------------
+
+use std::collections::BTreeMap;
+
+/// Everything the JIT emitter needs to generate one fused group's module:
+/// the group's nests (plan order) plus the resolved layout and bindings
+/// the plan was compiled against.
+pub struct JitGroupSpec<'a> {
+    /// Symbol prefix; nest `k` becomes `{prefix}_n{k}`.
+    pub prefix: &'a str,
+    /// The group's loop nests, in the same order as the compiled plan's.
+    pub nests: &'a [LoopNest],
+    /// Array slot order of the plan (index = slot).
+    pub arrays: &'a [Symbol],
+    /// Shared extents of every array.
+    pub dims: &'a [usize],
+    /// Shared element strides.
+    pub strides: &'a [usize],
+    /// Zero-padding load semantics (the Padded boundary strategy).
+    pub padded: bool,
+    /// Apply per-statement CSE exactly as plan compilation does.
+    pub cse: bool,
+    /// Integer size bindings (loop bounds, guard bounds).
+    pub sizes: &'a BTreeMap<Symbol, i64>,
+    /// Floating-point parameter bindings, inlined as exact constants.
+    pub params: &'a BTreeMap<Symbol, f64>,
+}
+
+/// Render an `f64` so the compiled constant is bit-exact — `from_bits`
+/// round-trips every value (the decimal comment is for human readers).
+fn exact_f64(v: f64) -> String {
+    format!("f64::from_bits({:#018x}u64) /* {v} */", v.to_bits())
+}
+
+struct JitCtx<'a> {
+    spec: &'a JitGroupSpec<'a>,
+    counters: &'a [Symbol],
+    temps: Vec<Symbol>,
+}
+
+impl JitCtx<'_> {
+    fn counter_var(&self, d: usize) -> String {
+        format!("__c{d}")
+    }
+
+    fn slot(&self, s: &Symbol) -> Result<usize, String> {
+        self.spec
+            .arrays
+            .iter()
+            .position(|a| a == s)
+            .ok_or_else(|| format!("array `{s}` has no slot in the plan"))
+    }
+}
+
+/// Render the linear index of an access at constant offsets from the
+/// counters: `(__c0 + (o0))*s0 + … + (__c{r-1} + (o{r-1}))`.
+fn jit_linear_index(ctx: &JitCtx, offsets: &[i64]) -> String {
+    let terms: Vec<String> = offsets
+        .iter()
+        .enumerate()
+        .map(|(d, o)| {
+            let c = ctx.counter_var(d);
+            let s = ctx.spec.strides[d];
+            if s == 1 {
+                format!("({c} + ({o}))")
+            } else {
+                format!("({c} + ({o}))*{s}")
+            }
+        })
+        .collect();
+    terms.join(" + ")
+}
+
+/// Mirror of the bytecode compiler's expression traversal, rendering Rust
+/// that evaluates in the same order with the same primitive semantics.
+fn jit_expr(e: &Expr, ctx: &JitCtx) -> Result<String, String> {
+    Ok(match e.node() {
+        Node::Num(n) => exact_f64(n.to_f64()),
+        Node::Sym(s) => {
+            if ctx.temps.contains(s) {
+                s.name().to_string()
+            } else if let Some(d) = ctx.counters.iter().position(|c| c == s) {
+                format!("({} as f64)", ctx.counter_var(d))
+            } else {
+                return Err(format!("unbound parameter `{s}` (substitute first)"));
+            }
+        }
+        Node::Access(a) => {
+            let slot = ctx.slot(&a.array)?;
+            let mut offsets = Vec::with_capacity(a.indices.len());
+            for (d, ix) in a.indices.iter().enumerate() {
+                let c = ctx
+                    .counters
+                    .get(d)
+                    .ok_or_else(|| format!("access `{a}` outranks the nest"))?;
+                offsets.push(
+                    ix.is_offset_of(c)
+                        .ok_or_else(|| format!("non-stencil access `{a}`"))?,
+                );
+            }
+            let lin = jit_linear_index(ctx, &offsets);
+            if ctx.spec.padded {
+                // LoadPadded semantics: every dimension bounds-checked,
+                // 0.0 outside the physical extents.
+                let checks: Vec<String> = offsets
+                    .iter()
+                    .enumerate()
+                    .map(|(d, o)| {
+                        let c = ctx.counter_var(d);
+                        let dim = ctx.spec.dims[d];
+                        format!("({c} + ({o})) >= 0 && ({c} + ({o})) < {dim}")
+                    })
+                    .collect();
+                format!(
+                    "(if {} {{ *__a{slot}.offset(({lin}) as isize) }} else {{ 0.0f64 }})",
+                    checks.join(" && ")
+                )
+            } else {
+                // Parenthesised so postfix method calls bind to the
+                // loaded value, not the raw pointer.
+                format!("(*__a{slot}.offset(({lin}) as isize))")
+            }
+        }
+        Node::Add(ts) => {
+            let parts: Result<Vec<String>, String> = ts.iter().map(|t| jit_expr(t, ctx)).collect();
+            format!("({})", parts?.join(" + "))
+        }
+        Node::Mul(fs) => {
+            // `-1 * rest` is a negation, exactly as the VM compiles it.
+            let negate = matches!(fs[0].as_num(), Some(n) if n.to_f64() == -1.0);
+            let rest = if negate { &fs[1..] } else { &fs[..] };
+            let parts: Result<Vec<String>, String> =
+                rest.iter().map(|t| jit_expr(t, ctx)).collect();
+            let prod = format!("({})", parts?.join("*"));
+            if negate {
+                format!("(-{prod})")
+            } else {
+                prod
+            }
+        }
+        Node::Pow(b, x) => match x.as_int() {
+            Some(k) if i32::try_from(k).is_ok() => format!("{}.powi({k}i32)", jit_expr(b, ctx)?),
+            _ => format!("{}.powf({})", jit_expr(b, ctx)?, jit_expr(x, ctx)?),
+        },
+        Node::Call(f, args) => {
+            let a0 = jit_expr(&args[0], ctx)?;
+            match f {
+                Func::Sin => format!("{a0}.sin()"),
+                Func::Cos => format!("{a0}.cos()"),
+                Func::Tan => format!("{a0}.tan()"),
+                Func::Exp => format!("{a0}.exp()"),
+                Func::Ln => format!("{a0}.ln()"),
+                Func::Sqrt => format!("{a0}.sqrt()"),
+                Func::Abs => format!("{a0}.abs()"),
+                Func::Tanh => format!("{a0}.tanh()"),
+                // __max/__min/__sign are module helpers replicating the
+                // VM's comparisons (f64::max differs on signed zeros).
+                Func::Sign => format!("__sign({a0})"),
+                Func::Max => format!("__max({a0}, {})", jit_expr(&args[1], ctx)?),
+                Func::Min => format!("__min({a0}, {})", jit_expr(&args[1], ctx)?),
+            }
+        }
+        Node::Select(c, a, b) => format!(
+            "(if {} {} {} {{ {} }} else {{ {} }})",
+            jit_expr(&c.lhs, ctx)?,
+            c.rel.symbol(),
+            jit_expr(&c.rhs, ctx)?,
+            jit_expr(a, ctx)?,
+            jit_expr(b, ctx)?
+        ),
+        Node::UFun(app) | Node::UDeriv(app, _) => {
+            return Err(format!("uninterpreted function `{}`", app.name))
+        }
+    })
+}
+
+fn jit_resolve(ix: &Idx, sizes: &BTreeMap<Symbol, i64>) -> Result<i64, String> {
+    ix.eval(sizes)
+        .ok_or_else(|| format!("unresolved bound `{ix}`"))
+}
+
+/// Generate one nest's entry point: per-statement loop nests with the
+/// statement's guard intersected into constant bounds ("guard hoisting")
+/// and the runtime tile box clamped on top, so any sub-box of the
+/// iteration space is valid. Statement-major order is bitwise-equivalent
+/// to the interpreter's point-major order because plans forbid write/read
+/// aliasing and each location sees its statements in source order.
+fn jit_nest_fn(name: &str, nest: &LoopNest, spec: &JitGroupSpec) -> Result<String, String> {
+    let rank = nest.rank();
+    if rank != spec.dims.len() {
+        return Err(format!(
+            "nest rank {rank} vs layout rank {}",
+            spec.dims.len()
+        ));
+    }
+    let mut sub: BTreeMap<Symbol, Expr> = BTreeMap::new();
+    for (s, v) in spec.params {
+        sub.insert(s.clone(), Expr::float(*v));
+    }
+    for (s, v) in spec.sizes {
+        sub.insert(s.clone(), Expr::int(*v));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "#[no_mangle]");
+    let _ = writeln!(
+        out,
+        "pub unsafe extern \"C\" fn {name}(__lo: *const i64, __hi: *const i64, \
+         __arrs: *const *mut f64) {{"
+    );
+    for slot in 0..spec.arrays.len() {
+        let _ = writeln!(out, "    let __a{slot} = *__arrs.add({slot});");
+    }
+    for (si, s) in nest.body.iter().enumerate() {
+        // Constant effective bounds: nest bounds ∩ guard box.
+        let mut lo = Vec::with_capacity(rank);
+        let mut hi = Vec::with_capacity(rank);
+        for b in &nest.bounds {
+            lo.push(jit_resolve(&b.lo, spec.sizes)?);
+            hi.push(jit_resolve(&b.hi, spec.sizes)?);
+        }
+        if let Some(g) = &s.guard {
+            for (c, b) in &g.ranges {
+                let d = nest
+                    .counters
+                    .iter()
+                    .position(|x| x == c)
+                    .ok_or_else(|| format!("guard counter `{c}` not in nest"))?;
+                lo[d] = lo[d].max(jit_resolve(&b.lo, spec.sizes)?);
+                hi[d] = hi[d].min(jit_resolve(&b.hi, spec.sizes)?);
+            }
+        }
+        // Write target: constant offsets from the counters.
+        let mut woffs = Vec::with_capacity(rank);
+        for (d, ix) in s.lhs.indices.iter().enumerate() {
+            woffs.push(
+                ix.is_offset_of(&nest.counters[d])
+                    .ok_or_else(|| format!("non-constant write index `{ix}`"))?,
+            );
+        }
+        let rhs = subst::subst_sym(&s.rhs, &sub);
+        let (bindings, rewritten) = if spec.cse {
+            perforad_symbolic::cse::eliminate_one(&rhs, "__cse")
+        } else {
+            (Vec::new(), rhs)
+        };
+        let ctx = JitCtx {
+            spec,
+            counters: &nest.counters,
+            temps: bindings.iter().map(|(t, _)| t.clone()).collect(),
+        };
+
+        let _ = writeln!(out, "    {{ // statement {si}");
+        for d in 0..rank {
+            let _ = writeln!(
+                out,
+                "        let __l{d} = (*__lo.add({d})).max({}i64); \
+                 let __h{d} = (*__hi.add({d})).min({}i64);",
+                lo[d], hi[d]
+            );
+        }
+        let mut pad = "        ".to_string();
+        for d in 0..rank {
+            let _ = writeln!(out, "{pad}for __c{d} in __l{d}..=__h{d} {{");
+            pad.push_str("    ");
+        }
+        // CSE temporaries evaluate in binding order, exactly as the VM's
+        // StoreTmp sequence does.
+        for (t, bexpr) in &bindings {
+            let _ = writeln!(
+                out,
+                "{pad}let {}: f64 = {};",
+                t.name(),
+                jit_expr(bexpr, &ctx)?
+            );
+        }
+        let wslot = ctx.slot(&s.lhs.array)?;
+        let widx = jit_linear_index(&ctx, &woffs);
+        let op = match s.op {
+            AssignOp::Assign => "=",
+            AssignOp::AddAssign => "+=",
+        };
+        let _ = writeln!(
+            out,
+            "{pad}*__a{wslot}.offset(({widx}) as isize) {op} {};",
+            jit_expr(&rewritten, &ctx)?
+        );
+        for d in (0..rank).rev() {
+            pad.truncate(pad.len() - 4);
+            let _ = writeln!(out, "{pad}}}");
+            let _ = d;
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    let _ = writeln!(out, "}}");
+    Ok(out)
+}
+
+/// Generate a self-contained crate-root source module for one fused
+/// group: the bitwise-exact helper prelude plus one `extern "C"` entry
+/// point per nest (`{prefix}_n{k}`), each taking an inclusive per-rank
+/// iteration box and the plan's array base pointers in slot order.
+/// Compile with `rustc --crate-type cdylib` and load via `dlopen`
+/// (`perforad-jit` drives both).
+pub fn jit_group_module(spec: &JitGroupSpec) -> Result<String, String> {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "// Generated by perforad-codegen (JIT back-end) — do not edit by hand."
+    );
+    let _ = writeln!(
+        out,
+        "#![allow(unused_variables, unused_parens, unused_mut, clippy::all)]\n"
+    );
+    // The VM's exact comparison semantics (f64::max/min differ on signed
+    // zeros and NaNs; Sign has bespoke zero handling).
+    let _ = writeln!(
+        out,
+        "#[inline(always)]\nfn __max(a: f64, b: f64) -> f64 {{ if a >= b {{ a }} else {{ b }} }}"
+    );
+    let _ = writeln!(
+        out,
+        "#[inline(always)]\nfn __min(a: f64, b: f64) -> f64 {{ if a <= b {{ a }} else {{ b }} }}"
+    );
+    let _ = writeln!(
+        out,
+        "#[inline(always)]\nfn __sign(a: f64) -> f64 {{ \
+         if a > 0.0 {{ 1.0 }} else if a < 0.0 {{ -1.0 }} else {{ 0.0 }} }}\n"
+    );
+    for (k, nest) in spec.nests.iter().enumerate() {
+        out.push_str(&jit_nest_fn(&format!("{}_n{k}", spec.prefix), nest, spec)?);
+        let _ = writeln!(out);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,5 +684,116 @@ mod tests {
         let u = Array::new("u");
         let e = u.at(ix![&i - 1, &j, &k + 1]);
         assert_eq!(r_expr(&e), "u[((i - 1)*s0 + (j)*s1 + (k + 1)) as usize]");
+    }
+
+    fn jit_spec_1d<'a>(
+        arrays: &'a [Symbol],
+        sizes: &'a std::collections::BTreeMap<Symbol, i64>,
+        params: &'a std::collections::BTreeMap<Symbol, f64>,
+        nests: &'a [LoopNest],
+        dims: &'a [usize],
+        strides: &'a [usize],
+        padded: bool,
+    ) -> JitGroupSpec<'a> {
+        JitGroupSpec {
+            prefix: "pf",
+            nests,
+            arrays,
+            dims,
+            strides,
+            padded,
+            cse: false,
+            sizes,
+            params,
+        }
+    }
+
+    #[test]
+    fn jit_module_emits_extern_c_entry_points_with_baked_constants() {
+        let nests = [paper_1d()];
+        let arrays = [Symbol::new("c"), Symbol::new("r"), Symbol::new("u")];
+        let mut sizes = std::collections::BTreeMap::new();
+        sizes.insert(Symbol::new("n"), 32i64);
+        let params = std::collections::BTreeMap::new();
+        let dims = [33usize];
+        let strides = [1usize];
+        let spec = jit_spec_1d(&arrays, &sizes, &params, &nests, &dims, &strides, false);
+        let code = jit_group_module(&spec).unwrap();
+        assert!(code.contains("pub unsafe extern \"C\" fn pf_n0("), "{code}");
+        // Bounds baked in from sizes (1 ..= n-1 at n=32) and tile-clamped.
+        assert!(code.contains("(*__lo.add(0)).max(1i64)"), "{code}");
+        assert!(code.contains("(*__hi.add(0)).min(31i64)"), "{code}");
+        // Constants are bit-exact.
+        assert!(
+            code.contains(&exact_f64(2.0)) && code.contains(&exact_f64(-3.0)),
+            "{code}"
+        );
+        // Loads go through raw slot pointers, not slices.
+        assert!(code.contains("*__a2.offset("), "{code}");
+    }
+
+    #[test]
+    fn jit_padded_loads_are_bounds_checked_and_guards_hoisted() {
+        use perforad_core::{Bound, Guard, Statement};
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let stmt = Statement::add_assign(
+            perforad_symbolic::Access::new("r", ix![&i]),
+            u.at(ix![&i - 1]),
+        )
+        .with_guard(Guard {
+            ranges: vec![(i.clone(), Bound::new(3, 9))],
+        });
+        let nest = LoopNest::new(vec![i.clone()], vec![Bound::new(0, 20)], vec![stmt]);
+        let nests = [nest];
+        let arrays = [Symbol::new("r"), Symbol::new("u")];
+        let sizes = std::collections::BTreeMap::new();
+        let params = std::collections::BTreeMap::new();
+        let dims = [21usize];
+        let strides = [1usize];
+        let spec = jit_spec_1d(&arrays, &sizes, &params, &nests, &dims, &strides, true);
+        let code = jit_group_module(&spec).unwrap();
+        // Guard intersected into the constant bounds (3..=9, not 0..=20).
+        assert!(code.contains(".max(3i64)"), "{code}");
+        assert!(code.contains(".min(9i64)"), "{code}");
+        // Padded load checks the extents and falls back to 0.0.
+        assert!(code.contains("else { 0.0f64 }"), "{code}");
+        assert!(code.contains("< 21"), "{code}");
+        assert!(code.contains("+=") && !code.contains("] = "), "{code}");
+    }
+
+    #[test]
+    fn jit_rejects_unbound_parameters() {
+        let i = Symbol::new("i");
+        let u = Array::new("u");
+        let nest = make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            Expr::sym(Symbol::new("D")) * u.at(ix![&i]),
+            vec![i.clone()],
+            vec![(Idx::constant(0), Idx::constant(7))],
+        )
+        .unwrap();
+        let nests = [nest];
+        let arrays = [Symbol::new("r"), Symbol::new("u")];
+        let sizes = std::collections::BTreeMap::new();
+        let params = std::collections::BTreeMap::new(); // D missing
+        let dims = [8usize];
+        let strides = [1usize];
+        let spec = jit_spec_1d(&arrays, &sizes, &params, &nests, &dims, &strides, false);
+        let err = jit_group_module(&spec).unwrap_err();
+        assert!(err.contains("unbound parameter"), "{err}");
+    }
+
+    #[test]
+    fn exact_f64_round_trips_awkward_values() {
+        for v in [0.1, -0.0, 1.0 / 3.0, 2.0f64.powi(-60), 6.02e23] {
+            let s = exact_f64(v);
+            let bits: u64 = s
+                .strip_prefix("f64::from_bits(0x")
+                .and_then(|r| r.split("u64").next())
+                .map(|h| u64::from_str_radix(h, 16).unwrap())
+                .unwrap();
+            assert_eq!(f64::from_bits(bits).to_bits(), v.to_bits(), "{s}");
+        }
     }
 }

@@ -109,6 +109,58 @@ impl Plan {
             .collect::<BTreeSet<_>>()
             .len()
     }
+
+    /// Stable structural fingerprint of the whole plan: layout (dims,
+    /// strides, slot order), every nest's resolved bounds, and every
+    /// statement's write target, guard and compiled program. Two plans
+    /// with equal fingerprints execute identically on identically shaped
+    /// buffers, so this is the key under which `perforad-jit` registers
+    /// compiled native code ([`crate::native`]) and names its on-disk
+    /// artifacts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = crate::native::Fnv::new();
+        h.write_u64(self.rank as u64);
+        h.write_u64(self.padded as u64);
+        for &d in &self.dims {
+            h.write_u64(d as u64);
+        }
+        for &s in &self.strides {
+            h.write_u64(s as u64);
+        }
+        for a in &self.arrays {
+            h.write(a.name().as_bytes());
+            h.write(b"|");
+        }
+        for nest in &self.nests {
+            h.write(b"N");
+            for (&l, &u) in nest.lo.iter().zip(&nest.hi) {
+                h.write_i64(l);
+                h.write_i64(u);
+            }
+            for st in &nest.stmts {
+                h.write(b"S");
+                h.write_u64(st.out_slot as u64);
+                h.write_i64(st.write_rel as i64);
+                for &o in &st.write_offsets {
+                    h.write_i64(o);
+                }
+                h.write_u64(st.overwrite as u64);
+                match &st.guard {
+                    None => h.write(b"-"),
+                    Some(g) => {
+                        for &(l, u) in g {
+                            h.write_i64(l);
+                            h.write_i64(u);
+                        }
+                    }
+                }
+                for w in st.prog.fingerprint() {
+                    h.write_u64(w);
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 fn resolve_idx(ix: &Idx, sizes: &BTreeMap<Symbol, i64>) -> Result<i64, ExecError> {

@@ -74,6 +74,7 @@ pub mod bytecode;
 pub mod error;
 pub mod grid;
 pub mod kernel;
+pub mod native;
 pub mod pool;
 pub mod regir;
 pub mod rows;
@@ -88,11 +89,13 @@ pub use kernel::{
     check_adjoint_extents, compile_adjoint, compile_adjoint_opts, compile_nest, compile_nests,
     compile_nests_opts, Plan, PlanOptions,
 };
+pub use native::{fnv1a64, native_lookup, register_native, NativeGroup, NativeTileFn};
 pub use pool::ThreadPool;
 pub use regir::RegProgram;
 pub use run::{
-    run, run_parallel, run_parallel_rows, run_rayon, run_rayon_rows, run_scatter_atomic,
-    run_scatter_atomic_rows, run_serial, run_serial_rows, ExecMode, ExecStats, Lowering, Strategy,
+    run, run_parallel, run_parallel_jit, run_parallel_rows, run_rayon, run_rayon_rows,
+    run_scatter_atomic, run_scatter_atomic_rows, run_serial, run_serial_jit, run_serial_rows,
+    ExecMode, ExecStats, Lowering, Strategy,
 };
 pub use tile::{tile_nest, Tile, TileRunner, TileScratch};
 pub use workspace::{Binding, Workspace};

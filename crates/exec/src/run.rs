@@ -10,18 +10,23 @@
 //! equivalent whose cost the paper's "Atomics" series measures.
 //!
 //! Orthogonally to the parallel strategy, every entry point runs one of
-//! two lowerings ([`Lowering`]): the per-point stack interpreter (the
-//! reference implementation) or the vectorized register-IR row executor
-//! ([`crate::rows`]), selected via [`ExecMode`] or the `*_rows` variants.
-//! Both produce bitwise-identical results.
+//! three lowerings ([`Lowering`]): the per-point stack interpreter (the
+//! reference implementation), the vectorized register-IR row executor
+//! ([`crate::rows`]), or JIT-compiled native code resolved through the
+//! [`crate::native`] registry (`perforad-jit` populates it; a missing
+//! entry falls back to the row executor). All are selected via
+//! [`ExecMode`] or the `*_rows` / `*_jit` variants and produce
+//! bitwise-identical results.
 
 use crate::atomic::AtomicF64;
 use crate::bytecode::{ArrayView, PointEnv};
 use crate::error::ExecError;
 use crate::kernel::{NestPlan, Plan};
+use crate::native::{native_lookup, NativeGroup};
 use crate::pool::ThreadPool;
 use crate::rows::{self, RowScratch};
 use crate::workspace::Workspace;
+use std::sync::Arc;
 
 /// Execution statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,6 +45,13 @@ pub enum Lowering {
     /// Register-IR programs evaluated over whole innermost-dimension rows
     /// in vectorizable lane chunks (see [`crate::regir`] / [`crate::rows`]).
     Rows,
+    /// Natively compiled code produced at run time by `perforad-jit` and
+    /// resolved through the [`crate::native`] registry by plan
+    /// fingerprint. When no native module is registered for the plan
+    /// (no toolchain, or `prepare_schedule` was never called) execution
+    /// silently falls back to [`Lowering::Rows`], which is
+    /// bitwise-identical.
+    Jit,
 }
 
 /// Parallel strategy for a run.
@@ -93,6 +105,13 @@ impl<'a> ExecMode<'a> {
     /// Switch to the vectorized row executor.
     pub fn rows(mut self) -> Self {
         self.lowering = Lowering::Rows;
+        self
+    }
+
+    /// Switch to JIT-compiled native code (falls back to rows when no
+    /// native module is registered for the plan).
+    pub fn jit(mut self) -> Self {
+        self.lowering = Lowering::Jit;
         self
     }
 
@@ -166,14 +185,20 @@ pub(crate) struct JobScratch {
 }
 
 impl JobScratch {
-    pub(crate) fn for_plan(plan: &Plan, lowering: Lowering) -> JobScratch {
+    /// Scratch for one run; `native_active` tells a Jit run that a
+    /// native module resolved, so the rows-fallback lane file (which
+    /// would then be unreachable) is not allocated.
+    pub(crate) fn for_run(plan: &Plan, lowering: Lowering, native_active: bool) -> JobScratch {
         let (stack, tmps, rows) = match lowering {
             Lowering::PerPoint => (
                 Vec::with_capacity(max_stack(plan)),
                 vec![0.0; max_tmps(plan)],
                 RowScratch::empty(),
             ),
-            Lowering::Rows => (Vec::new(), Vec::new(), RowScratch::for_plan(plan)),
+            Lowering::Jit if native_active => (Vec::new(), Vec::new(), RowScratch::empty()),
+            // Rows, or Jit without a registered module — the fallback
+            // runs through the row executor and needs its lane file.
+            Lowering::Rows | Lowering::Jit => (Vec::new(), Vec::new(), RowScratch::for_plan(plan)),
         };
         JobScratch {
             counters: vec![0i64; plan.rank],
@@ -232,19 +257,38 @@ pub(crate) fn exec_point(
     }
 }
 
+/// Resolve the native module for a plan when the requested lowering is
+/// Jit: a registered group with a matching nest count runs natively,
+/// anything else (no registration, nest-count drift, atomic scatter —
+/// generated code writes plainly) degrades to the bitwise-identical row
+/// executor.
+pub(crate) fn resolve_native(
+    plan: &Plan,
+    lowering: Lowering,
+    atomic: bool,
+) -> Option<Arc<NativeGroup>> {
+    if lowering != Lowering::Jit || atomic {
+        return None;
+    }
+    native_lookup(plan.fingerprint()).filter(|g| g.nests() == plan.nests.len())
+}
+
 /// Execute a nest over `[lo0, hi0]` of the outermost counter with the
-/// requested lowering.
+/// requested lowering. `nest_idx` indexes `plan.nests` (the native
+/// module's entry points are per-nest).
 #[allow(clippy::too_many_arguments)]
 fn exec_nest_range(
     plan: &Plan,
-    nest: &NestPlan,
+    nest_idx: usize,
     bufs: &Buffers,
     lo0: i64,
     hi0: i64,
     atomic: bool,
     lowering: Lowering,
+    native: Option<&NativeGroup>,
     scratch: &mut JobScratch,
 ) {
+    let nest = &plan.nests[nest_idx];
     match lowering {
         Lowering::PerPoint => walk(
             plan,
@@ -259,21 +303,31 @@ fn exec_nest_range(
             &mut scratch.stack,
             &mut scratch.tmps,
         ),
-        Lowering::Rows => {
+        Lowering::Rows | Lowering::Jit => {
             scratch.row_lo.copy_from_slice(&nest.lo);
             scratch.row_hi.copy_from_slice(&nest.hi);
             scratch.row_lo[0] = lo0;
             scratch.row_hi[0] = hi0;
-            rows::exec_box_rows(
-                plan,
-                nest,
-                bufs,
-                &scratch.row_lo,
-                &scratch.row_hi,
-                atomic,
-                &mut scratch.counters,
-                &mut scratch.rows,
-            );
+            if let Some(native) = native {
+                // SAFETY: `native` was registered under this plan's
+                // fingerprint, so its entry points were compiled for this
+                // layout; the caller guarantees disjoint writes (same
+                // contract as the rows path below).
+                unsafe {
+                    native.run_box(nest_idx, &scratch.row_lo, &scratch.row_hi, &bufs.write_ptrs)
+                };
+            } else {
+                rows::exec_box_rows(
+                    plan,
+                    nest,
+                    bufs,
+                    &scratch.row_lo,
+                    &scratch.row_hi,
+                    atomic,
+                    &mut scratch.counters,
+                    &mut scratch.rows,
+                );
+            }
         }
     }
 }
@@ -378,19 +432,21 @@ fn run_serial_with(
     lowering: Lowering,
 ) -> Result<ExecStats, ExecError> {
     let bufs = make_buffers(plan, ws)?;
-    let mut scratch = JobScratch::for_plan(plan, lowering);
-    for nest in &plan.nests {
+    let native = resolve_native(plan, lowering, false);
+    let mut scratch = JobScratch::for_run(plan, lowering, native.is_some());
+    for (k, nest) in plan.nests.iter().enumerate() {
         if nest.empty {
             continue;
         }
         exec_nest_range(
             plan,
-            nest,
+            k,
             &bufs,
             nest.lo[0],
             nest.hi[0],
             false,
             lowering,
+            native.as_deref(),
             &mut scratch,
         );
     }
@@ -407,6 +463,13 @@ pub fn run_serial(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecErro
 /// Run single-threaded with the vectorized row executor.
 pub fn run_serial_rows(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
     run_serial_with(plan, ws, Lowering::Rows)
+}
+
+/// Run single-threaded through JIT-compiled native code (registered via
+/// `perforad-jit`); falls back to the row executor when no native module
+/// is registered for this plan.
+pub fn run_serial_jit(plan: &Plan, ws: &mut Workspace) -> Result<ExecStats, ExecError> {
+    run_serial_with(plan, ws, Lowering::Jit)
 }
 
 /// Run gather-parallel on a pool. The plan must be gather-only; for adjoint
@@ -427,6 +490,16 @@ pub fn run_parallel_rows(
     pool: &ThreadPool,
 ) -> Result<ExecStats, ExecError> {
     run_pool_gather(plan, ws, pool, Lowering::Rows)
+}
+
+/// [`run_parallel`] through JIT-compiled native code; falls back to the
+/// row executor when no native module is registered for this plan.
+pub fn run_parallel_jit(
+    plan: &Plan,
+    ws: &mut Workspace,
+    pool: &ThreadPool,
+) -> Result<ExecStats, ExecError> {
+    run_pool_gather(plan, ws, pool, Lowering::Jit)
 }
 
 /// Run scatter-parallel: every increment is an atomic CAS add
@@ -471,13 +544,24 @@ fn run_pool(
     lowering: Lowering,
 ) -> Result<ExecStats, ExecError> {
     let bufs = make_buffers(plan, ws)?;
+    let native = resolve_native(plan, lowering, atomic);
     let jobs = make_jobs(plan, pool.size());
     pool.parallel_dynamic_scratch(
         jobs.len(),
-        || JobScratch::for_plan(plan, lowering),
+        || JobScratch::for_run(plan, lowering, native.is_some()),
         |j, scratch| {
             let (k, s, e) = jobs[j];
-            exec_nest_range(plan, &plan.nests[k], &bufs, s, e, atomic, lowering, scratch);
+            exec_nest_range(
+                plan,
+                k,
+                &bufs,
+                s,
+                e,
+                atomic,
+                lowering,
+                native.as_deref(),
+                scratch,
+            );
         },
     );
     Ok(ExecStats {
@@ -510,13 +594,15 @@ fn run_rayon_with(
         return Err(ExecError::ScatterNeedsAtomics);
     }
     let bufs = make_buffers(plan, ws)?;
+    let native = resolve_native(plan, lowering, false);
     let threads = std::thread::available_parallelism()
         .map(|c| c.get())
         .unwrap_or(2);
     let jobs = make_jobs(plan, threads);
     let counter = std::sync::atomic::AtomicUsize::new(0);
+    let native = &native;
     let work = |_tid: usize| {
-        let mut scratch = JobScratch::for_plan(plan, lowering);
+        let mut scratch = JobScratch::for_run(plan, lowering, native.as_ref().is_some());
         loop {
             let j = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if j >= jobs.len() {
@@ -525,12 +611,13 @@ fn run_rayon_with(
             let (k, s, e) = jobs[j];
             exec_nest_range(
                 plan,
-                &plan.nests[k],
+                k,
                 &bufs,
                 s,
                 e,
                 false,
                 lowering,
+                native.as_deref(),
                 &mut scratch,
             );
         }

@@ -16,9 +16,13 @@
 
 use crate::error::ExecError;
 use crate::kernel::Plan;
+use crate::native::NativeGroup;
 use crate::rows::{self, RowScratch};
-use crate::run::{exec_point, make_buffers, max_stack, max_tmps, Buffers, Lowering};
+use crate::run::{
+    exec_point, make_buffers, max_stack, max_tmps, resolve_native, Buffers, Lowering,
+};
 use crate::workspace::Workspace;
+use std::sync::Arc;
 
 /// A rectangular slice of one nest's iteration space (inclusive bounds,
 /// outermost dimension first).
@@ -62,6 +66,10 @@ pub struct TileRunner<'a> {
     bufs: Buffers,
     atomic: bool,
     lowering: Lowering,
+    /// JIT-compiled native code for this plan, resolved from the
+    /// process-wide [`crate::native`] registry when the lowering is
+    /// [`Lowering::Jit`]; `None` means Jit tiles fall back to rows.
+    native: Option<Arc<NativeGroup>>,
 }
 
 // SAFETY: the buffers are only written through `run_tile`, whose contract
@@ -79,6 +87,7 @@ impl<'a> TileRunner<'a> {
             bufs: make_buffers(plan, ws)?,
             atomic: false,
             lowering: Lowering::default(),
+            native: None,
         })
     }
 
@@ -90,14 +99,24 @@ impl<'a> TileRunner<'a> {
             bufs: make_buffers(plan, ws)?,
             atomic: true,
             lowering: Lowering::default(),
+            native: None,
         })
     }
 
-    /// Select the lowering tiles run with (per-point interpreter or
-    /// vectorized rows); both are bitwise-identical.
+    /// Select the lowering tiles run with (per-point interpreter,
+    /// vectorized rows, or JIT native code); all are bitwise-identical.
+    /// For [`Lowering::Jit`] the native module is resolved from the
+    /// registry here, once per runner.
     pub fn with_lowering(mut self, lowering: Lowering) -> Self {
         self.lowering = lowering;
+        self.native = resolve_native(self.plan, lowering, self.atomic);
         self
+    }
+
+    /// True when Jit tiles will actually run native code (a module is
+    /// registered for this plan) rather than falling back to rows.
+    pub fn jit_active(&self) -> bool {
+        self.native.is_some()
     }
 
     /// Fresh per-thread scratch sized for this plan and this runner's
@@ -109,7 +128,12 @@ impl<'a> TileRunner<'a> {
                 vec![0.0; max_tmps(self.plan)],
                 RowScratch::empty(),
             ),
-            Lowering::Rows => (Vec::new(), Vec::new(), RowScratch::for_plan(self.plan)),
+            // Jit with a resolved module never touches the rows path.
+            Lowering::Jit if self.native.is_some() => (Vec::new(), Vec::new(), RowScratch::empty()),
+            // Rows, or Jit falling back to rows (no module registered).
+            Lowering::Rows | Lowering::Jit => {
+                (Vec::new(), Vec::new(), RowScratch::for_plan(self.plan))
+            }
         };
         TileScratch {
             counters: vec![0i64; self.plan.rank],
@@ -154,7 +178,19 @@ impl<'a> TileRunner<'a> {
         }
         match self.lowering {
             Lowering::PerPoint => self.walk_box(nest, tile, 0, 0, scratch),
-            Lowering::Rows => rows::exec_box_rows(
+            Lowering::Jit if self.native.is_some() => {
+                // SAFETY (inner): the module was registered under this
+                // plan's fingerprint, so the entry points match this
+                // layout; the caller's contract (disjoint concurrent
+                // write sets) is exactly this method's.
+                self.native.as_ref().unwrap().run_box(
+                    tile.nest,
+                    &tile.lo,
+                    &tile.hi,
+                    &self.bufs.write_ptrs,
+                )
+            }
+            Lowering::Rows | Lowering::Jit => rows::exec_box_rows(
                 self.plan,
                 nest,
                 &self.bufs,

@@ -1,0 +1,739 @@
+//! # perforad-jit
+//!
+//! Run-time native lowering for **PerforAD-rs** adjoint schedules — the
+//! third execution tier after the stack-bytecode interpreter and the
+//! register-IR row executor.
+//!
+//! The paper's speedups come from *compiler-optimized* stencil loops
+//! (Intel-compiled C in the ICPP 2019 evaluation; this repository's
+//! build-time `pde::kernels` golden path shows the same gap between
+//! statically compiled Rust and the bytecode VM). Those build-time
+//! kernels are frozen at two shapes, though — every *fused, tiled*
+//! schedule the scheduler produces used to run through the interpreter
+//! or the rows executor. This crate closes the gap at run time:
+//!
+//! 1. **Emit** — each fusion group of a compiled
+//!    [`Schedule`](perforad_sched::Schedule) becomes a self-contained
+//!    Rust module ([`perforad_codegen::rust::jit_group_module`]):
+//!    tile-granular, guard-hoisted `extern "C"` entry points per nest,
+//!    sizes/parameters baked in as bit-exact constants, and only the
+//!    gather-transformed centre-point increments of the adjoint
+//!    transformation — so the generated code needs no atomics.
+//! 2. **Compile** — `rustc` (override with `PERFORAD_JIT_RUSTC` /
+//!    `RUSTC`) is driven out-of-process into a `cdylib`, `-O`.
+//! 3. **Load** — hand-rolled `dlopen`/`dlsym` (std-only, [`loader`])
+//!    resolves one function pointer per nest.
+//! 4. **Register** — the table is installed in the process-wide
+//!    [`perforad_exec::native`] registry under the group plan's
+//!    structural fingerprint; from then on every `Lowering::Jit`
+//!    execution surface (`run_{serial,parallel}_jit`, `TileRunner`,
+//!    `run_schedule`, `run_tuned`) dispatches into it.
+//!
+//! Compiled artifacts persist in `PERFORAD_JIT_CACHE` (default: a
+//! `perforad-jit` directory under the system temp dir), keyed by plan
+//! fingerprint × machine signature (arch, OS, rustc version), so the
+//! out-of-process compile cost is paid **once per fingerprint** — later
+//! processes `dlopen` the cached object without a toolchain. When
+//! neither a registered module, a cached artifact, nor a toolchain is
+//! available, [`prepare_schedule`] fails (or is skipped) and execution
+//! falls back to the bitwise-identical row executor.
+//!
+//! ```no_run
+//! use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+//! use perforad_exec::{Binding, Grid, Lowering, ThreadPool, Workspace};
+//! use perforad_jit::{prepare_schedule, JitOptions};
+//! use perforad_sched::{compile_schedule, run_schedule, SchedOptions};
+//! use perforad_symbolic::{ix, Array, Idx, Symbol};
+//!
+//! let (i, n) = (Symbol::new("i"), Symbol::new("n"));
+//! let (u, r) = (Array::new("u"), Array::new("r"));
+//! let nest = make_loop_nest(&r.at(ix![&i]), u.at(ix![&i - 1]) + u.at(ix![&i + 1]),
+//!                           vec![i.clone()], vec![(Idx::constant(1), Idx::sym(n) - 1)]).unwrap();
+//! let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+//! let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+//! let mut ws = Workspace::new()
+//!     .with("u", Grid::zeros(&[65])).with("r", Grid::zeros(&[65]))
+//!     .with("u_b", Grid::zeros(&[65])).with("r_b", Grid::full(&[65], 1.0));
+//! let bind = Binding::new().size("n", 64);
+//!
+//! let opts = SchedOptions::default().with_jit();
+//! let schedule = compile_schedule(&adj, &ws, &bind, &opts).unwrap();
+//! let report = prepare_schedule(&schedule, &bind, &JitOptions::default()).unwrap();
+//! assert_eq!(report.groups, 1);
+//! let pool = ThreadPool::new(4);
+//! run_schedule(&schedule, &mut ws, &pool).unwrap();   // native tiles
+//! ```
+
+pub mod loader;
+
+use perforad_codegen::rust::{jit_group_module, JitGroupSpec};
+use perforad_core::LoopNest;
+use perforad_exec::native::{native_lookup, register_native, Fnv, NativeGroup, NativeTileFn};
+use perforad_exec::{Binding, Plan};
+use perforad_sched::Schedule;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Symbol prefix of the generated entry points (`pf_n{k}`).
+const SYMBOL_PREFIX: &str = "pf";
+
+/// Bump whenever the emitted code or its ABI changes: it is part of
+/// every artifact's file name, so stale `PERFORAD_JIT_CACHE` entries
+/// compiled by an older emitter miss cleanly instead of loading (the
+/// same role `CACHE_VERSION` plays for the tuning cache).
+pub const JIT_FORMAT_VERSION: u32 = 1;
+
+/// Knobs for [`prepare_schedule`].
+#[derive(Clone, Debug)]
+pub struct JitOptions {
+    /// Directory holding compiled artifacts (and, transiently, generated
+    /// sources). Defaults to the `PERFORAD_JIT_CACHE` environment
+    /// variable, then `<tempdir>/perforad-jit`.
+    pub cache_dir: Option<PathBuf>,
+    /// Compiler driving the out-of-process build. Defaults to the
+    /// `PERFORAD_JIT_RUSTC` environment variable, then `RUSTC`, then
+    /// `rustc` from `PATH`.
+    pub rustc: Option<PathBuf>,
+    /// Keep the generated `.rs` next to the artifact (debugging aid).
+    pub keep_sources: bool,
+}
+
+impl Default for JitOptions {
+    fn default() -> Self {
+        JitOptions {
+            cache_dir: std::env::var_os("PERFORAD_JIT_CACHE").map(PathBuf::from),
+            rustc: std::env::var_os("PERFORAD_JIT_RUSTC")
+                .or_else(|| std::env::var_os("RUSTC"))
+                .map(PathBuf::from),
+            keep_sources: false,
+        }
+    }
+}
+
+impl JitOptions {
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    pub fn with_rustc(mut self, rustc: impl Into<PathBuf>) -> Self {
+        self.rustc = Some(rustc.into());
+        self
+    }
+
+    fn resolved_cache_dir(&self) -> PathBuf {
+        self.cache_dir
+            .clone()
+            .unwrap_or_else(|| std::env::temp_dir().join("perforad-jit"))
+    }
+
+    fn resolved_rustc(&self) -> PathBuf {
+        self.rustc.clone().unwrap_or_else(|| PathBuf::from("rustc"))
+    }
+}
+
+/// Why JIT preparation failed. All variants are recoverable: callers
+/// fall back to the row lowering, which is bitwise-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JitError {
+    /// The schedule contains something the emitter cannot lower (or the
+    /// provided binding does not match the compiled schedule).
+    Unsupported(String),
+    /// No working compiler (and no cached artifact to load instead).
+    Toolchain(String),
+    /// The out-of-process compile failed (carries the compiler stderr).
+    Compile(String),
+    /// `dlopen`/`dlsym` failed on a built or cached artifact.
+    Load(String),
+    /// Filesystem trouble around the artifact cache.
+    Io(String),
+}
+
+impl fmt::Display for JitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JitError::Unsupported(m) => write!(f, "unsupported schedule: {m}"),
+            JitError::Toolchain(m) => write!(f, "no JIT toolchain: {m}"),
+            JitError::Compile(m) => write!(f, "JIT compile failed: {m}"),
+            JitError::Load(m) => write!(f, "JIT load failed: {m}"),
+            JitError::Io(m) => write!(f, "JIT cache I/O: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JitError {}
+
+/// What [`prepare_schedule`] did for each fusion group.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct JitReport {
+    /// Fusion groups in the schedule.
+    pub groups: usize,
+    /// Groups already present in the process-wide registry.
+    pub registered: usize,
+    /// Groups loaded from cached on-disk artifacts (no compile).
+    pub loaded: usize,
+    /// Groups compiled out-of-process this call.
+    pub compiled: usize,
+    /// Wall-clock milliseconds spent in out-of-process compiles.
+    pub compile_ms: f64,
+}
+
+impl JitReport {
+    /// True when no out-of-process compile ran — every group came from
+    /// the registry or the persistent artifact cache.
+    pub fn cache_hit(&self) -> bool {
+        self.compiled == 0
+    }
+}
+
+/// The probed `rustc --version` line for a compiler path, memoized per
+/// path for the life of the process. `None` means the probe failed.
+pub fn toolchain_version(opts: &JitOptions) -> Option<String> {
+    static PROBES: OnceLock<Mutex<HashMap<PathBuf, Option<String>>>> = OnceLock::new();
+    let rustc = opts.resolved_rustc();
+    let probes = PROBES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut probes = probes.lock().expect("toolchain probe lock");
+    probes
+        .entry(rustc.clone())
+        .or_insert_with(|| {
+            Command::new(&rustc)
+                .arg("--version")
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        })
+        .clone()
+}
+
+/// True when this process can *build* new JIT artifacts: a unix target
+/// (for `dlopen`) with a working compiler. Note that running previously
+/// cached artifacts needs no toolchain — [`prepare_schedule`] loads them
+/// regardless, so `available() == false` does not preclude warm-cache
+/// JIT execution.
+pub fn available() -> bool {
+    cfg!(unix) && toolchain_version(&JitOptions::default()).is_some()
+}
+
+/// A pid × sequence suffix unique per call, so concurrent threads (not
+/// just processes) write distinct temp files.
+fn unique_suffix() -> String {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    format!(
+        "{}.{}",
+        std::process::id(),
+        SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    )
+}
+
+/// Platform half of the artifact name: format version, architecture, OS
+/// — everything a *loader* requires. The builder appends a hash of its
+/// compiler version on top ([`machine_signature`]), but any same-
+/// platform artifact with the right plan fingerprint is loadable: the
+/// fingerprint pins the semantics and the ABI is plain C, so a host
+/// without a toolchain can still reuse artifacts a rustc-equipped host
+/// (or an earlier install) produced.
+fn platform_prefix() -> String {
+    format!(
+        "pfjit_v{JIT_FORMAT_VERSION}_{}-{}-",
+        std::env::consts::ARCH,
+        std::env::consts::OS
+    )
+}
+
+/// Machine signature naming *newly built* artifacts: the platform plus a
+/// hash of the compiler version, so different toolchains write distinct
+/// files instead of fighting over one name.
+fn machine_signature(opts: &JitOptions) -> String {
+    let mut h = Fnv::new();
+    h.write(
+        toolchain_version(opts)
+            .unwrap_or_else(|| "no-toolchain".to_string())
+            .as_bytes(),
+    );
+    format!(
+        "{}-{}-{:08x}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        h.finish() as u32
+    )
+}
+
+/// Find a loadable cached artifact for `fp`: the current machine
+/// signature's name first, then any same-platform artifact regardless of
+/// which compiler version built it (the toolchain-less warm-cache path).
+fn find_artifact(dir: &Path, exact: &Path, fp: u64) -> Option<PathBuf> {
+    if exact.exists() {
+        return Some(exact.to_path_buf());
+    }
+    let prefix = platform_prefix();
+    let suffix = format!("_{fp:016x}.so");
+    let entries = std::fs::read_dir(dir).ok()?;
+    for e in entries.flatten() {
+        let name = e.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with(&prefix) && name.ends_with(&suffix) {
+            return Some(e.path());
+        }
+    }
+    None
+}
+
+/// Compile source → cdylib with the resolved compiler. Writes to an
+/// invocation-unique temp name (pid × sequence, so concurrent *threads*
+/// as well as processes get distinct temps) and renames atomically, so
+/// concurrent preparers of the same fingerprint race benignly — last
+/// rename wins with an equivalent artifact.
+fn compile_cdylib(opts: &JitOptions, src: &Path, out: &Path) -> Result<(), JitError> {
+    let tmp = out.with_extension(format!("so.tmp.{}", unique_suffix()));
+    let output = Command::new(opts.resolved_rustc())
+        .args(["--edition", "2021", "-O", "-C", "debuginfo=0"])
+        // Explicit crate name: the invocation-unique source file name
+        // contains dots rustc would reject if left to derive it.
+        .args(["--crate-type", "cdylib", "--crate-name", "pfjit"])
+        .arg("-o")
+        .arg(&tmp)
+        .arg(src)
+        .output()
+        .map_err(|e| JitError::Toolchain(format!("{}: {e}", opts.resolved_rustc().display())))?;
+    if !output.status.success() {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(JitError::Compile(
+            String::from_utf8_lossy(&output.stderr).into_owned(),
+        ));
+    }
+    std::fs::rename(&tmp, out).map_err(|e| JitError::Io(format!("rename {}: {e}", out.display())))
+}
+
+/// `dlopen` an artifact and resolve one entry point per nest.
+fn load_group(path: &Path, nests: usize) -> Result<Arc<NativeGroup>, JitError> {
+    let lib = loader::Library::open(path)
+        .map_err(|e| JitError::Load(format!("{}: {e}", path.display())))?;
+    let mut fns: Vec<NativeTileFn> = Vec::with_capacity(nests);
+    for k in 0..nests {
+        let name = format!("{SYMBOL_PREFIX}_n{k}");
+        let p = lib
+            .sym(&name)
+            .map_err(|e| JitError::Load(format!("{name} in {}: {e}", path.display())))?;
+        // SAFETY: the symbol was emitted by `jit_group_module` with
+        // exactly the `NativeTileFn` ABI.
+        fns.push(unsafe { std::mem::transmute::<*mut std::ffi::c_void, NativeTileFn>(p) });
+    }
+    Ok(Arc::new(NativeGroup::new(fns, Some(Arc::new(lib)))))
+}
+
+/// Consistency check that `bind` is the binding the schedule was
+/// compiled with, in two layers: the source nests' bounds, resolved
+/// against it, must reproduce the plan's compiled bounds (sizes), and
+/// recompiling every statement body under it must reproduce the plan's
+/// program fingerprints exactly — which pins the float *parameters*
+/// (baked into the bytecode as constants) and any size symbol that
+/// appears only in statement bodies. A mismatch is rejected rather than
+/// silently baked into native code registered under the original plan's
+/// fingerprint.
+fn check_binding(
+    plan: &Plan,
+    nests: &[LoopNest],
+    cse: bool,
+    bind: &Binding,
+) -> Result<(), JitError> {
+    use perforad_exec::bytecode::{compile, compile_with_bindings, CompileCtx};
+    use perforad_symbolic::{subst, Expr, Symbol};
+    let mut sub: std::collections::BTreeMap<Symbol, Expr> = std::collections::BTreeMap::new();
+    for (s, v) in &bind.params {
+        sub.insert(s.clone(), Expr::float(*v));
+    }
+    for (s, v) in &bind.sizes {
+        sub.insert(s.clone(), Expr::int(*v));
+    }
+    for (np, nest) in plan.nests.iter().zip(nests) {
+        for (d, b) in nest.bounds.iter().enumerate() {
+            let lo = b.lo.eval(&bind.sizes);
+            let hi = b.hi.eval(&bind.sizes);
+            if lo != Some(np.lo[d]) || hi != Some(np.hi[d]) {
+                return Err(JitError::Unsupported(format!(
+                    "binding does not reproduce the schedule's compiled bounds \
+                     (dim {d}: {lo:?}..{hi:?} vs {}..{})",
+                    np.lo[d], np.hi[d]
+                )));
+            }
+        }
+        let cctx = CompileCtx {
+            arrays: &plan.arrays,
+            counters: &nest.counters,
+            strides: &plan.strides,
+            padded: plan.padded,
+            temps: &[],
+        };
+        for (sp, s) in np.stmts.iter().zip(&nest.body) {
+            let rhs = subst::subst_sym(&s.rhs, &sub);
+            let prog = if cse {
+                let (bindings, rewritten) = perforad_symbolic::cse::eliminate_one(&rhs, "__cse");
+                compile_with_bindings(&bindings, &rewritten, &cctx)
+            } else {
+                compile(&rhs, &cctx)
+            }
+            .map_err(|e| JitError::Unsupported(format!("statement recompile check: {e}")))?;
+            if prog.fingerprint() != sp.prog.fingerprint() {
+                return Err(JitError::Unsupported(
+                    "binding does not reproduce the schedule's compiled programs \
+                     (wrong parameter or size values?)"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compile (or load from cache) native code for one fusion group and
+/// register it under its plan fingerprint.
+fn prepare_group(
+    plan: &Plan,
+    nests: &[LoopNest],
+    cse: bool,
+    bind: &Binding,
+    opts: &JitOptions,
+    report: &mut JitReport,
+) -> Result<(), JitError> {
+    let fp = plan.fingerprint();
+    if native_lookup(fp).is_some() {
+        report.registered += 1;
+        return Ok(());
+    }
+    check_binding(plan, nests, cse, bind)?;
+
+    let dir = opts.resolved_cache_dir();
+    std::fs::create_dir_all(&dir).map_err(|e| JitError::Io(format!("{}: {e}", dir.display())))?;
+    let stem = format!(
+        "pfjit_v{JIT_FORMAT_VERSION}_{}_{fp:016x}",
+        machine_signature(opts)
+    );
+    let artifact = dir.join(format!("{stem}.so"));
+
+    if let Some(cached) = find_artifact(&dir, &artifact, fp) {
+        register_native(fp, load_group(&cached, plan.nests.len())?);
+        report.loaded += 1;
+        return Ok(());
+    }
+
+    if toolchain_version(opts).is_none() {
+        return Err(JitError::Toolchain(format!(
+            "`{}` not runnable and no cached artifact at {}",
+            opts.resolved_rustc().display(),
+            artifact.display()
+        )));
+    }
+    let spec = JitGroupSpec {
+        prefix: SYMBOL_PREFIX,
+        nests,
+        arrays: &plan.arrays,
+        dims: &plan.dims,
+        strides: &plan.strides,
+        padded: plan.padded,
+        cse,
+        sizes: &bind.sizes,
+        params: &bind.params,
+    };
+    let source = jit_group_module(&spec).map_err(JitError::Unsupported)?;
+    // Invocation-unique source name: concurrent preparers of one
+    // fingerprint must not truncate each other's in-flight source.
+    let src_path = dir.join(format!("{stem}.{}.rs", unique_suffix()));
+    std::fs::write(&src_path, &source)
+        .map_err(|e| JitError::Io(format!("{}: {e}", src_path.display())))?;
+    let t0 = Instant::now();
+    let built = compile_cdylib(opts, &src_path, &artifact);
+    report.compile_ms += t0.elapsed().as_secs_f64() * 1e3;
+    if !opts.keep_sources {
+        let _ = std::fs::remove_file(&src_path);
+    }
+    built?;
+    register_native(fp, load_group(&artifact, plan.nests.len())?);
+    report.compiled += 1;
+    Ok(())
+}
+
+/// Make every fusion group of `schedule` natively executable: resolve
+/// from the process registry, the persistent artifact cache
+/// (`PERFORAD_JIT_CACHE`), or an out-of-process `rustc` build — in that
+/// order. `bind` must be the binding the schedule was compiled with
+/// (checked against the compiled bounds).
+///
+/// On success, every `Lowering::Jit` execution of the schedule's plans
+/// dispatches into the compiled code; on error nothing is registered for
+/// the failing group and Jit execution falls back to the
+/// bitwise-identical row executor.
+pub fn prepare_schedule(
+    schedule: &Schedule,
+    bind: &Binding,
+    opts: &JitOptions,
+) -> Result<JitReport, JitError> {
+    let mut report = JitReport {
+        groups: schedule.groups.len(),
+        ..JitReport::default()
+    };
+    for group in &schedule.groups {
+        let nests: Vec<LoopNest> = group
+            .nests
+            .iter()
+            .map(|&m| schedule.source[m].clone())
+            .collect();
+        prepare_group(&group.plan, &nests, schedule.cse, bind, opts, &mut report)?;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perforad_core::{make_loop_nest, ActivityMap, AdjointOptions};
+    use perforad_exec::{run_serial, run_serial_jit, Grid, ThreadPool, Workspace};
+    use perforad_sched::{compile_schedule, run_schedule, SchedOptions};
+    use perforad_symbolic::{ix, Array, Idx, Symbol};
+
+    fn paper_nest() -> LoopNest {
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let (u, c) = (Array::new("u"), Array::new("c"));
+        make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            c.at(ix![&i])
+                * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap()
+    }
+
+    fn setup(n: usize) -> (Workspace, Binding) {
+        let mut ws = Workspace::new();
+        ws.insert(
+            "u",
+            Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5),
+        );
+        ws.insert("c", Grid::from_fn(&[n + 1], |ix| 0.5 + 0.1 * ix[0] as f64));
+        ws.insert("r", Grid::zeros(&[n + 1]));
+        ws.insert("u_b", Grid::zeros(&[n + 1]));
+        ws.insert("r_b", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).cos()));
+        (ws, Binding::new().size("n", n as i64))
+    }
+
+    fn test_cache_dir(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("perforad-jit-test-{tag}-{}", std::process::id()))
+    }
+
+    /// Toolchain-less runners skip (with a reason) instead of failing —
+    /// the runtime degrades the same way.
+    macro_rules! require_toolchain {
+        () => {
+            if !available() {
+                eprintln!("skipped: no rustc toolchain for JIT tests");
+                return;
+            }
+        };
+    }
+
+    #[test]
+    fn prepare_then_run_matches_interpreter_bitwise() {
+        require_toolchain!();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (mut ws_ref, bind) = setup(257);
+        let plan = perforad_exec::compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+        run_serial(&plan, &mut ws_ref).unwrap();
+
+        let dir = test_cache_dir("roundtrip");
+        let opts = JitOptions::default().with_cache_dir(&dir);
+        let (mut ws, _) = setup(257);
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let report = prepare_schedule(&schedule, &bind, &opts).unwrap();
+        assert_eq!(report.groups, 1);
+        assert_eq!(report.compiled + report.loaded + report.registered, 1);
+
+        let pool = ThreadPool::new(3);
+        run_schedule(&schedule, &mut ws, &pool).unwrap();
+        assert_eq!(ws.grid("u_b").max_abs_diff(ws_ref.grid("u_b")), 0.0);
+
+        // The flat executor entry point resolves the same registration.
+        let (mut ws2, _) = setup(257);
+        run_serial_jit(&schedule.groups[0].plan, &mut ws2).unwrap();
+        assert_eq!(ws2.grid("u_b").max_abs_diff(ws_ref.grid("u_b")), 0.0);
+
+        // A second prepare is a pure registry hit.
+        let again = prepare_schedule(&schedule, &bind, &opts).unwrap();
+        assert!(again.cache_hit());
+        assert_eq!(again.registered, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn artifact_cache_avoids_recompiles_across_registry_misses() {
+        require_toolchain!();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        // Two different sizes → two fingerprints → two artifacts.
+        let dir = test_cache_dir("artifacts");
+        let opts = JitOptions::default().with_cache_dir(&dir);
+        let (ws, bind) = setup(301);
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let first = prepare_schedule(&schedule, &bind, &opts).unwrap();
+        assert_eq!(first.compiled, 1, "cold cache must compile");
+        assert!(first.compile_ms > 0.0);
+        // Artifact exists on disk under the machine signature.
+        let count = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "so")
+            })
+            .count();
+        assert_eq!(count, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn binding_mismatch_is_rejected_not_miscompiled() {
+        require_toolchain!();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, bind) = setup(65);
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let wrong = Binding::new().size("n", 64);
+        let dir = test_cache_dir("mismatch");
+        let err = prepare_schedule(
+            &schedule,
+            &wrong,
+            &JitOptions::default().with_cache_dir(&dir),
+        )
+        .unwrap_err();
+        assert!(matches!(err, JitError::Unsupported(_)), "{err}");
+
+        // A wrong *float parameter* (same sizes, so every bound still
+        // resolves identically) must be rejected too — it is baked into
+        // the generated constants, so silently accepting it would
+        // register miscompiled code under the correct fingerprint.
+        let i = Symbol::new("i");
+        let n = Symbol::new("n");
+        let u = Array::new("u");
+        let pnest = make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            perforad_symbolic::Expr::sym(Symbol::new("D")) * u.at(ix![&i - 1]),
+            vec![i.clone()],
+            vec![(Idx::constant(1), Idx::sym(n) - 1)],
+        )
+        .unwrap();
+        let bind_d = Binding::new().size("n", 40).param("D", 0.5);
+        let ws_d = Workspace::new()
+            .with("u", Grid::zeros(&[41]))
+            .with("r", Grid::zeros(&[41]));
+        let s_d = perforad_sched::compile_schedule_nests(
+            std::slice::from_ref(&pnest),
+            &ws_d,
+            &bind_d,
+            false,
+            &SchedOptions::default().with_jit(),
+        )
+        .unwrap();
+        let wrong_d = Binding::new().size("n", 40).param("D", 0.7);
+        let err = prepare_schedule(&s_d, &wrong_d, &JitOptions::default().with_cache_dir(&dir))
+            .unwrap_err();
+        assert!(matches!(err, JitError::Unsupported(_)), "{err}");
+        // The right binding still prepares.
+        prepare_schedule(&s_d, &bind_d, &JitOptions::default().with_cache_dir(&dir))
+            .expect("correct binding prepares");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_artifact_cache_loads_without_a_toolchain() {
+        require_toolchain!();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (mut ws, bind) = setup(129);
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let dir = test_cache_dir("warmload");
+        // Build the artifact with the real toolchain…
+        let built = prepare_schedule(
+            &schedule,
+            &bind,
+            &JitOptions::default().with_cache_dir(&dir),
+        )
+        .unwrap();
+        assert_eq!(built.compiled, 1);
+        // …then simulate a toolchain-less host: fresh "process" state is
+        // approximated by a broken rustc; the registry already has the
+        // group, so re-register under a recompiled (identical) plan to
+        // force the disk path. Simplest faithful probe: a second
+        // schedule at the same size has the same fingerprint and is
+        // already registered — so instead check find_artifact directly
+        // and that prepare with a broken rustc still succeeds end to end.
+        let broken = JitOptions::default()
+            .with_cache_dir(&dir)
+            .with_rustc("/nonexistent/rustc-gone");
+        let again = prepare_schedule(&schedule, &bind, &broken).unwrap();
+        assert_eq!(again.registered, 1, "registry hit needs no toolchain");
+        // The platform-wide scan finds the artifact even though the
+        // broken toolchain's machine signature can't reproduce its name.
+        let fp = schedule.groups[0].plan.fingerprint();
+        let exact = dir.join("pfjit_definitely_not_this_name.so");
+        let found = find_artifact(&dir, &exact, fp).expect("platform scan finds the artifact");
+        assert!(found.to_string_lossy().ends_with(&format!("_{fp:016x}.so")));
+        let g = load_group(&found, schedule.groups[0].plan.nests.len())
+            .expect("cached artifact loads without rustc");
+        assert_eq!(g.nests(), schedule.groups[0].plan.nests.len());
+        let pool = ThreadPool::new(2);
+        run_schedule(&schedule, &mut ws, &pool).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_toolchain_reports_toolchain_error() {
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, bind) = setup(33);
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let dir = test_cache_dir("notoolchain");
+        let opts = JitOptions::default()
+            .with_cache_dir(&dir)
+            .with_rustc("/nonexistent/rustc-definitely-missing");
+        let err = prepare_schedule(&schedule, &bind, &opts).unwrap_err();
+        assert!(matches!(err, JitError::Toolchain(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_cache_hit_semantics() {
+        let r = JitReport {
+            groups: 2,
+            registered: 1,
+            loaded: 1,
+            compiled: 0,
+            compile_ms: 0.0,
+        };
+        assert!(r.cache_hit());
+        let r = JitReport { compiled: 1, ..r };
+        assert!(!r.cache_hit());
+    }
+}

@@ -2,6 +2,30 @@
 //! time by `build.rs` → `perforad-codegen`). These play the role of the
 //! Intel-compiled C in the paper's setup; the VM-vs-static criterion bench
 //! quantifies the interpreter overhead of the bytecode path.
+//!
+//! These build-time kernels are the *oldest* of what is now a three-tier
+//! execution story, frozen at the two shapes generated here:
+//!
+//! 1. **Bytecode VM** (`perforad_exec::bytecode`, `Lowering::PerPoint`)
+//!    — the per-point stack interpreter, the always-available reference
+//!    every other tier must match bitwise.
+//! 2. **Register-IR rows** (`perforad_exec::{regir, rows}`,
+//!    `Lowering::Rows`) — stack programs lowered to a register IR and
+//!    evaluated over whole innermost-dimension rows in vectorizable lane
+//!    chunks; several-fold over the VM with no compiler in the loop.
+//! 3. **JIT native** (`perforad-jit`, `Lowering::Jit`) — the run-time
+//!    generalisation of this module: *any* fused, tiled schedule (not
+//!    just the two shapes frozen here) is emitted through the same
+//!    `perforad-codegen` Rust back-end, compiled out-of-process by
+//!    `rustc` into a `cdylib`, `dlopen`-loaded, and dispatched through
+//!    the tile executors. Artifacts persist across processes
+//!    (`PERFORAD_JIT_CACHE`), and execution falls back to tier 2 when no
+//!    toolchain is present.
+//!
+//! The `perforad-tune` autotuner searches across tiers 1–3 (plus tiling,
+//! fusion, and assignment policy) per kernel and machine; these static
+//! kernels remain as the golden reference for the generated-code path
+//! and as the build-time baseline the JIT is benchmarked against.
 
 #[allow(dead_code)]
 mod wave3d_gen {

@@ -38,6 +38,16 @@ pub struct Machine {
     pub interp_point_ns: f64,
     /// Per-point overhead of the vectorized register-IR row executor, ns.
     pub rows_point_ns: f64,
+    /// Per-point overhead of JIT-compiled native tiles, ns. Native code
+    /// has no op-dispatch loop at all — what remains is loop/call
+    /// bookkeeping, well under the rows executor's per-op lane sweeps.
+    pub jit_point_ns: f64,
+    /// One out-of-process `rustc` build of a fused group, seconds. Paid
+    /// only for cold fingerprints — the persistent artifact cache
+    /// (`PERFORAD_JIT_CACHE`) amortises it to zero across runs, which is
+    /// why [`crate::ScheduleShape::jit_cold_groups`] is a separate knob
+    /// rather than folded into the per-point cost.
+    pub jit_compile_s: f64,
 }
 
 impl Machine {
@@ -75,6 +85,8 @@ pub fn broadwell() -> Machine {
         tile_dispatch_ns: 120.0,
         interp_point_ns: 16.0,
         rows_point_ns: 2.5,
+        jit_point_ns: 0.6,
+        jit_compile_s: 1.5,
     }
 }
 
@@ -95,6 +107,8 @@ pub fn knl() -> Machine {
         tile_dispatch_ns: 400.0,
         interp_point_ns: 45.0,
         rows_point_ns: 6.0,
+        jit_point_ns: 1.6,
+        jit_compile_s: 4.0,
     }
 }
 
@@ -120,5 +134,9 @@ pub fn host(cores: usize) -> Machine {
         // amortises it away.
         interp_point_ns: 20.0,
         rows_point_ns: 3.0,
+        // Calibrated against BENCH_exec: native fused groups land close
+        // to the build-time static kernels, several-fold under rows.
+        jit_point_ns: 0.8,
+        jit_compile_s: 1.5,
     }
 }

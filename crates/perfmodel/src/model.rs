@@ -91,6 +91,14 @@ pub struct ScheduleShape {
     /// True under the vectorized register-IR row executor, false under
     /// the per-point stack interpreter.
     pub rows: bool,
+    /// True under JIT-compiled native tiles (overrides `rows` for the
+    /// per-point dispatch term).
+    pub jit: bool,
+    /// Fusion groups whose native code would have to be compiled
+    /// out-of-process for this execution (zero once the persistent
+    /// artifact cache is warm — the compile cost is paid once per
+    /// fingerprint). Only meaningful when `jit`.
+    pub jit_cold_groups: usize,
     /// True for dynamic (shared-counter) tile assignment, false for
     /// static LPT pre-assignment.
     pub dynamic: bool,
@@ -98,8 +106,10 @@ pub struct ScheduleShape {
 
 /// Predicted wall-clock seconds for one scheduled sweep: the roofline of
 /// [`predict`] plus the scheduling overheads the tuner trades off —
-/// per-point lowering dispatch, per-tile dispatch, region barriers, and
-/// the assignment policy's imbalance/contention terms.
+/// per-point lowering dispatch (native JIT code < rows < interpreter),
+/// per-tile dispatch, region barriers, the assignment policy's
+/// imbalance/contention terms, and the one-off native compile cost for
+/// cold JIT fingerprints.
 ///
 /// The model only has to *rank* candidate configurations well enough that
 /// the true winner survives the top-K cut before empirical timing; its
@@ -110,7 +120,9 @@ pub fn predict_schedule(m: &Machine, p: &KernelProfile, s: &ScheduleShape) -> f6
     let t_mem = p.points * p.bytes_per_point / (m.bandwidth(threads) * 1e9);
     // Lowering dispatch is CPU work on the executing threads; it cannot
     // hide behind the memory wall in this simple in-order model.
-    let point_ns = if s.rows {
+    let point_ns = if s.jit {
+        m.jit_point_ns
+    } else if s.rows {
         m.rows_point_ns
     } else {
         m.interp_point_ns
@@ -137,7 +149,20 @@ pub fn predict_schedule(m: &Machine, p: &KernelProfile, s: &ScheduleShape) -> f6
     };
     let t_atomic = p.points * p.atomics_per_point * m.atomic_cost(threads) * 1e-9;
     let t_stack = p.points * p.stack_bytes_per_point * m.stack_byte_ns * 1e-9;
-    (t_flops.max(t_mem) + t_dispatch) * imbalance + t_tiles + t_barrier + t_atomic + t_stack
+    // One out-of-process build per cold fused group; zero with a warm
+    // artifact cache (the tuner's default assumption, since its own
+    // persistent cache pays the cost once per fingerprint).
+    let t_compile = if s.jit {
+        s.jit_cold_groups as f64 * m.jit_compile_s
+    } else {
+        0.0
+    };
+    (t_flops.max(t_mem) + t_dispatch) * imbalance
+        + t_tiles
+        + t_barrier
+        + t_atomic
+        + t_stack
+        + t_compile
 }
 
 /// `(threads, seconds, speedup-vs-1-thread)` across a sweep.
@@ -308,6 +333,8 @@ mod tests {
             barriers: 1,
             tiles: 256,
             rows: false,
+            jit: false,
+            jit_cold_groups: 0,
             dynamic: true,
         };
         let interp = predict_schedule(&m, &p, &base);
@@ -316,6 +343,21 @@ mod tests {
             interp > rows,
             "rows must rank first: interp {interp} vs rows {rows}"
         );
+        // Warm-cache JIT outranks rows (native code has no op dispatch)…
+        let jit = predict_schedule(&m, &p, &ScheduleShape { jit: true, ..base });
+        assert!(jit < rows, "jit must rank above rows: {jit} vs {rows}");
+        // …but a cold compile on a small problem buries it.
+        let cold = predict_schedule(
+            &m,
+            &p,
+            &ScheduleShape {
+                jit: true,
+                jit_cold_groups: 1,
+                ..base
+            },
+        );
+        assert!(cold > interp, "cold compile must dominate: {cold}");
+        assert!((cold - jit - m.jit_compile_s).abs() < 1e-12);
         // Serially (where BENCH_exec recorded 4.8×/11.1×) the margin is wide.
         let serial = ScheduleShape { threads: 1, ..base };
         let interp1 = predict_schedule(&m, &p, &serial);
@@ -379,6 +421,8 @@ mod tests {
             barriers: 1,
             tiles: 1,
             rows: true,
+            jit: false,
+            jit_cold_groups: 0,
             dynamic: false,
         };
         let sched = predict_schedule(&m, &p, &s);

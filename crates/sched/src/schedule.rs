@@ -91,6 +91,13 @@ impl SchedOptions {
         self.with_lowering(Lowering::Rows)
     }
 
+    /// Shorthand for selecting JIT-compiled native tiles (prepare the
+    /// compiled schedule with `perforad_jit::prepare_schedule`; without
+    /// a registered native module, execution falls back to rows).
+    pub fn with_jit(self) -> Self {
+        self.with_lowering(Lowering::Jit)
+    }
+
     pub fn with_fuse(mut self, fuse: bool) -> Self {
         self.fuse = fuse;
         self

@@ -29,14 +29,11 @@ use std::sync::{Mutex, OnceLock};
 pub const CACHE_VERSION: u32 = 1;
 
 /// FNV-1a over a byte stream — deterministic across runs and platforms.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// (The canonical implementation lives in `perforad_exec::native`, where
+/// plan fingerprints — the JIT artifact-cache keys — are built from it;
+/// re-exported here so every fingerprint in the workspace shares one
+/// hash.)
+pub use perforad_exec::native::fnv1a64;
 
 /// Stable fingerprint of the *work*: the nests' printed IR (the display
 /// form is the IR's canonical syntax), the padded-boundary flag, and the
@@ -231,6 +228,7 @@ fn lowering_name(l: Lowering) -> &'static str {
     match l {
         Lowering::PerPoint => "PerPoint",
         Lowering::Rows => "Rows",
+        Lowering::Jit => "Jit",
     }
 }
 
@@ -238,6 +236,7 @@ fn parse_lowering(s: &str) -> Result<Lowering, String> {
     match s {
         "PerPoint" => Ok(Lowering::PerPoint),
         "Rows" => Ok(Lowering::Rows),
+        "Jit" => Ok(Lowering::Jit),
         other => Err(format!("unknown lowering `{other}`")),
     }
 }
@@ -351,6 +350,23 @@ mod tests {
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed.lookup("k1"), Some(&entry()));
         assert_eq!(parsed.lookup("k2"), Some(&e2));
+    }
+
+    #[test]
+    fn jit_configs_round_trip_through_the_cache() {
+        // A tuner win with the JIT lowering must survive the JSON file
+        // format, so later processes re-prepare (dlopen) instead of
+        // re-searching.
+        let mut e = entry();
+        e.config.lowering = Lowering::Jit;
+        let mut cache = TuneCache::new();
+        cache.insert("jit-key", e.clone());
+        let parsed = TuneCache::from_json(&cache.to_json()).unwrap();
+        assert_eq!(parsed.lookup("jit-key"), Some(&e));
+        assert_eq!(
+            parsed.lookup("jit-key").unwrap().config.lowering,
+            Lowering::Jit
+        );
     }
 
     #[test]

@@ -32,10 +32,26 @@ pub fn tile_palette(rank: usize) -> Vec<Vec<i64>> {
 /// problems lose more to a parallel-region barrier than they gain from
 /// workers) but collapse the policy axis — tile order is policy-free with
 /// one worker.
+///
+/// This base enumeration excludes the JIT lowering;
+/// [`search_space_full`] adds it when the host can actually build or
+/// load native code.
 pub fn search_space(rank: usize, threads: usize) -> Vec<TunedConfig> {
+    search_space_full(rank, threads, false)
+}
+
+/// [`search_space`] with the JIT lowering optionally included as a third
+/// point on the lowering axis. Callers gate `jit` on
+/// `perforad_jit::available()` (or a warm artifact cache) so the tuner
+/// never times candidates that would silently fall back to rows.
+pub fn search_space_full(rank: usize, threads: usize, jit: bool) -> Vec<TunedConfig> {
+    let mut lowerings = vec![Lowering::Rows, Lowering::PerPoint];
+    if jit {
+        lowerings.insert(0, Lowering::Jit);
+    }
     let mut space = Vec::new();
     for tile in tile_palette(rank) {
-        for lowering in [Lowering::Rows, Lowering::PerPoint] {
+        for &lowering in &lowerings {
             for fuse in [true, false] {
                 for policy in [TilePolicy::Dynamic, TilePolicy::Static] {
                     space.push(TunedConfig {
@@ -92,6 +108,20 @@ mod tests {
             .all(|c| (c.strategy == TunedStrategy::Serial) == (c.threads == 1)));
         // Every candidate's tile matches the rank.
         assert!(space.iter().all(|c| c.tile.len() == 3));
+    }
+
+    #[test]
+    fn jit_axis_is_opt_in() {
+        let base = search_space_full(2, 4, false);
+        assert!(base.iter().all(|c| c.lowering != Lowering::Jit));
+        let with_jit = search_space_full(2, 4, true);
+        // One extra lowering point: 3/2 of the base space.
+        assert_eq!(with_jit.len(), base.len() * 3 / 2);
+        assert!(with_jit.iter().any(|c| c.lowering == Lowering::Jit));
+        // Jit candidates cover both strategies and every tile.
+        assert!(with_jit
+            .iter()
+            .any(|c| c.lowering == Lowering::Jit && c.strategy == TunedStrategy::Serial));
     }
 
     #[test]

@@ -1,25 +1,32 @@
 //! The two-stage tuner: model-guided pruning, then empirical timing.
 //!
-//! Stage 1 ranks the whole [`search_space`] with
-//! [`perforad_perfmodel::predict_schedule`] — pure arithmetic, no
+//! Stage 1 ranks the whole [`search_space`](crate::search_space) (plus
+//! the JIT lowering axis when the host can build or load native code)
+//! with [`perforad_perfmodel::predict_schedule`] — pure arithmetic, no
 //! execution — and keeps the top-K candidates. Stage 2 compiles each
-//! survivor into a real [`Schedule`] and times it (best-of-N wall clock,
-//! one warm-up sweep first). The winner is returned, installed, and
+//! survivor into a real [`Schedule`] — JIT candidates are natively
+//! prepared first, reusing `perforad-jit`'s persistent artifact cache so
+//! the out-of-process compile is paid once per fingerprint — and times
+//! it (best-of-N wall clock, one warm-up sweep first). A hill-climbing
+//! refinement stage then walks the winner's tile vector (±1
+//! doubling/halving step per rank, the palette's step size) until no
+//! neighbour improves. The final winner is returned, installed, and
 //! recorded in the tuning cache so the next identical (work, machine)
-//! pair skips both stages.
+//! pair skips every stage.
 
 use crate::cache::{
     cache_key, fingerprint_nests, fnv1a64, memory_lookup, memory_store, CacheEntry, TuneCache,
 };
-use crate::space::search_space;
+use crate::space::search_space_full;
 use crate::timing::time_best;
 use perforad_core::{Adjoint, BoundaryStrategy, LoopNest};
-use perforad_exec::{Binding, ThreadPool, Workspace};
+use perforad_exec::{Binding, Lowering, ThreadPool, Workspace};
 use perforad_perfmodel::{host, predict_schedule, profile, Machine, ScheduleShape};
 use perforad_sched::{
     compile_schedule_nests, run_tuned, SchedError, SchedOptions, Schedule, TilePolicy, TunedConfig,
     TunedStrategy,
 };
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -30,12 +37,15 @@ pub enum Measure {
     /// (one untimed warm-up sweep first). The production mode.
     Wall { samples: usize },
     /// Deterministic pseudo-times derived from `seed` and each
-    /// candidate's fingerprint — no execution. For tests that need the
-    /// whole tuner pipeline to be reproducible.
+    /// candidate's fingerprint — no execution (and no JIT builds: a Jit
+    /// winner is prepared lazily by the caller, or falls back to rows).
+    /// For tests that need the whole tuner pipeline to be reproducible.
     Synthetic { seed: u64 },
     /// Trust the analytic model outright: the top-ranked candidate wins
-    /// without any execution. The cheapest mode; useful when a workload
-    /// cannot afford even top-K timing sweeps.
+    /// without any execution — and without any out-of-process JIT
+    /// builds (a Jit winner falls back to rows until
+    /// `perforad_jit::prepare_schedule` runs). The cheapest mode;
+    /// useful when a workload cannot afford even top-K timing sweeps.
     Model,
 }
 
@@ -57,6 +67,17 @@ pub struct TuneOptions {
     /// axis — it is the caller's plan-level choice, applied uniformly
     /// (and preserved by `Schedule::autotune`).
     pub cse: bool,
+    /// Include the JIT lowering in the search space (effective only when
+    /// `perforad_jit::available()` — no toolchain, no Jit candidates, so
+    /// the tuner never times configurations that would silently fall
+    /// back to rows).
+    pub jit: bool,
+    /// Maximum hill-climbing rounds around the empirical winner: each
+    /// round times every ±1 doubling/halving neighbour of the winning
+    /// tile vector (one step per rank) and moves if one improves.
+    /// `0` disables refinement; [`Measure::Model`] never refines (there
+    /// is nothing empirical to climb).
+    pub refine_rounds: usize,
 }
 
 impl Default for TuneOptions {
@@ -71,6 +92,8 @@ impl Default for TuneOptions {
             cache_path: std::env::var_os("PERFORAD_TUNE_CACHE").map(PathBuf::from),
             memory_cache: true,
             cse: false,
+            jit: true,
+            refine_rounds: 1,
         }
     }
 }
@@ -117,6 +140,16 @@ impl TuneOptions {
         self.cse = cse;
         self
     }
+
+    pub fn with_jit(mut self, jit: bool) -> Self {
+        self.jit = jit;
+        self
+    }
+
+    pub fn with_refine_rounds(mut self, rounds: usize) -> Self {
+        self.refine_rounds = rounds;
+        self
+    }
 }
 
 /// Why tuning failed. (Cache-file I/O never fails a tuning run: an
@@ -161,6 +194,9 @@ pub struct TuneReport {
     pub candidates: usize,
     /// Candidates that reached the timing stage (0 on a cache hit).
     pub timed: usize,
+    /// Tile-neighbour candidates timed by the hill-climbing refinement
+    /// stage (0 on a cache hit or under [`Measure::Model`]).
+    pub refined: usize,
     /// Model ranking of the full space, best predicted first.
     pub predictions: Vec<(TunedConfig, f64)>,
 }
@@ -204,9 +240,10 @@ pub fn autotune_nests(
         }
     }
 
-    // Stage 1: rank the whole space analytically.
+    // Stage 1: rank the whole space analytically. The JIT axis joins
+    // only when this host can actually build (or has cached) native code.
     let rank = nests[0].rank();
-    let space = search_space(rank, threads);
+    let space = search_space_full(rank, threads, opts.jit && perforad_jit::available());
     if space.is_empty() {
         return Err(TuneError::EmptySpace);
     }
@@ -236,6 +273,16 @@ pub fn autotune_nests(
                     continue;
                 }
             };
+        // Under wall-clock timing, JIT candidates must be natively
+        // prepared before measuring (the artifact cache makes this
+        // once-per-fingerprint); a candidate that cannot be prepared is
+        // dropped rather than timed as a silent rows fallback. Model and
+        // synthetic modes never execute, so they stay build-free — their
+        // Jit winner is prepared lazily by the caller (or falls back to
+        // the bitwise-identical rows lowering).
+        if matches!(opts.measure, Measure::Wall { .. }) && !prepare_if_jit(&schedule, cfg, bind) {
+            continue;
+        }
         let secs = match opts.measure {
             Measure::Model => *pred,
             Measure::Synthetic { seed } => synthetic_time(seed, cfg),
@@ -252,6 +299,72 @@ pub fn autotune_nests(
             best = Some((schedule, cfg.clone(), secs));
         }
     }
+
+    // Refinement: hill-climb the winner's tile vector, one
+    // doubling/halving step per rank and direction, re-basing on every
+    // improvement. Model mode has no empirical signal to climb.
+    let mut refined = 0usize;
+    if best.is_some() && !matches!(opts.measure, Measure::Model) {
+        let mut tried: BTreeSet<Vec<i64>> = BTreeSet::new();
+        tried.insert(best.as_ref().expect("winner exists").1.tile.clone());
+        'rounds: for _ in 0..opts.refine_rounds {
+            let (base_cfg, base_best) = {
+                let (_, c, s) = best.as_ref().expect("winner exists");
+                (c.clone(), *s)
+            };
+            let mut improved = false;
+            for d in 0..base_cfg.tile.len() {
+                for halve in [false, true] {
+                    let mut tile = base_cfg.tile.clone();
+                    tile[d] = if halve {
+                        (tile[d] >> 1).max(1)
+                    } else {
+                        (tile[d] << 1).min(1 << 20)
+                    };
+                    if !tried.insert(tile.clone()) {
+                        continue;
+                    }
+                    let mut cfg = base_cfg.clone();
+                    cfg.tile = tile;
+                    let Ok(schedule) = compile_schedule_nests(
+                        nests,
+                        ws,
+                        bind,
+                        padded,
+                        &SchedOptions::from_tuned(&cfg),
+                    ) else {
+                        continue;
+                    };
+                    if matches!(opts.measure, Measure::Wall { .. })
+                        && !prepare_if_jit(&schedule, &cfg, bind)
+                    {
+                        continue;
+                    }
+                    let secs = match opts.measure {
+                        Measure::Model => unreachable!("refinement skips Model mode"),
+                        Measure::Synthetic { seed } => synthetic_time(seed, &cfg),
+                        Measure::Wall { samples } => {
+                            if run_tuned(&schedule, &cfg, ws, pool).is_err() {
+                                continue;
+                            }
+                            time_best(samples.max(1), || {
+                                run_tuned(&schedule, &cfg, ws, pool).expect("timed refine run");
+                            })
+                        }
+                    };
+                    refined += 1;
+                    if secs < base_best && best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
+                        best = Some((schedule, cfg, secs));
+                        improved = true;
+                    }
+                }
+            }
+            if !improved {
+                break 'rounds;
+            }
+        }
+    }
+
     let (schedule, config, seconds) = match best {
         Some(b) => b,
         None => {
@@ -283,9 +396,20 @@ pub fn autotune_nests(
         cache_hit: false,
         candidates,
         timed,
+        refined,
         predictions: ranked,
     };
     Ok((schedule, report))
+}
+
+/// Natively prepare a JIT candidate's schedule (registry → artifact
+/// cache → out-of-process build). Non-JIT candidates trivially succeed;
+/// a JIT candidate that cannot be prepared reports `false` so the tuner
+/// skips it instead of timing a silent rows fallback.
+fn prepare_if_jit(schedule: &Schedule, cfg: &TunedConfig, bind: &Binding) -> bool {
+    cfg.lowering != Lowering::Jit
+        || perforad_jit::prepare_schedule(schedule, bind, &perforad_jit::JitOptions::default())
+            .is_ok()
 }
 
 /// Tune a full adjoint (extent-checks like `compile_schedule`, honours
@@ -359,12 +483,18 @@ fn finish_cached(
         padded,
         &SchedOptions::from_tuned(&hit.config),
     )?;
+    // A cached JIT winner still needs its native module in this process;
+    // the artifact cache makes this a dlopen, not a compile. Best effort
+    // — on failure execution falls back to the bitwise-identical rows
+    // lowering.
+    let _ = prepare_if_jit(&schedule, &hit.config, bind);
     let report = TuneReport {
         config: hit.config,
         seconds: hit.seconds,
         cache_hit: true,
         candidates: 0,
         timed: 0,
+        refined: 0,
         predictions: Vec::new(),
     };
     Ok((schedule, report))
@@ -389,7 +519,12 @@ fn shape_of(
         },
         barriers: if cfg.fuse { 1 } else { nest_count },
         tiles,
-        rows: cfg.lowering == perforad_exec::Lowering::Rows,
+        rows: cfg.lowering == Lowering::Rows,
+        jit: cfg.lowering == Lowering::Jit,
+        // The tuner ranks JIT candidates warm: its own prepare step pays
+        // any compile exactly once per fingerprint (persistent artifact
+        // cache), so steady-state ranking must not carry it.
+        jit_cold_groups: 0,
         dynamic: cfg.policy == TilePolicy::Dynamic,
     }
 }
@@ -570,6 +705,92 @@ mod tests {
         assert_eq!(schedule.tile, cfg.tile);
         assert_eq!(schedule.source.len(), 5, "source nests are retained");
         run_tuned(&schedule, &cfg, &mut ws, &pool).unwrap();
+    }
+
+    #[test]
+    fn refinement_walks_tile_neighbours_and_never_worsens_the_winner() {
+        let adj = adjoint();
+        let pool = ThreadPool::new(2);
+        let run = |rounds: usize| {
+            let (mut ws, bind) = setup(300);
+            let opts = TuneOptions::default()
+                .without_cache()
+                .with_top_k(2)
+                .with_jit(false)
+                .with_refine_rounds(rounds)
+                .with_measure(Measure::Synthetic { seed: 11 });
+            autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts)
+                .unwrap()
+                .1
+        };
+        let none = run(0);
+        assert_eq!(none.refined, 0);
+        let one = run(1);
+        // Rank-1 winner has two tile neighbours (double, halve).
+        assert!(one.refined >= 2, "refined {}", one.refined);
+        // The refined winner can only be at least as good (synthetic
+        // times are deterministic, so this is exact).
+        assert!(one.seconds <= none.seconds);
+        // Determinism: the same options pick the same refined winner.
+        assert_eq!(run(1).config, one.config);
+        // Model mode never refines.
+        let (mut ws, bind) = setup(300);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_jit(false)
+            .with_measure(Measure::Model);
+        let (_, r) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert_eq!(r.refined, 0);
+    }
+
+    #[test]
+    fn jit_axis_joins_the_space_only_when_available() {
+        let adj = adjoint();
+        let pool = ThreadPool::new(2);
+        let (mut ws, bind) = setup(256);
+        // Explicitly disabled: no Jit candidates regardless of host.
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_jit(false)
+            .with_refine_rounds(0)
+            .with_measure(Measure::Model);
+        let (_, report) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert!(report
+            .predictions
+            .iter()
+            .all(|(c, _)| c.lowering != Lowering::Jit));
+        // Enabled: candidates appear exactly when the host can build.
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_refine_rounds(0)
+            .with_measure(Measure::Model);
+        let (mut ws, _) = setup(256);
+        let (_, report) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        let has_jit = report
+            .predictions
+            .iter()
+            .any(|(c, _)| c.lowering == Lowering::Jit);
+        assert_eq!(has_jit, perforad_jit::available());
+        if has_jit {
+            // The model must rank warm JIT ahead of the interpreter for
+            // the same knobs.
+            let pick = |l: Lowering| {
+                report
+                    .predictions
+                    .iter()
+                    .find(|(c, _)| {
+                        c.lowering == l
+                            && c.strategy == TunedStrategy::Parallel
+                            && c.fuse
+                            && c.policy == TilePolicy::Dynamic
+                            && c.tile == report.predictions[0].0.tile
+                    })
+                    .map(|(_, p)| *p)
+            };
+            if let (Some(j), Some(i)) = (pick(Lowering::Jit), (pick(Lowering::PerPoint))) {
+                assert!(j < i, "jit {j} must outrank interpreter {i}");
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`core`] — the loop-nest IR and the adjoint stencil transformation;
 //! * [`codegen`] — C/Rust back-ends and a DSL front-end;
 //! * [`exec`] — grids, thread pool, atomic-f64 baseline, bytecode VM;
+//! * [`jit`] — run-time native lowering: fused groups compiled by
+//!   `rustc` into `dlopen`-loaded cdylibs;
 //! * [`sched`] — the fusion + tiling execution scheduler;
 //! * [`tune`] — the perf-model-guided autotuner for adjoint schedules;
 //! * [`autodiff`] — tape-based conventional AD (verification baseline);
@@ -114,11 +116,56 @@
 //! run_tuned(&schedule, &cfg, &mut ws, &pool).unwrap();
 //! assert!(ws.grid("u_b").sum() != 0.0);
 //! ```
+//!
+//! ## JIT execution
+//!
+//! The interpreter and the row executor still pay per-op dispatch; the
+//! paper's numbers come from *compiler-optimized* loops. The [`jit`]
+//! subsystem closes that gap at run time: each fusion group of a
+//! compiled schedule is emitted as Rust source (tile-granular,
+//! guard-hoisted `extern "C"` entry points with sizes baked in —
+//! [`codegen::rust::jit_group_module`]), compiled out-of-process by
+//! `rustc` into a `cdylib`, loaded with `dlopen`, and registered as the
+//! third [`exec::Lowering`] tier, `Lowering::Jit`. Artifacts persist in
+//! `PERFORAD_JIT_CACHE` keyed by plan fingerprint × machine signature,
+//! so the compile cost is paid once per fingerprint; without a
+//! toolchain (or before [`jit::prepare_schedule`] runs) Jit execution
+//! falls back to the bitwise-identical row executor. The autotuner
+//! searches the Jit axis automatically whenever the host supports it.
+//!
+//! ```no_run
+//! use perforad::prelude::*;
+//!
+//! let nest = parse_stencil(
+//!     "for i in 1 .. n-1 { r[i] = c[i]*(2.0*u[i-1] - 3.0*u[i] + 4.0*u[i+1]); }",
+//! ).unwrap();
+//! let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+//! let adjoint = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+//!
+//! let mut ws = Workspace::new()
+//!     .with("u", Grid::from_fn(&[257], |ix| ix[0] as f64))
+//!     .with("c", Grid::full(&[257], 0.5))
+//!     .with("r", Grid::zeros(&[257]))
+//!     .with("u_b", Grid::zeros(&[257]))
+//!     .with("r_b", Grid::full(&[257], 1.0));
+//! let bind = Binding::new().size("n", 256);
+//!
+//! // Compile the schedule with the Jit lowering, then make it native.
+//! let schedule =
+//!     compile_schedule(&adjoint, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+//! let report = prepare_schedule(&schedule, &bind, &JitOptions::default()).unwrap();
+//! assert!(report.compiled + report.loaded + report.registered == report.groups);
+//!
+//! let pool = ThreadPool::new(4);
+//! run_schedule(&schedule, &mut ws, &pool).unwrap();   // native tiles
+//! assert!(ws.grid("u_b").sum() != 0.0);
+//! ```
 
 pub use perforad_autodiff as autodiff;
 pub use perforad_codegen as codegen;
 pub use perforad_core as core;
 pub use perforad_exec as exec;
+pub use perforad_jit as jit;
 pub use perforad_pde as pde;
 pub use perforad_perfmodel as perfmodel;
 pub use perforad_sched as sched;
@@ -133,9 +180,11 @@ pub mod prelude {
         StencilSpec,
     };
     pub use perforad_exec::{
-        compile_adjoint, compile_nest, run_parallel, run_parallel_rows, run_scatter_atomic,
-        run_serial, run_serial_rows, Binding, ExecMode, Grid, Lowering, ThreadPool, Workspace,
+        compile_adjoint, compile_nest, run_parallel, run_parallel_jit, run_parallel_rows,
+        run_scatter_atomic, run_serial, run_serial_jit, run_serial_rows, Binding, ExecMode, Grid,
+        Lowering, ThreadPool, Workspace,
     };
+    pub use perforad_jit::{prepare_schedule, JitOptions, JitReport};
     pub use perforad_sched::{
         compile_schedule, run_schedule, run_tuned, SchedOptions, Schedule, TilePolicy, TunedConfig,
         TunedStrategy,

@@ -1,0 +1,484 @@
+//! Property tests for the JIT native lowering: random expression trees
+//! and adjoint decompositions compiled three ways — the stack
+//! interpreter, the register-IR row executor, and `perforad-jit`'s
+//! natively compiled fused groups — must agree **bitwise** across random
+//! shapes, boundary strategies (guards, zero padding), CSE temporaries,
+//! fusion on/off, and parallel execution. A tuner test asserts that a
+//! Jit winner round-trips through the persistent `TunedConfig` cache.
+//!
+//! On toolchain-less runners every test here degrades to a skip with a
+//! printed reason instead of failing — exactly like the runtime, which
+//! falls back to the row executor.
+
+use perforad::exec::{compile_adjoint_opts, run_serial_rows};
+use perforad::jit::{available, prepare_schedule, JitOptions};
+use perforad::prelude::*;
+use perforad::sched::{compile_schedule_nests, run_schedule_serial};
+use perforad::symbolic::{Cond, Rel};
+use perforad::tune::{
+    autotune_nests, cache_key, fingerprint_nests, CacheEntry, Measure, TuneCache, TuneOptions,
+};
+
+mod common;
+use common::Rng;
+
+/// Skip (with a reason) on hosts that can neither build nor load native
+/// code — the `#[ignore]`-with-reason equivalent for a runtime property.
+macro_rules! require_toolchain {
+    () => {
+        if !available() {
+            eprintln!("skipped: no rustc toolchain available for JIT tests");
+            return;
+        }
+    };
+}
+
+fn jit_opts(tag: &str) -> (JitOptions, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!("perforad-jit-it-{tag}-{}", std::process::id()));
+    (JitOptions::default().with_cache_dir(&dir), dir)
+}
+
+/// Random expression tree over the full op vocabulary (mirrors the rows
+/// property suite so all three lowerings face the same trees).
+fn random_expr(rng: &mut Rng, depth: usize, u: &Array, c: &Array, i: &Symbol) -> Expr {
+    if depth == 0 {
+        return match rng.range_i64(0, 4) {
+            0 => u.at(vec![i + rng.range_i64(-2, 2)]),
+            1 => c.at(ix![i]),
+            2 => Expr::int(rng.range_i64(-3, 3)),
+            3 => Expr::sym(i.clone()) * Expr::float(0.125),
+            _ => u.at(ix![i]),
+        };
+    }
+    let a = random_expr(rng, depth - 1, u, c, i);
+    let b = random_expr(rng, depth - 1, u, c, i);
+    match rng.range_i64(0, 9) {
+        0 => a + b,
+        1 => a * b,
+        2 => -a,
+        3 => a.sin(),
+        4 => a.cos(),
+        5 => a.tanh(),
+        6 => a.max(b),
+        7 => a.min(b),
+        8 => Expr::select(Cond::new(a, Rel::Ge, Expr::zero()), b, Expr::float(0.5)),
+        _ => a.abs(),
+    }
+}
+
+fn ws_1d(n: usize, seed_pattern: u64) -> Workspace {
+    Workspace::new()
+        .with(
+            "u",
+            Grid::from_fn(&[n], |ix| ((ix[0] as f64) * 0.61).sin() * 2.0 - 0.3),
+        )
+        .with(
+            "c",
+            Grid::from_fn(&[n], |ix| {
+                0.4 + ((ix[0] as u64 * seed_pattern) % 7) as f64 * 0.1
+            }),
+        )
+        .with("r", Grid::zeros(&[n]))
+}
+
+/// Random trees through the whole op vocabulary: the JIT-compiled
+/// schedule agrees bitwise with interpreter and rows.
+#[test]
+fn random_trees_jit_bitwise_identical() {
+    require_toolchain!();
+    let (opts, dir) = jit_opts("trees");
+    let mut rng = Rng::new(0x51ED_2001);
+    let (u, c) = (Array::new("u"), Array::new("c"));
+    let i = Symbol::new("i");
+    let n_sym = Symbol::new("n");
+    for case in 0..8 {
+        let depth = rng.range_usize(1, 4);
+        let expr = random_expr(&mut rng, depth, &u, &c, &i);
+        let n = rng.range_usize(16, 47);
+        let nest = make_loop_nest(
+            &Array::new("r").at(ix![&i]),
+            expr,
+            vec![i.clone()],
+            vec![(Idx::constant(2), Idx::sym(n_sym.clone()) - 3)],
+        )
+        .expect("generated nest is valid");
+        let bind = Binding::new().size("n", n as i64);
+        let mut ws_ref = ws_1d(n, 3 + case as u64);
+        let plan = compile_nest(&nest, &ws_ref, &bind).unwrap();
+        run_serial(&plan, &mut ws_ref).unwrap();
+        let mut ws_rows = ws_1d(n, 3 + case as u64);
+        run_serial_rows(&plan, &mut ws_rows).unwrap();
+
+        let mut ws_jit = ws_1d(n, 3 + case as u64);
+        let s = compile_schedule_nests(
+            std::slice::from_ref(&nest),
+            &ws_jit,
+            &bind,
+            false,
+            &SchedOptions::default().with_jit(),
+        )
+        .unwrap();
+        let report = prepare_schedule(&s, &bind, &opts).expect("prepare");
+        assert_eq!(report.groups, 1, "case {case}");
+        run_schedule_serial(&s, &mut ws_jit).unwrap();
+        assert_eq!(
+            ws_ref.grid("r").max_abs_diff(ws_jit.grid("r")),
+            0.0,
+            "case {case}, n {n}: jit vs interpreter: {nest}"
+        );
+        assert_eq!(
+            ws_rows.grid("r").max_abs_diff(ws_jit.grid("r")),
+            0.0,
+            "case {case}: jit vs rows"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+fn stencil_1d(offsets: &[i64], coeffs: &[i64], nonlinear: bool) -> LoopNest {
+    let i = Symbol::new("i");
+    let n = Symbol::new("n");
+    let u = Array::new("u");
+    let mut terms = Vec::new();
+    for (&o, &a) in offsets.iter().zip(coeffs) {
+        let mut t = Expr::int(a) * u.at(vec![&i + o]);
+        if nonlinear {
+            t = t * u.at(ix![&i]);
+        }
+        terms.push(t);
+    }
+    let max_o = (*offsets.iter().max().unwrap()).max(0);
+    let min_o = (*offsets.iter().min().unwrap()).min(0);
+    make_loop_nest(
+        &Array::new("r").at(ix![&i]),
+        Expr::add_all(terms),
+        vec![i.clone()],
+        vec![(Idx::constant(-min_o), Idx::sym(n) - 1 - max_o)],
+    )
+    .expect("generated stencil is valid")
+}
+
+/// Every boundary strategy (disjoint fusion groups, hoisted guards, zero
+/// padding), with and without CSE, serial and parallel: the native
+/// lowering agrees bitwise with the interpreter.
+#[test]
+fn adjoint_strategies_jit_bitwise_identical() {
+    require_toolchain!();
+    let (opts, dir) = jit_opts("strategies");
+    let mut rng = Rng::new(0x51ED_2002);
+    let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+    let pool = ThreadPool::new(3);
+    for case in 0..6 {
+        let offsets = rng.offset_set(-3, 3, 4);
+        let coeffs = rng.coeffs(-4, 4, offsets.len());
+        let nonlinear = case % 3 == 0;
+        let n = rng.range_usize(18, 49);
+        let nest = stencil_1d(&offsets, &coeffs, nonlinear);
+        let bind = Binding::new().size("n", n as i64);
+
+        let max_o = (*offsets.iter().max().unwrap()).max(0);
+        let min_o = (*offsets.iter().min().unwrap()).min(0);
+        let (lo, hi) = ((-min_o) as usize, (n as i64 - 1 - max_o) as usize);
+        let build = || {
+            Workspace::new()
+                .with(
+                    "u",
+                    Grid::from_fn(&[n], |ix| ((ix[0] * 5 + 2) % 11) as f64 - 5.0),
+                )
+                .with("r", Grid::zeros(&[n]))
+                .with("u_b", Grid::zeros(&[n]))
+                .with(
+                    "r_b",
+                    Grid::from_fn(&[n], |ix| {
+                        if ix[0] >= lo && ix[0] <= hi {
+                            ((ix[0] * 3) % 5) as f64 - 2.0
+                        } else {
+                            0.0
+                        }
+                    }),
+                )
+        };
+        for strategy in [
+            BoundaryStrategy::Disjoint,
+            BoundaryStrategy::Guarded,
+            BoundaryStrategy::Padded,
+        ] {
+            let adj = nest
+                .adjoint(&act, &AdjointOptions::default().with_strategy(strategy))
+                .unwrap();
+            let cse = case % 2 == 1;
+            let mut ws_ref = build();
+            let plan = compile_adjoint_opts(&adj, &ws_ref, &bind, cse).unwrap();
+            run_serial(&plan, &mut ws_ref).unwrap();
+
+            let padded = strategy == BoundaryStrategy::Padded;
+            let sopts = SchedOptions::default().with_jit().with_cse(cse);
+            let mut ws_jit = build();
+            let s = compile_schedule_nests(&adj.nests, &ws_jit, &bind, padded, &sopts).unwrap();
+            prepare_schedule(&s, &bind, &opts).expect("prepare");
+            run_schedule_serial(&s, &mut ws_jit).unwrap();
+            assert_eq!(
+                ws_ref.grid("u_b").max_abs_diff(ws_jit.grid("u_b")),
+                0.0,
+                "case {case} {strategy:?} cse={cse} serial jit"
+            );
+
+            // Parallel native tiles agree too (disjoint write sets).
+            let mut ws_par = build();
+            run_schedule(&s, &mut ws_par, &pool).unwrap();
+            assert_eq!(
+                ws_ref.grid("u_b").max_abs_diff(ws_par.grid("u_b")),
+                0.0,
+                "case {case} {strategy:?} cse={cse} parallel jit"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// 2-D guarded and padded adjoints: hoisted guard boxes clamp both
+/// dimensions, padded loads zero whole out-of-extent rows.
+#[test]
+fn adjoint_2d_jit_bitwise_identical() {
+    require_toolchain!();
+    let (opts, dir) = jit_opts("twod");
+    let mut rng = Rng::new(0x51ED_2003);
+    let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+    let (i, j) = (Symbol::new("i"), Symbol::new("j"));
+    let n_sym = Symbol::new("n");
+    for case in 0..4 {
+        let u = Array::new("u");
+        let k = rng.range_usize(2, 4);
+        let mut terms = Vec::new();
+        let mut max_o = 0i64;
+        for _ in 0..k {
+            let (oi, oj) = (rng.range_i64(-2, 2), rng.range_i64(-2, 2));
+            max_o = max_o.max(oi.abs()).max(oj.abs());
+            let a = rng.range_i64(-3, 3);
+            terms.push(Expr::int(if a == 0 { 1 } else { a }) * u.at(vec![&i + oi, &j + oj]));
+        }
+        let n = rng.range_usize(12, 25);
+        let b = (Idx::constant(max_o), Idx::sym(n_sym.clone()) - 1 - max_o);
+        let nest = make_loop_nest(
+            &Array::new("r").at(ix![&i, &j]),
+            Expr::add_all(terms),
+            vec![i.clone(), j.clone()],
+            vec![b.clone(), b],
+        )
+        .expect("2-D stencil is valid");
+        let bind = Binding::new().size("n", n as i64);
+        let lo = max_o as usize;
+        let hi = n - 1 - max_o as usize;
+        let build = || {
+            Workspace::new()
+                .with(
+                    "u",
+                    Grid::from_fn(&[n, n], |ix| ((ix[0] * 7 + ix[1] * 3) % 9) as f64 - 4.0),
+                )
+                .with("r", Grid::zeros(&[n, n]))
+                .with("u_b", Grid::zeros(&[n, n]))
+                .with(
+                    "r_b",
+                    Grid::from_fn(&[n, n], |ix| {
+                        let interior = ix.iter().all(|&x| x >= lo && x <= hi);
+                        if interior {
+                            ((ix[0] * 2 + ix[1]) % 5) as f64 - 2.0
+                        } else {
+                            0.0
+                        }
+                    }),
+                )
+        };
+        for strategy in [BoundaryStrategy::Guarded, BoundaryStrategy::Padded] {
+            let adj = nest
+                .adjoint(&act, &AdjointOptions::default().with_strategy(strategy))
+                .unwrap();
+            let mut ws_ref = build();
+            let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+            run_serial(&plan, &mut ws_ref).unwrap();
+
+            let padded = strategy == BoundaryStrategy::Padded;
+            let mut ws_jit = build();
+            let s = compile_schedule_nests(
+                &adj.nests,
+                &ws_jit,
+                &bind,
+                padded,
+                &SchedOptions::default().with_jit().with_tile(&[5, 7]),
+            )
+            .unwrap();
+            prepare_schedule(&s, &bind, &opts).expect("prepare");
+            run_schedule_serial(&s, &mut ws_jit).unwrap();
+            assert_eq!(
+                ws_ref.grid("u_b").max_abs_diff(ws_jit.grid("u_b")),
+                0.0,
+                "case {case} {strategy:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Fusion on and off produce different group decompositions (1 group vs
+/// one per nest) — both compile natively and agree bitwise; an
+/// *unprepared* Jit schedule silently falls back to rows and still
+/// agrees.
+#[test]
+fn fusion_groups_and_fallback_jit_bitwise_identical() {
+    require_toolchain!();
+    let (opts, dir) = jit_opts("fusion");
+    let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+    let i = Symbol::new("i");
+    let n_sym = Symbol::new("n");
+    let (u, c) = (Array::new("u"), Array::new("c"));
+    let nest = make_loop_nest(
+        &Array::new("r").at(ix![&i]),
+        c.at(ix![&i]) * (2.0 * u.at(ix![&i - 1]) - 3.0 * u.at(ix![&i]) + 4.0 * u.at(ix![&i + 1])),
+        vec![i.clone()],
+        vec![(Idx::constant(1), Idx::sym(n_sym) - 1)],
+    )
+    .unwrap();
+    let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+    let n = 193usize;
+    let bind = Binding::new().size("n", n as i64);
+    let build = || {
+        Workspace::new()
+            .with(
+                "u",
+                Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin() + 1.5),
+            )
+            .with("c", Grid::from_fn(&[n + 1], |ix| 0.5 + 0.01 * ix[0] as f64))
+            .with("r", Grid::zeros(&[n + 1]))
+            .with("u_b", Grid::zeros(&[n + 1]))
+            .with("r_b", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).cos()))
+    };
+    let mut ws_ref = build();
+    let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+    run_serial(&plan, &mut ws_ref).unwrap();
+
+    for fuse in [true, false] {
+        let mut ws = build();
+        let sopts = SchedOptions::default().with_jit().with_fuse(fuse);
+        let s = compile_schedule_nests(&adj.nests, &ws, &bind, false, &sopts).unwrap();
+        assert_eq!(s.group_count(), if fuse { 1 } else { 5 });
+        let report = prepare_schedule(&s, &bind, &opts).expect("prepare");
+        assert_eq!(report.groups, s.group_count());
+        run_schedule_serial(&s, &mut ws).unwrap();
+        assert_eq!(
+            ws_ref.grid("u_b").max_abs_diff(ws.grid("u_b")),
+            0.0,
+            "fuse={fuse}"
+        );
+    }
+
+    // Fallback: a Jit schedule for a *different* size was never prepared
+    // in this process — it must run (through rows) and stay bitwise
+    // correct rather than fail.
+    let n2 = 87usize;
+    let bind2 = Binding::new().size("n", n2 as i64);
+    let build2 = || {
+        Workspace::new()
+            .with("u", Grid::from_fn(&[n2 + 1], |ix| (ix[0] as f64).cos()))
+            .with("c", Grid::full(&[n2 + 1], 0.75))
+            .with("r", Grid::zeros(&[n2 + 1]))
+            .with("u_b", Grid::zeros(&[n2 + 1]))
+            .with("r_b", Grid::full(&[n2 + 1], 1.0))
+    };
+    let mut ws_ref2 = build2();
+    let plan2 = compile_adjoint(&adj, &ws_ref2, &bind2).unwrap();
+    run_serial(&plan2, &mut ws_ref2).unwrap();
+    let mut ws2 = build2();
+    let s2 = compile_schedule_nests(
+        &adj.nests,
+        &ws2,
+        &bind2,
+        false,
+        &SchedOptions::default().with_jit(),
+    )
+    .unwrap();
+    // No prepare_schedule on purpose.
+    run_schedule_serial(&s2, &mut ws2).unwrap();
+    assert_eq!(ws_ref2.grid("u_b").max_abs_diff(ws2.grid("u_b")), 0.0);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A Jit winner round-trips through the persistent `TunedConfig` cache:
+/// a fresh tuner (memory layer off) reads the file, re-prepares the
+/// native module, and returns a runnable Jit configuration.
+#[test]
+fn jit_candidate_round_trips_through_tuned_config_cache() {
+    require_toolchain!();
+    let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+    let i = Symbol::new("i");
+    let n_sym = Symbol::new("n");
+    let u = Array::new("u");
+    let nest = make_loop_nest(
+        &Array::new("r").at(ix![&i]),
+        2.0 * u.at(ix![&i - 1]) + 3.0 * u.at(ix![&i + 1]),
+        vec![i.clone()],
+        vec![(Idx::constant(1), Idx::sym(n_sym) - 1)],
+    )
+    .unwrap();
+    let adj = nest.adjoint(&act, &AdjointOptions::default()).unwrap();
+    let n = 257usize;
+    let bind = Binding::new().size("n", n as i64);
+    let mut ws = Workspace::new()
+        .with("u", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin()))
+        .with("r", Grid::zeros(&[n + 1]))
+        .with("u_b", Grid::zeros(&[n + 1]))
+        .with("r_b", Grid::full(&[n + 1], 1.0));
+    let pool = ThreadPool::new(2);
+
+    // Seed the file cache with a Jit winner under the real key.
+    let cache_path = std::env::temp_dir().join(format!(
+        "perforad_jit_tuned_cache_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&cache_path);
+    let key = cache_key(fingerprint_nests(&adj.nests, false, &bind), pool.size());
+    let jit_config = TunedConfig {
+        lowering: Lowering::Jit,
+        threads: pool.size(),
+        tile: vec![1 << 12],
+        ..TunedConfig::default()
+    };
+    let mut file = TuneCache::new();
+    file.insert(
+        &key,
+        CacheEntry {
+            config: jit_config.clone(),
+            seconds: 1e-4,
+        },
+    );
+    file.save(&cache_path).unwrap();
+
+    // A fresh tuner instance must hit the file, hand back the Jit
+    // config, and (via its prepare step) make it natively runnable.
+    let mut topts = TuneOptions::default()
+        .with_cache_path(&cache_path)
+        .with_measure(Measure::Wall { samples: 1 });
+    topts.memory_cache = false;
+    let (schedule, report) =
+        autotune_nests(&adj.nests, &mut ws, &bind, false, &pool, &topts).expect("cached tune");
+    assert!(report.cache_hit, "file cache must hit");
+    assert_eq!(report.config, jit_config);
+    assert_eq!(report.config.lowering, Lowering::Jit);
+    assert_eq!(schedule.lowering, Lowering::Jit);
+
+    // And the result is bitwise-correct against the serial interpreter.
+    let mut ws_ref = Workspace::new()
+        .with("u", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin()))
+        .with("r", Grid::zeros(&[n + 1]))
+        .with("u_b", Grid::zeros(&[n + 1]))
+        .with("r_b", Grid::full(&[n + 1], 1.0));
+    let plan = compile_adjoint(&adj, &ws_ref, &bind).unwrap();
+    run_serial(&plan, &mut ws_ref).unwrap();
+    let mut ws_run = Workspace::new()
+        .with("u", Grid::from_fn(&[n + 1], |ix| (ix[0] as f64).sin()))
+        .with("r", Grid::zeros(&[n + 1]))
+        .with("u_b", Grid::zeros(&[n + 1]))
+        .with("r_b", Grid::full(&[n + 1], 1.0));
+    run_tuned(&schedule, &report.config, &mut ws_run, &pool).unwrap();
+    assert_eq!(ws_ref.grid("u_b").max_abs_diff(ws_run.grid("u_b")), 0.0);
+    let _ = std::fs::remove_file(&cache_path);
+}
