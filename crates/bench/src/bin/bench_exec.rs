@@ -20,19 +20,30 @@
 //! faster than a floor (µs-scale smoke runs) are exempt — they are
 //! timing noise, not signal.
 //!
+//! A `seismic_long` case rides along: a checkpointed time loop ≥4× the
+//! example sweep, timing the dense `gradient_store_all` against the
+//! bounded-memory `gradient_checkpointed` and reporting the
+//! checkpointing profile (`peak_mem_bytes`, `recompute_ratio`,
+//! `ckpt_budget`) in the JSON. Its gate reference is its own
+//! `storeall_gradient` series.
+//!
 //! Knobs: `PERFORAD_N` (wave grid edge, default 48), `PERFORAD_N_BURGERS`
-//! (cells, default 2^18), `PERFORAD_SAMPLES` (best-of reps, default 5),
-//! `PERFORAD_THREADS` (pool size), `PERFORAD_BENCH_JSON` (output path,
-//! default `BENCH_exec.json`), `PERFORAD_BENCH_BASELINE` (baseline path,
-//! default `BENCH_baseline.json`; missing file skips the gate),
-//! `PERFORAD_BENCH_GATE_TOL` (allowed relative regression, default 0.25),
-//! `PERFORAD_BENCH_GATE_FLOOR_US` (min gated series time, default 100).
-//! The jit series additionally honours `PERFORAD_JIT_CACHE` (artifact
-//! directory) and `PERFORAD_JIT_RUSTC` (toolchain override).
+//! (cells, default 2^18), `PERFORAD_SEISMIC_N` / `PERFORAD_SEISMIC_STEPS`
+//! (seismic sweep, default 20 / 48), `PERFORAD_SAMPLES` (best-of reps,
+//! default 5), `PERFORAD_THREADS` (pool size), `PERFORAD_BENCH_JSON`
+//! (output path, default `BENCH_exec.json`), `PERFORAD_BENCH_BASELINE`
+//! (baseline path, default `BENCH_baseline.json`; missing file skips the
+//! gate), `PERFORAD_BENCH_GATE_TOL` (allowed relative regression, default
+//! 0.25), `PERFORAD_BENCH_GATE_FLOOR_US` (min gated series time, default
+//! 100). The jit series additionally honours `PERFORAD_JIT_CACHE`
+//! (artifact directory) and `PERFORAD_JIT_RUSTC` (toolchain override).
 
 use perforad_bench::{env_size, json_escape, time_best, Case};
-use perforad_exec::{run_parallel, run_parallel_rows, run_serial, run_serial_rows, ThreadPool};
+use perforad_exec::{
+    run_parallel, run_parallel_rows, run_serial, run_serial_rows, Grid, ThreadPool,
+};
 use perforad_jit::{prepare_schedule, JitOptions};
+use perforad_pde::seismic::{gradient_checkpointed, gradient_store_all, ricker, SeismicConfig};
 use perforad_sched::{compile_schedule, run_schedule, run_tuned, SchedOptions};
 use perforad_tune::json::{self, Value};
 use perforad_tune::{autotune_adjoint, Measure, TuneOptions};
@@ -147,6 +158,64 @@ fn measure(mut case: Case, pool: &ThreadPool, reps: usize) -> Measured {
     }
 }
 
+/// The checkpointed seismic time loop, ≥4× the example's sweep length:
+/// dense store-all gradient vs the bounded-memory checkpointed gradient
+/// (tuner-chosen snapshot budget, persisted via the tuning cache like
+/// every other tuned series).
+struct SeismicMeasured {
+    n: usize,
+    steps: usize,
+    storeall_s: f64,
+    checkpointed_s: f64,
+    /// Peak bytes of the checkpointed sweep: snapshot-store high-water
+    /// mark plus the fixed working set (rolling adjoint window, stepper
+    /// and adjoint workspaces) — the number the memory budget bounds.
+    peak_mem_bytes: usize,
+    dense_mem_bytes: usize,
+    recompute_ratio: f64,
+    budget: usize,
+}
+
+fn measure_seismic(n: usize, steps: usize, reps: usize) -> SeismicMeasured {
+    let cfg = SeismicConfig { n, steps, d: 0.1 };
+    let src = ricker(steps);
+    let c0 = Grid::from_fn(&[n; 3], |ix| 0.8 + 0.4 * (ix[2] as f64 / n as f64));
+    let data = Grid::from_fn(&[n; 3], |ix| 1e-3 * ((ix[0] + ix[1] + ix[2]) as f64).sin());
+    let mut dense = None;
+    let storeall_s = time_best(reps, || {
+        dense = Some(gradient_store_all(&cfg, &c0, &data, &src));
+    });
+    let mut last = None;
+    let checkpointed_s = time_best(reps, || {
+        last = Some(gradient_checkpointed(&cfg, &c0, &data, &src));
+    });
+    let (j_ck, g_ck, report) = last.expect("checkpointed gradient ran");
+    // The two paths must agree bit for bit — a bench that silently
+    // measured a wrong gradient would be worse than no bench.
+    let (j_ref, g_ref) = dense.expect("store-all gradient ran");
+    assert_eq!(j_ck.to_bits(), j_ref.to_bits(), "misfit drifted");
+    assert!(
+        g_ck.as_slice()
+            .iter()
+            .zip(g_ref.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "checkpointed gradient drifted from store-all"
+    );
+    let grid_bytes = 8 * n * n * n;
+    SeismicMeasured {
+        n,
+        steps,
+        storeall_s,
+        checkpointed_s,
+        // ~15 grids of fixed working set: 3 rolling λ, 2 cursor-state,
+        // 4 stepper-workspace, 6 adjoint-workspace grids.
+        peak_mem_bytes: report.peak_snapshot_bytes + 15 * grid_bytes,
+        dense_mem_bytes: (steps + 1) * grid_bytes * 2, // trajectory + λ vector
+        recompute_ratio: report.recompute_ratio(),
+        budget: report.budget,
+    }
+}
+
 /// `(case, label, seconds)` triples parsed from a bench JSON document.
 fn flatten(doc: &Value) -> Vec<(String, String, f64)> {
     let mut out = Vec::new();
@@ -186,9 +255,16 @@ fn gate(
     tol: f64,
     floor_s: f64,
 ) -> Vec<String> {
-    let reference = "interpreter_serial";
     let mut regressions = Vec::new();
     for (case, label, secs) in current {
+        // Each case normalizes against its own reference series: the
+        // serial interpreter for the kernel cases, the dense store-all
+        // gradient for the seismic time loop.
+        let reference = if lookup(current, case, "interpreter_serial").is_some() {
+            "interpreter_serial"
+        } else {
+            "storeall_gradient"
+        };
         if label == reference {
             continue;
         }
@@ -206,7 +282,7 @@ fn gate(
         let base_norm = base_secs / base_ref;
         if cur_norm > base_norm * (1.0 + tol) {
             regressions.push(format!(
-                "{case}/{label}: {:.3}x of interpreter_serial, baseline {:.3}x \
+                "{case}/{label}: {:.3}x of {reference}, baseline {:.3}x \
                  (+{:.0}% > {:.0}% allowed)",
                 cur_norm,
                 base_norm,
@@ -221,6 +297,9 @@ fn gate(
 fn main() {
     let n = env_size("PERFORAD_N", 48);
     let nb = env_size("PERFORAD_N_BURGERS", 1 << 18);
+    // The seismic time loop: ≥4× the 12-step example sweep by default.
+    let sn = env_size("PERFORAD_SEISMIC_N", 20);
+    let ssteps = env_size("PERFORAD_SEISMIC_STEPS", 48);
     let reps = env_size("PERFORAD_SAMPLES", 5);
     let threads = env_size(
         "PERFORAD_THREADS",
@@ -228,6 +307,17 @@ fn main() {
             .map(|c| c.get())
             .unwrap_or(2),
     );
+    // A bench-scale seismic sweep fits comfortably in host RAM, where
+    // the tuner would (correctly) pick store-all and measure nothing
+    // interesting. Model the memory-constrained regime the subsystem
+    // exists for: allow snapshots a quarter of the dense trajectory, so
+    // the tuner must pick a real checkpoint schedule. An operator-set
+    // `PERFORAD_MEM_BUDGET_BYTES` wins; set here, before any worker
+    // thread exists (setenv after threads spawn is unsound).
+    if std::env::var_os("PERFORAD_MEM_BUDGET_BYTES").is_none() {
+        let dense = (ssteps + 1) * 2 * 8 * sn * sn * sn;
+        std::env::set_var("PERFORAD_MEM_BUDGET_BYTES", (dense / 4).to_string());
+    }
     let pool = ThreadPool::new(threads);
 
     let cases = vec![
@@ -297,9 +387,45 @@ fn main() {
             m.tuned_cache_hit
         ));
     }
+    // The checkpointed seismic time loop (the two gradient paths are
+    // asserted bitwise-identical inside the measurement).
+    let seismic = measure_seismic(sn, ssteps, reps.min(3));
+    println!(
+        "\n## seismic_long gradient ({}³ grid, {} steps, tuned ckpt budget {})",
+        seismic.n, seismic.steps, seismic.budget
+    );
+    println!("{:<24} {:>12.6} s", "storeall_gradient", seismic.storeall_s);
+    println!(
+        "{:<24} {:>12.6} s",
+        "checkpointed_gradient", seismic.checkpointed_s
+    );
+    println!(
+        "checkpointed peak mem: {:.1} MiB vs {:.1} MiB dense ({:.1}x less), \
+         recompute ratio {:.2}",
+        seismic.peak_mem_bytes as f64 / (1 << 20) as f64,
+        seismic.dense_mem_bytes as f64 / (1 << 20) as f64,
+        seismic.dense_mem_bytes as f64 / seismic.peak_mem_bytes as f64,
+        seismic.recompute_ratio
+    );
+    case_json.push(format!(
+        "{{\"name\":\"seismic_long\",\"points\":{},\"series\":[\
+         {{\"label\":\"storeall_gradient\",\"seconds\":{}}},\
+         {{\"label\":\"checkpointed_gradient\",\"seconds\":{}}}],\
+         \"peak_mem_bytes\":{},\"dense_mem_bytes\":{},\
+         \"recompute_ratio\":{},\"ckpt_budget\":{}}}",
+        (seismic.n * seismic.n * seismic.n) as u64 * seismic.steps as u64,
+        seismic.storeall_s,
+        seismic.checkpointed_s,
+        seismic.peak_mem_bytes,
+        seismic.dense_mem_bytes,
+        seismic.recompute_ratio,
+        seismic.budget
+    ));
+
     let payload = format!(
         "{{\"bench\":\"exec_lowering\",\"threads\":{threads},\"samples\":{reps},\
-         \"wave_n\":{n},\"burgers_n\":{nb},\"cases\":[{}]}}",
+         \"wave_n\":{n},\"burgers_n\":{nb},\"seismic_n\":{sn},\"seismic_steps\":{ssteps},\
+         \"cases\":[{}]}}",
         case_json.join(",")
     );
     let path =
@@ -319,7 +445,13 @@ fn main() {
     let current = json::parse(&payload).expect("own payload parses");
     // Normalized ratios only compare within one problem shape: a run at
     // other sizes (or another thread count) measures different physics.
-    for knob in ["wave_n", "burgers_n", "threads"] {
+    for knob in [
+        "wave_n",
+        "burgers_n",
+        "seismic_n",
+        "seismic_steps",
+        "threads",
+    ] {
         let (b, c) = (
             baseline.get(knob).and_then(Value::as_i64),
             current.get(knob).and_then(Value::as_i64),

@@ -1,0 +1,218 @@
+//! The replay driver: executes a [`CheckpointPlan`]'s action stream with
+//! one cursor state, one snapshot store, and the caller's `step`/`back`
+//! closures.
+//!
+//! The driver is deliberately oblivious to what a "state" or a "step"
+//! is: the seismic driver passes a compiled primal plan as `step` and
+//! the tuned fused/JIT adjoint schedule as `back`, so every recomputed
+//! forward segment and every reverse step runs through the same fast
+//! path the store-all sweep would use — checkpointing changes *where
+//! states come from*, never *how steps execute*, which is why the result
+//! is bitwise-identical to store-all.
+
+use crate::error::CkptError;
+use crate::plan::{CheckpointPlan, CkptAction};
+use crate::store::SnapshotStore;
+
+/// What a checkpointed sweep did: the plan's simulated profile made
+/// concrete, plus store accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptReport {
+    /// Sweep length.
+    pub steps: usize,
+    /// Snapshot budget the plan ran under (clamped).
+    pub budget: usize,
+    /// Primal steps re-executed during the reverse phase.
+    pub recomputed_steps: usize,
+    /// Maximum simultaneously live snapshots.
+    pub peak_snapshots: usize,
+    /// High-water mark of snapshot bytes (resident for the memory store,
+    /// spilled for the disk store).
+    pub peak_snapshot_bytes: usize,
+    /// Snapshot store backend ("memory" / "disk").
+    pub store: &'static str,
+}
+
+impl CkptReport {
+    /// Recomputed steps per primal step.
+    pub fn recompute_ratio(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.recomputed_steps as f64 / self.steps as f64
+        }
+    }
+}
+
+/// Run a checkpointed adjoint sweep.
+///
+/// * `step(s, t)` advances from the state at time `t` to time `t+1`;
+/// * `seed(s_T)` is called exactly once with the final state, between
+///   the (streaming) forward pass and the reverse phase — evaluate the
+///   objective and seed the adjoint here;
+/// * `back(s, t)` reverses step `t` given the state *before* it; called
+///   exactly once per `t`, in strictly descending order, so rolling
+///   adjoint buffers work unchanged from a store-all sweep.
+///
+/// The trajectory is never materialized: at most `plan.budget()`
+/// snapshots are live in `store` at any moment, plus the single cursor
+/// state.
+pub fn checkpointed_adjoint_plan<S>(
+    plan: &CheckpointPlan,
+    s0: S,
+    store: &mut impl SnapshotStore<S>,
+    step: &mut impl FnMut(&S, usize) -> S,
+    seed: &mut impl FnMut(&S),
+    back: &mut impl FnMut(&S, usize),
+) -> Result<CkptReport, CkptError> {
+    let mut cursor = s0;
+    let mut recomputed = 0usize;
+    let mut peak_live = 0usize;
+    for act in plan.actions() {
+        match act {
+            CkptAction::Advance {
+                from,
+                to,
+                recompute,
+            } => {
+                for t in from..to {
+                    cursor = step(&cursor, t);
+                }
+                if recompute {
+                    recomputed += to - from;
+                }
+            }
+            CkptAction::Save { t } => {
+                store.save(t, &cursor)?;
+                peak_live = peak_live.max(store.live());
+            }
+            CkptAction::Load { t } => cursor = store.load(t)?,
+            CkptAction::Free { t } => store.free(t)?,
+            CkptAction::Seed => seed(&cursor),
+            CkptAction::Back { t } => back(&cursor, t),
+        }
+    }
+    Ok(CkptReport {
+        steps: plan.steps(),
+        budget: plan.budget(),
+        recomputed_steps: recomputed,
+        peak_snapshots: peak_live,
+        peak_snapshot_bytes: store.peak_bytes(),
+        store: store.label(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{DiskStore, MemStore};
+
+    /// The toy nonlinear recurrence from `perforad_pde::checkpoint`:
+    /// x_{t+1} = x_t + dt·x_t², J = x_T, λ_t = λ_{t+1}(1 + 2·dt·x_t).
+    fn step(x: &f64, _t: usize) -> f64 {
+        x + 0.01 * x * x
+    }
+
+    fn store_all_reference(x0: f64, steps: usize) -> (f64, f64) {
+        let mut traj = vec![x0];
+        for t in 0..steps {
+            traj.push(step(&traj[t], t));
+        }
+        let mut lambda = 1.0;
+        for t in (0..steps).rev() {
+            lambda *= 1.0 + 0.02 * traj[t];
+        }
+        (traj[steps], lambda)
+    }
+
+    fn run_with(
+        store: &mut impl SnapshotStore<f64>,
+        steps: usize,
+        budget: usize,
+    ) -> (f64, f64, CkptReport) {
+        let plan = CheckpointPlan::with_budget(steps, budget);
+        let (mut xt, mut lambda) = (f64::NAN, 1.0);
+        let report = checkpointed_adjoint_plan(
+            &plan,
+            0.8f64,
+            store,
+            &mut |x, t| step(x, t),
+            &mut |x| xt = *x,
+            &mut |x, _t| lambda *= 1.0 + 0.02 * x,
+        )
+        .unwrap();
+        (xt, lambda, report)
+    }
+
+    #[test]
+    fn matches_store_all_bitwise_across_budgets_and_backends() {
+        let dir = std::env::temp_dir().join(format!("perforad_drv_test_{}", std::process::id()));
+        for steps in [0usize, 1, 2, 3, 7, 16, 33, 100] {
+            let (x_ref, l_ref) = store_all_reference(0.8, steps);
+            for budget in [1usize, 2, 3, 6, steps.max(1), steps + 5] {
+                let (x, l, rep) = run_with(&mut MemStore::new(), steps, budget);
+                assert_eq!(
+                    x.to_bits(),
+                    x_ref.to_bits(),
+                    "steps {steps} budget {budget}"
+                );
+                assert_eq!(
+                    l.to_bits(),
+                    l_ref.to_bits(),
+                    "steps {steps} budget {budget}"
+                );
+                assert!(rep.peak_snapshots <= rep.budget);
+                assert_eq!(rep.store, "memory");
+
+                let (x, l, rep) = run_with(&mut DiskStore::new(&dir).unwrap(), steps, budget);
+                assert_eq!(x.to_bits(), x_ref.to_bits(), "disk steps {steps}");
+                assert_eq!(l.to_bits(), l_ref.to_bits(), "disk steps {steps}");
+                assert_eq!(rep.store, "disk");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_matches_the_plan_simulation() {
+        for (steps, budget) in [(50usize, 4usize), (64, 8), (100, 1), (12, 20)] {
+            let plan = CheckpointPlan::with_budget(steps, budget);
+            let stats = plan.stats();
+            let (_, _, rep) = run_with(&mut MemStore::new(), steps, budget);
+            assert_eq!(rep.recomputed_steps, stats.recomputed_steps);
+            assert_eq!(rep.peak_snapshots, stats.peak_snapshots);
+            assert_eq!(rep.recompute_ratio(), stats.recompute_ratio(steps));
+            // 8 bytes per f64 snapshot.
+            assert_eq!(rep.peak_snapshot_bytes, 8 * stats.peak_snapshots);
+        }
+    }
+
+    #[test]
+    fn zero_steps_seeds_without_stepping_or_backing() {
+        let plan = CheckpointPlan::with_budget(0, 3);
+        let mut seeded = 0;
+        let rep = checkpointed_adjoint_plan(
+            &plan,
+            1.5f64,
+            &mut MemStore::new(),
+            &mut |_, _| panic!("no steps to take"),
+            &mut |x| {
+                assert_eq!(*x, 1.5);
+                seeded += 1;
+            },
+            &mut |_, _| panic!("no steps to reverse"),
+        )
+        .unwrap();
+        assert_eq!(seeded, 1);
+        assert_eq!(rep.recomputed_steps, 0);
+        assert_eq!(rep.peak_snapshots, 0);
+        assert_eq!(rep.recompute_ratio(), 0.0);
+    }
+
+    #[test]
+    fn budget_at_least_steps_never_recomputes() {
+        let (_, _, rep) = run_with(&mut MemStore::new(), 40, 64);
+        assert_eq!(rep.recomputed_steps, 0);
+        assert_eq!(rep.budget, 40, "budget clamps to steps");
+    }
+}

@@ -1,0 +1,33 @@
+//! Checkpointing errors.
+
+use std::fmt;
+
+/// Why a checkpointed sweep failed.
+///
+/// Schedule construction itself never fails (budgets are clamped into
+/// range); errors come from the snapshot store — an unwritable spill
+/// directory, a truncated snapshot file — or from a driver invariant
+/// violation, which indicates a bug in the schedule, not in the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The snapshot store could not save or restore a state.
+    Store(String),
+    /// A serialized snapshot did not round-trip (truncated file, wrong
+    /// extents, version skew).
+    Corrupt(String),
+    /// The action stream referenced a snapshot that is not live — a
+    /// schedule-construction bug, never a caller error.
+    Protocol(String),
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Store(m) => write!(f, "snapshot store: {m}"),
+            CkptError::Corrupt(m) => write!(f, "corrupt snapshot: {m}"),
+            CkptError::Protocol(m) => write!(f, "checkpoint protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}

@@ -1,0 +1,43 @@
+//! # perforad-ckpt
+//!
+//! Memory-budgeted checkpointing for adjoint time loops — the layer
+//! between a PDE time integrator and the scheduled adjoint executor.
+//!
+//! Reverse sweeps over `T` steps need the primal trajectory; storing it
+//! densely caps `T` at whatever RAM allows. Checkpointing trades
+//! recomputation for memory: keep a *budget* of snapshots, replay
+//! forward segments from them, and reverse each segment with the same
+//! fast (fused/JIT, autotuned) schedule the store-all sweep would use.
+//! Hascoët & Araya-Polo frame checkpoint placement as a schedule to be
+//! chosen per memory budget rather than a fixed recipe; this crate makes
+//! that choice explicit and machine-optimizable:
+//!
+//! * [`CheckpointPlan`] — binomial (treeverse/revolve) placement for a
+//!   given `(steps, budget)` pair, degenerating to store-all when the
+//!   budget covers the sweep and to recompute-from-start at budget 1.
+//!   Plans compile to a stream of [`CkptAction`]s and can be *simulated*
+//!   ([`CheckpointPlan::stats`]) without running anything — which is how
+//!   the autotuner prices a budget before committing to it.
+//! * [`Snapshot`] / [`SnapshotStore`] — where states live:
+//!   [`MemStore`] (clones in RAM) or [`DiskStore`] (bitwise-exact spill
+//!   files, conventionally under `$PERFORAD_CKPT_DIR`).
+//! * [`checkpointed_adjoint_plan`] — the replay driver: streaming
+//!   forward pass (the right-most checkpoint chain is deposited on the
+//!   way to the objective, not replayed), a single `seed` call with the
+//!   final state, then the reverse phase, calling `back` for
+//!   `t = T−1 .. 0` exactly once each in descending order.
+//!
+//! Every backend round-trips `f64` bit patterns exactly, so a
+//! checkpointed gradient is **bitwise-identical** to its store-all
+//! reference — the property the `tests/checkpoint.rs` suite pins down
+//! across random step counts, budgets, and backends.
+
+mod driver;
+mod error;
+mod plan;
+mod store;
+
+pub use driver::{checkpointed_adjoint_plan, CkptReport};
+pub use error::CkptError;
+pub use plan::{CheckpointPlan, CkptAction, PlanStats};
+pub use store::{DiskStore, MemStore, Snapshot, SnapshotStore, CKPT_DIR_ENV};

@@ -1,0 +1,453 @@
+//! Checkpoint placement: the binomial (treeverse/revolve) schedule.
+//!
+//! A [`CheckpointPlan`] fixes two numbers — the sweep length `steps` and
+//! the snapshot `budget` (maximum simultaneously live snapshots) — and
+//! from them derives a deterministic stream of [`CkptAction`]s that a
+//! driver executes with one cursor state and one snapshot store. The
+//! placement follows Griewank's binomial rule: with `c` snapshots and
+//! repetition number `r`, sweeps up to `C(c+r, c)` steps are reversible,
+//! and the split point of a segment of length `l` advances
+//! `l − C(c+r−1, c−1)` steps (clamped into range) before saving. At exact
+//! binomial lengths this is the provably optimal revolve schedule; in
+//! between it stays within the same repetition number. The two budget
+//! extremes degenerate exactly as they should: `budget ≥ steps` is
+//! store-all (zero recomputation) and `budget = 1` is recompute-from-
+//! the-start (quadratic recomputation, constant memory).
+//!
+//! The first forward pass is *streaming*: the driver has to advance to
+//! the final state anyway (the objective needs it), so the schedule
+//! deposits the right-most checkpoint chain during that pass instead of
+//! replaying it — the recomputation the stats report is pure reverse-
+//! sweep overhead on top of one primal and one adjoint sweep.
+
+/// One primitive of a checkpointed reverse sweep, interpreted by
+/// [`checkpointed_adjoint_plan`](crate::checkpointed_adjoint_plan) (or by
+/// the stats simulator, which walks the same stream without any state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CkptAction {
+    /// Advance the cursor from the state at time `from` to the state at
+    /// time `to` by calling `step` for `t = from .. to`. `recompute` is
+    /// false only for the initial streaming pass (work the objective
+    /// evaluation pays anyway).
+    Advance {
+        from: usize,
+        to: usize,
+        recompute: bool,
+    },
+    /// Save the cursor (the state at time `t`) into the snapshot store.
+    Save { t: usize },
+    /// Replace the cursor with the stored state at time `t`.
+    Load { t: usize },
+    /// Drop the stored state at time `t`.
+    Free { t: usize },
+    /// The cursor holds the final state `s_T`; the driver hands it to the
+    /// caller's `seed` closure (misfit + adjoint seeding) exactly once,
+    /// between the forward and reverse phases.
+    Seed,
+    /// Reverse step `t`: the cursor holds the state *before* step `t`.
+    /// Emitted exactly once per `t`, in strictly descending order.
+    Back { t: usize },
+}
+
+/// Memory/recompute profile of a plan, simulated from its action stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanStats {
+    /// Primal steps re-executed during the reverse phase (on top of the
+    /// single streaming forward pass).
+    pub recomputed_steps: usize,
+    /// Maximum simultaneously live snapshots (≤ budget).
+    pub peak_snapshots: usize,
+    /// Total snapshot save events.
+    pub saves: usize,
+    /// Total snapshot load events.
+    pub loads: usize,
+}
+
+impl PlanStats {
+    /// Recomputed steps per primal step — 0.0 for store-all, `(T−1)/2`
+    /// for budget 1.
+    pub fn recompute_ratio(&self, steps: usize) -> f64 {
+        if steps == 0 {
+            0.0
+        } else {
+            self.recomputed_steps as f64 / steps as f64
+        }
+    }
+}
+
+/// Saturating binomial coefficient `C(n, k)` — the schedule only ever
+/// compares it against sweep lengths, so saturation is harmless.
+pub(crate) fn binom(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i + 1) as u128;
+        if acc > usize::MAX as u128 {
+            return usize::MAX;
+        }
+    }
+    acc as usize
+}
+
+/// Minimal repetition number `r ≥ 1` with `C(c + r, c) ≥ len`.
+fn repetition(len: usize, c: usize) -> usize {
+    let mut r = 1;
+    while binom(c + r, c) < len {
+        r += 1;
+    }
+    r
+}
+
+/// Binomial split: how far to advance from the left edge of a segment of
+/// `len` steps before saving, given `avail ≥ 1` snapshot slots still free.
+/// Clamped to `[1, len − 1]`; exactly the revolve split at binomial
+/// lengths.
+fn advance_by(len: usize, avail: usize) -> usize {
+    debug_assert!(len >= 2 && avail >= 1);
+    let r = repetition(len, avail);
+    len.saturating_sub(binom(avail + r - 1, avail - 1))
+        .clamp(1, len - 1)
+}
+
+/// A memory-budgeted checkpoint schedule for a `steps`-long time loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPlan {
+    steps: usize,
+    budget: usize,
+}
+
+impl CheckpointPlan {
+    /// Budgeted plan: at most `budget` snapshots live at once. The budget
+    /// is clamped into `[1, max(steps, 1)]` — zero-budget reversal is
+    /// impossible (the initial state must be storable) and more than
+    /// `steps` snapshots can never be used.
+    pub fn with_budget(steps: usize, budget: usize) -> Self {
+        CheckpointPlan {
+            steps,
+            budget: budget.clamp(1, steps.max(1)),
+        }
+    }
+
+    /// The zero-recompute plan: one snapshot per step.
+    pub fn store_all(steps: usize) -> Self {
+        Self::with_budget(steps, steps.max(1))
+    }
+
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The clamped snapshot budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Live-snapshot memory ceiling for a given per-snapshot size.
+    pub fn mem_bytes(&self, state_bytes: usize) -> usize {
+        self.budget.saturating_mul(state_bytes)
+    }
+
+    /// The full action stream: streaming forward pass (depositing the
+    /// right-most checkpoint chain), `Seed`, then the recursive reverse
+    /// phase. `steps == 0` degenerates to `[Seed]`.
+    pub fn actions(&self) -> Vec<CkptAction> {
+        let mut acts = Vec::new();
+        if self.steps == 0 {
+            acts.push(CkptAction::Seed);
+            return acts;
+        }
+        // Forward phase: advance to T, saving the chain of right-most
+        // checkpoints the reverse recursion will want first.
+        acts.push(CkptAction::Save { t: 0 });
+        let (mut lo, hi) = (0usize, self.steps);
+        let mut avail = self.budget - 1;
+        // Left segments to reverse after the one containing T, outermost
+        // first: (lo, mid, slots available when its turn comes).
+        let mut segs: Vec<(usize, usize, usize)> = Vec::new();
+        while hi - lo > 1 && avail > 0 {
+            let m = advance_by(hi - lo, avail);
+            acts.push(CkptAction::Advance {
+                from: lo,
+                to: lo + m,
+                recompute: false,
+            });
+            acts.push(CkptAction::Save { t: lo + m });
+            segs.push((lo, lo + m, avail));
+            lo += m;
+            avail -= 1;
+        }
+        if hi > lo {
+            acts.push(CkptAction::Advance {
+                from: lo,
+                to: hi,
+                recompute: false,
+            });
+        }
+        acts.push(CkptAction::Seed);
+        // Reverse phase: the terminal segment first, then the stored left
+        // segments inside-out, each freeing the snapshot that anchored
+        // the segment to its right.
+        self.reverse_segment(&mut acts, lo, hi, avail);
+        for &(slo, smid, savail) in segs.iter().rev() {
+            acts.push(CkptAction::Free { t: smid });
+            self.reverse_segment(&mut acts, slo, smid, savail);
+        }
+        acts.push(CkptAction::Free { t: 0 });
+        acts
+    }
+
+    /// Reverse `[lo, hi)` given a live snapshot at `lo` and `avail` free
+    /// slots: the classic treeverse recursion.
+    fn reverse_segment(&self, acts: &mut Vec<CkptAction>, lo: usize, hi: usize, avail: usize) {
+        if hi == lo {
+            return;
+        }
+        if hi - lo == 1 {
+            acts.push(CkptAction::Load { t: lo });
+            acts.push(CkptAction::Back { t: lo });
+            return;
+        }
+        if avail == 0 {
+            // No slots left: recompute each state from `lo`. Quadratic in
+            // the segment length — exactly the budget-1 degenerate case.
+            for t in (lo..hi).rev() {
+                acts.push(CkptAction::Load { t: lo });
+                if t > lo {
+                    acts.push(CkptAction::Advance {
+                        from: lo,
+                        to: t,
+                        recompute: true,
+                    });
+                }
+                acts.push(CkptAction::Back { t });
+            }
+            return;
+        }
+        let m = advance_by(hi - lo, avail);
+        acts.push(CkptAction::Load { t: lo });
+        acts.push(CkptAction::Advance {
+            from: lo,
+            to: lo + m,
+            recompute: true,
+        });
+        acts.push(CkptAction::Save { t: lo + m });
+        self.reverse_segment(acts, lo + m, hi, avail - 1);
+        acts.push(CkptAction::Free { t: lo + m });
+        self.reverse_segment(acts, lo, lo + m, avail);
+    }
+
+    /// Simulate the action stream without any state: recompute count,
+    /// peak snapshot liveness, store traffic.
+    pub fn stats(&self) -> PlanStats {
+        let mut stats = PlanStats::default();
+        let mut live = 0usize;
+        for act in self.actions() {
+            match act {
+                CkptAction::Advance {
+                    from,
+                    to,
+                    recompute,
+                } => {
+                    if recompute {
+                        stats.recomputed_steps += to - from;
+                    }
+                }
+                CkptAction::Save { .. } => {
+                    stats.saves += 1;
+                    live += 1;
+                    stats.peak_snapshots = stats.peak_snapshots.max(live);
+                }
+                CkptAction::Free { .. } => live -= 1,
+                CkptAction::Load { .. } => stats.loads += 1,
+                CkptAction::Seed | CkptAction::Back { .. } => {}
+            }
+        }
+        stats
+    }
+
+    /// Recomputed steps per primal step under this plan.
+    pub fn recompute_ratio(&self) -> f64 {
+        self.stats().recompute_ratio(self.steps)
+    }
+
+    /// The [`perforad_perfmodel::CheckpointShape`] this plan presents to
+    /// the analytic model, for a given per-snapshot byte size.
+    pub fn shape(&self, state_bytes: usize) -> perforad_perfmodel::CheckpointShape {
+        let stats = self.stats();
+        perforad_perfmodel::CheckpointShape {
+            steps: self.steps,
+            budget: self.budget,
+            state_bytes,
+            recompute_ratio: stats.recompute_ratio(self.steps),
+            saves: stats.saves,
+            loads: stats.loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    /// Walk an action stream asserting every structural invariant: loads
+    /// and frees only touch live snapshots, the cursor is positioned
+    /// correctly for every advance and back, backs are exactly `T-1..0`,
+    /// liveness never exceeds the budget, and seed happens exactly once
+    /// with the cursor at `T`.
+    fn validate(plan: &CheckpointPlan) -> PlanStats {
+        let steps = plan.steps();
+        let mut live: BTreeSet<usize> = BTreeSet::new();
+        let mut peak = 0usize;
+        let mut cursor: Option<usize> = Some(0); // time index the cursor holds
+        let mut backs = Vec::new();
+        let mut seeded = false;
+        for act in plan.actions() {
+            match act {
+                CkptAction::Advance {
+                    from,
+                    to,
+                    recompute: _,
+                } => {
+                    assert_eq!(cursor, Some(from), "advance from a mispositioned cursor");
+                    assert!(from < to && to <= steps);
+                    cursor = Some(to);
+                }
+                CkptAction::Save { t } => {
+                    assert_eq!(cursor, Some(t), "save of a state the cursor does not hold");
+                    assert!(live.insert(t), "double save at {t}");
+                    peak = peak.max(live.len());
+                }
+                CkptAction::Load { t } => {
+                    assert!(live.contains(&t), "load of dead snapshot {t}");
+                    cursor = Some(t);
+                }
+                CkptAction::Free { t } => {
+                    assert!(live.remove(&t), "free of dead snapshot {t}");
+                }
+                CkptAction::Seed => {
+                    assert!(!seeded, "seed emitted twice");
+                    assert_eq!(cursor, Some(steps), "seed away from the final state");
+                    seeded = true;
+                }
+                CkptAction::Back { t } => {
+                    assert!(seeded, "back before seed");
+                    assert_eq!(cursor, Some(t), "back at a mispositioned cursor");
+                    backs.push(t);
+                }
+            }
+        }
+        assert!(seeded);
+        assert!(live.is_empty(), "snapshots leaked: {live:?}");
+        assert_eq!(
+            backs,
+            (0..steps).rev().collect::<Vec<_>>(),
+            "backs must be T-1..0 exactly once each"
+        );
+        let stats = plan.stats();
+        assert_eq!(stats.peak_snapshots, peak);
+        assert!(peak <= plan.budget(), "budget exceeded: {peak}");
+        stats
+    }
+
+    #[test]
+    fn every_plan_is_structurally_valid() {
+        for steps in [0usize, 1, 2, 3, 5, 7, 8, 16, 17, 33, 100, 255] {
+            for budget in [1usize, 2, 3, 5, 8, 1000] {
+                validate(&CheckpointPlan::with_budget(steps, budget));
+            }
+        }
+    }
+
+    #[test]
+    fn store_all_never_recomputes() {
+        for steps in [1usize, 2, 9, 64, 100] {
+            let plan = CheckpointPlan::store_all(steps);
+            let stats = validate(&plan);
+            assert_eq!(stats.recomputed_steps, 0, "steps {steps}");
+            assert_eq!(plan.recompute_ratio(), 0.0);
+        }
+        // Any budget ≥ steps behaves identically.
+        let stats = CheckpointPlan::with_budget(10, 99).stats();
+        assert_eq!(stats.recomputed_steps, 0);
+    }
+
+    #[test]
+    fn budget_one_is_quadratic_and_constant_memory() {
+        for steps in [1usize, 2, 7, 20] {
+            let plan = CheckpointPlan::with_budget(steps, 1);
+            let stats = validate(&plan);
+            assert_eq!(stats.peak_snapshots, 1);
+            // The terminal segment is the whole sweep: T(T-1)/2 recompute.
+            assert_eq!(stats.recomputed_steps, steps * (steps - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn binomial_lengths_meet_the_revolve_bound() {
+        // With c snapshots and repetition r, revolve reverses
+        // l = C(c+r, c) steps recomputing at most r·l − l steps beyond
+        // the streaming forward pass (r·l total primal executions,
+        // one of which the objective pays).
+        for (c, r) in [(2usize, 2usize), (2, 3), (3, 2), (3, 3), (4, 2), (5, 3)] {
+            let l = binom(c + r, c);
+            let plan = CheckpointPlan::with_budget(l, c + 1);
+            let stats = validate(&plan);
+            assert!(
+                stats.recomputed_steps <= (r - 1) * l + (l - 1),
+                "c={c} r={r} l={l}: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_decreases_monotonically_with_budget() {
+        let steps = 200;
+        let mut last = f64::INFINITY;
+        for budget in [1usize, 2, 4, 8, 16, 32, 64, 200] {
+            let ratio = CheckpointPlan::with_budget(steps, budget).recompute_ratio();
+            assert!(
+                ratio <= last,
+                "budget {budget}: ratio {ratio} rose above {last}"
+            );
+            last = ratio;
+        }
+        assert_eq!(last, 0.0);
+    }
+
+    #[test]
+    fn budget_is_clamped_into_range() {
+        assert_eq!(CheckpointPlan::with_budget(10, 0).budget(), 1);
+        assert_eq!(CheckpointPlan::with_budget(10, 1 << 40).budget(), 10);
+        assert_eq!(CheckpointPlan::with_budget(0, 0).budget(), 1);
+        assert_eq!(
+            CheckpointPlan::with_budget(0, 5).actions(),
+            vec![CkptAction::Seed]
+        );
+    }
+
+    #[test]
+    fn shape_reports_the_simulated_profile() {
+        let plan = CheckpointPlan::with_budget(100, 5);
+        let stats = plan.stats();
+        let shape = plan.shape(4096);
+        assert_eq!(shape.steps, 100);
+        assert_eq!(shape.budget, 5);
+        assert_eq!(shape.state_bytes, 4096);
+        assert_eq!(shape.saves, stats.saves);
+        assert_eq!(shape.loads, stats.loads);
+        assert!(shape.recompute_ratio > 0.0);
+        assert_eq!(plan.mem_bytes(4096), 5 * 4096);
+    }
+
+    #[test]
+    fn binom_saturates_instead_of_overflowing() {
+        assert_eq!(binom(6, 2), 15);
+        assert_eq!(binom(5, 0), 1);
+        assert_eq!(binom(3, 5), 0);
+        assert_eq!(binom(10_000, 5_000), usize::MAX);
+    }
+}

@@ -1,0 +1,441 @@
+//! Snapshot stores: where checkpointed states live between the forward
+//! and reverse phases.
+//!
+//! Two backends ship with the crate: [`MemStore`] keeps clones in a map
+//! (the fast path when the budgeted snapshots fit in RAM) and
+//! [`DiskStore`] spills serialized states to files (when even the
+//! budgeted snapshots do not fit — or when the operator wants RAM for
+//! the solver, not the trajectory). Both round-trip `f64` payloads
+//! **bitwise** — `to_le_bytes`/`from_le_bytes` on the raw bit patterns —
+//! which is what makes a checkpointed gradient bit-identical to the
+//! store-all reference regardless of backend.
+
+use crate::error::CkptError;
+use perforad_exec::Grid;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Environment variable naming the default spill directory for
+/// [`DiskStore::from_env`] consumers (the seismic driver's `Auto`
+/// backend): when set, snapshots spill to disk instead of living in RAM.
+pub const CKPT_DIR_ENV: &str = "PERFORAD_CKPT_DIR";
+
+/// A state that can be checkpointed: sized in memory and serializable to
+/// a byte stream that round-trips **bitwise**.
+pub trait Snapshot: Sized {
+    /// Serialize to bytes (little-endian `f64` bit patterns).
+    fn to_bytes(&self) -> Vec<u8>;
+    /// Deserialize; must reproduce the exact value `to_bytes` consumed.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError>;
+    /// Approximate resident size, for budget accounting.
+    fn mem_bytes(&self) -> usize;
+}
+
+fn read_u64(bytes: &[u8], at: &mut usize) -> Result<u64, CkptError> {
+    let end = *at + 8;
+    let chunk: [u8; 8] = bytes
+        .get(*at..end)
+        .ok_or_else(|| CkptError::Corrupt(format!("truncated at byte {at}")))?
+        .try_into()
+        .expect("8-byte slice");
+    *at = end;
+    Ok(u64::from_le_bytes(chunk))
+}
+
+impl Snapshot for f64 {
+    fn to_bytes(&self) -> Vec<u8> {
+        self.to_le_bytes().to_vec()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut at = 0;
+        Ok(f64::from_bits(read_u64(bytes, &mut at)?))
+    }
+
+    fn mem_bytes(&self) -> usize {
+        8
+    }
+}
+
+impl Snapshot for Grid {
+    fn to_bytes(&self) -> Vec<u8> {
+        let dims = self.dims();
+        let mut out = Vec::with_capacity(8 * (1 + dims.len() + self.len()));
+        out.extend_from_slice(&(dims.len() as u64).to_le_bytes());
+        for &d in dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        for v in self.as_slice() {
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut at = 0;
+        let rank = read_u64(bytes, &mut at)? as usize;
+        if rank > 16 {
+            return Err(CkptError::Corrupt(format!("implausible rank {rank}")));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(bytes, &mut at)? as usize);
+        }
+        // Validate the payload length against the header *before*
+        // allocating: a corrupt header must yield Err, not a huge
+        // (or overflowing) allocation.
+        let len = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| CkptError::Corrupt(format!("dims {dims:?} overflow")))?;
+        let expected = len
+            .checked_mul(8)
+            .and_then(|b| b.checked_add(at))
+            .ok_or_else(|| CkptError::Corrupt(format!("dims {dims:?} overflow")))?;
+        if bytes.len() != expected {
+            return Err(CkptError::Corrupt(format!(
+                "{} bytes for a {dims:?} grid (expected {expected})",
+                bytes.len()
+            )));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(f64::from_bits(read_u64(bytes, &mut at)?));
+        }
+        Ok(Grid::from_vec(&dims, data))
+    }
+
+    fn mem_bytes(&self) -> usize {
+        8 * self.len() + 8 * 2 * self.rank() + std::mem::size_of::<Grid>()
+    }
+}
+
+/// Pairs serialize as a length-prefixed concatenation — the seismic time
+/// loop's `(u_{t−1}, u_t)` state.
+impl<A: Snapshot, B: Snapshot> Snapshot for (A, B) {
+    fn to_bytes(&self) -> Vec<u8> {
+        let a = self.0.to_bytes();
+        let b = self.1.to_bytes();
+        let mut out = Vec::with_capacity(8 + a.len() + b.len());
+        out.extend_from_slice(&(a.len() as u64).to_le_bytes());
+        out.extend_from_slice(&a);
+        out.extend_from_slice(&b);
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let mut at = 0;
+        let alen = read_u64(bytes, &mut at)? as usize;
+        let rest = bytes
+            .get(at..)
+            .ok_or_else(|| CkptError::Corrupt("truncated pair".into()))?;
+        if alen > rest.len() {
+            return Err(CkptError::Corrupt("truncated pair head".into()));
+        }
+        Ok((A::from_bytes(&rest[..alen])?, B::from_bytes(&rest[alen..])?))
+    }
+
+    fn mem_bytes(&self) -> usize {
+        self.0.mem_bytes() + self.1.mem_bytes()
+    }
+}
+
+/// Where snapshots go. Keyed by the time index `t` — the plan guarantees
+/// a key is saved at most once before being freed, and only live keys are
+/// loaded or freed.
+pub trait SnapshotStore<S> {
+    /// Store the state at time `t`.
+    fn save(&mut self, t: usize, state: &S) -> Result<(), CkptError>;
+    /// Restore the state at time `t` (which must be live).
+    fn load(&mut self, t: usize) -> Result<S, CkptError>;
+    /// Drop the snapshot at time `t` (which must be live).
+    fn free(&mut self, t: usize) -> Result<(), CkptError>;
+    /// Snapshots currently live.
+    fn live(&self) -> usize;
+    /// High-water mark of resident/spilled snapshot bytes.
+    fn peak_bytes(&self) -> usize;
+    /// Short backend name for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// In-memory snapshot store: clones in a map.
+#[derive(Debug)]
+pub struct MemStore<S> {
+    slots: HashMap<usize, S>,
+    bytes: usize,
+    peak: usize,
+}
+
+impl<S> MemStore<S> {
+    pub fn new() -> Self {
+        MemStore {
+            slots: HashMap::new(),
+            bytes: 0,
+            peak: 0,
+        }
+    }
+}
+
+impl<S> Default for MemStore<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Clone + Snapshot> SnapshotStore<S> for MemStore<S> {
+    fn save(&mut self, t: usize, state: &S) -> Result<(), CkptError> {
+        if self.slots.contains_key(&t) {
+            return Err(CkptError::Protocol(format!("double save at {t}")));
+        }
+        self.bytes += state.mem_bytes();
+        self.peak = self.peak.max(self.bytes);
+        self.slots.insert(t, state.clone());
+        Ok(())
+    }
+
+    fn load(&mut self, t: usize) -> Result<S, CkptError> {
+        self.slots
+            .get(&t)
+            .cloned()
+            .ok_or_else(|| CkptError::Protocol(format!("load of dead snapshot {t}")))
+    }
+
+    fn free(&mut self, t: usize) -> Result<(), CkptError> {
+        let state = self
+            .slots
+            .remove(&t)
+            .ok_or_else(|| CkptError::Protocol(format!("free of dead snapshot {t}")))?;
+        self.bytes -= state.mem_bytes();
+        Ok(())
+    }
+
+    fn live(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    fn label(&self) -> &'static str {
+        "memory"
+    }
+}
+
+/// Spill-to-disk snapshot store: one file per live snapshot under a
+/// directory of the caller's choosing (conventionally `$PERFORAD_CKPT_DIR`).
+/// Files are uniquely named per store instance and removed on `free` and
+/// on drop, so concurrent sweeps sharing a directory never collide.
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    tag: String,
+    live: HashMap<usize, usize>, // t -> file bytes
+    bytes: usize,
+    peak: usize,
+}
+
+impl DiskStore {
+    /// Spill into `dir`, creating it if needed.
+    pub fn new(dir: impl AsRef<Path>) -> Result<Self, CkptError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| CkptError::Store(format!("create {}: {e}", dir.display())))?;
+        static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(DiskStore {
+            dir,
+            tag: format!("{}_{}", std::process::id(), seq),
+            live: HashMap::new(),
+            bytes: 0,
+            peak: 0,
+        })
+    }
+
+    /// The spill directory named by [`CKPT_DIR_ENV`], if set.
+    pub fn from_env() -> Option<Result<Self, CkptError>> {
+        std::env::var_os(CKPT_DIR_ENV).map(Self::new)
+    }
+
+    fn path(&self, t: usize) -> PathBuf {
+        self.dir.join(format!("ckpt_{}_{t}.bin", self.tag))
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        for &t in self.live.keys() {
+            let _ = std::fs::remove_file(self.path(t));
+        }
+    }
+}
+
+impl<S: Snapshot> SnapshotStore<S> for DiskStore {
+    fn save(&mut self, t: usize, state: &S) -> Result<(), CkptError> {
+        if self.live.contains_key(&t) {
+            return Err(CkptError::Protocol(format!("double save at {t}")));
+        }
+        let bytes = state.to_bytes();
+        let path = self.path(t);
+        std::fs::write(&path, &bytes)
+            .map_err(|e| CkptError::Store(format!("write {}: {e}", path.display())))?;
+        self.bytes += bytes.len();
+        self.peak = self.peak.max(self.bytes);
+        self.live.insert(t, bytes.len());
+        Ok(())
+    }
+
+    fn load(&mut self, t: usize) -> Result<S, CkptError> {
+        if !self.live.contains_key(&t) {
+            return Err(CkptError::Protocol(format!("load of dead snapshot {t}")));
+        }
+        let path = self.path(t);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| CkptError::Store(format!("read {}: {e}", path.display())))?;
+        S::from_bytes(&bytes)
+    }
+
+    fn free(&mut self, t: usize) -> Result<(), CkptError> {
+        let size = self
+            .live
+            .remove(&t)
+            .ok_or_else(|| CkptError::Protocol(format!("free of dead snapshot {t}")))?;
+        self.bytes -= size;
+        let _ = std::fs::remove_file(self.path(t));
+        Ok(())
+    }
+
+    fn live(&self) -> usize {
+        self.live.len()
+    }
+
+    fn peak_bytes(&self) -> usize {
+        self.peak
+    }
+
+    fn label(&self) -> &'static str {
+        "disk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Grid {
+        Grid::from_fn(&[3, 4], |ix| (ix[0] * 7 + ix[1]) as f64 * 0.1 - 1.5)
+    }
+
+    #[test]
+    fn grid_bytes_round_trip_bitwise() {
+        let g = grid();
+        let back = Grid::from_bytes(&g.to_bytes()).unwrap();
+        assert_eq!(back.dims(), g.dims());
+        for (a, b) in g.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Non-finite and signed-zero payloads survive too.
+        let odd = Grid::from_vec(&[4], vec![f64::NAN, -0.0, f64::INFINITY, 1e-308]);
+        let back = Grid::from_bytes(&odd.to_bytes()).unwrap();
+        for (a, b) in odd.as_slice().iter().zip(back.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn pair_and_scalar_round_trip() {
+        let pair = (grid(), 2.5f64);
+        let back = <(Grid, f64)>::from_bytes(&pair.to_bytes()).unwrap();
+        assert_eq!(back.0.as_slice(), pair.0.as_slice());
+        assert_eq!(back.1, 2.5);
+        assert!(pair.mem_bytes() > 8 * 12);
+    }
+
+    #[test]
+    fn corrupt_bytes_error_cleanly() {
+        assert!(Grid::from_bytes(&[1, 2, 3]).is_err());
+        let mut bytes = grid().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Grid::from_bytes(&bytes),
+            Err(CkptError::Corrupt(_))
+        ));
+        assert!(<(Grid, Grid)>::from_bytes(&[9, 0, 0, 0, 0, 0, 0, 0]).is_err());
+        // A header whose dims imply a gigantic (or overflowing) payload
+        // must fail the length check, never reach the allocator.
+        let mut evil = Vec::new();
+        evil.extend_from_slice(&1u64.to_le_bytes());
+        evil.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Grid::from_bytes(&evil),
+            Err(CkptError::Corrupt(_))
+        ));
+        let mut deep = Vec::new();
+        deep.extend_from_slice(&1000u64.to_le_bytes());
+        assert!(matches!(
+            Grid::from_bytes(&deep),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    fn exercise(store: &mut impl SnapshotStore<Grid>) {
+        let g = grid();
+        store.save(0, &g).unwrap();
+        store.save(7, &g).unwrap();
+        assert_eq!(store.live(), 2);
+        // Double save and dead load/free are protocol errors.
+        assert!(store.save(7, &g).is_err());
+        assert!(store.load(3).is_err());
+        assert!(store.free(3).is_err());
+        let back = store.load(7).unwrap();
+        assert_eq!(back.as_slice(), g.as_slice());
+        store.free(7).unwrap();
+        store.free(0).unwrap();
+        assert_eq!(store.live(), 0);
+        assert!(store.peak_bytes() >= 2 * 8 * 12);
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        let mut store = MemStore::new();
+        exercise(&mut store);
+        assert_eq!(
+            <MemStore<Grid> as SnapshotStore<Grid>>::label(&store),
+            "memory"
+        );
+    }
+
+    #[test]
+    fn disk_store_contract_and_cleanup() {
+        let dir = std::env::temp_dir().join(format!("perforad_ckpt_test_{}", std::process::id()));
+        {
+            let mut store = DiskStore::new(&dir).unwrap();
+            exercise(&mut store);
+            assert_eq!(<DiskStore as SnapshotStore<Grid>>::label(&store), "disk");
+            // Leave one live snapshot to exercise Drop cleanup.
+            store.save(42, &grid()).unwrap();
+            let files = std::fs::read_dir(&dir).unwrap().count();
+            assert_eq!(files, 1);
+        }
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 0, "drop must remove live snapshot files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_disk_stores_share_a_directory_without_collisions() {
+        let dir = std::env::temp_dir().join(format!("perforad_ckpt_shared_{}", std::process::id()));
+        let mut a = DiskStore::new(&dir).unwrap();
+        let mut b = DiskStore::new(&dir).unwrap();
+        let (ga, gb) = (Grid::full(&[4], 1.0), Grid::full(&[4], 2.0));
+        a.save(0, &ga).unwrap();
+        b.save(0, &gb).unwrap();
+        let la: Grid = a.load(0).unwrap();
+        let lb: Grid = b.load(0).unwrap();
+        assert_eq!(la.as_slice(), ga.as_slice());
+        assert_eq!(lb.as_slice(), gb.as_slice());
+        SnapshotStore::<Grid>::free(&mut a, 0).unwrap();
+        SnapshotStore::<Grid>::free(&mut b, 0).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -3,9 +3,25 @@
 //! Reverse sweeps over `T` time steps need the primal trajectory. The paper
 //! runs one step per benchmark; real drivers (seismic imaging, §1) need
 //! either store-all memory or checkpoint/recompute schedules. This module
-//! provides both: [`StoreAll`] and a recursive bisection scheme
-//! ([`checkpointed_adjoint`]) with `O(log T)` live snapshots and
-//! `O(T log T)` recomputation — the classic treeverse/revolve trade-off.
+//! provides the two *fixed-shape* conveniences — [`StoreAll`] and a
+//! recursive bisection scheme ([`checkpointed_adjoint`]) with `O(log T)`
+//! live snapshots and `O(T log T)` recomputation — and re-exports the
+//! **budgeted** subsystem from `perforad-ckpt` ([`CheckpointPlan`],
+//! [`MemStore`]/[`DiskStore`], [`checkpointed_adjoint_plan`]), which the
+//! seismic driver uses to bound live memory to an explicit snapshot
+//! count chosen by the autotuner. Reach for the plan-based API whenever
+//! the memory budget matters; the bisection scheme here fixes the
+//! snapshot count at `⌈log₂ T⌉ + 1` with no way to trade it.
+//!
+//! Both entry points are total: `steps == 0` reverses nothing (and calls
+//! nothing), and arbitrary non-power-of-two step counts split cleanly —
+//! the unit tests pin exact-once, strictly-descending `back` coverage
+//! for every count up to 64.
+
+pub use perforad_ckpt::{
+    checkpointed_adjoint_plan, CheckpointPlan, CkptAction, CkptError, CkptReport, DiskStore,
+    MemStore, PlanStats, Snapshot, SnapshotStore,
+};
 
 /// Trivial store-all trajectory recorder.
 pub struct StoreAll<S> {
@@ -61,6 +77,13 @@ pub struct CheckpointStats {
 /// state *before* that step. Calls `back` for `t = T-1 .. 0` exactly once
 /// each, recomputing intermediate states as needed from `O(log T)` stored
 /// snapshots.
+///
+/// Total over its whole domain: `steps == 0` returns zeroed stats without
+/// invoking either closure, and any step count — power of two or not —
+/// reverses exactly once per step in strictly descending order (windows
+/// of odd length split as `⌊len/2⌋`/`⌈len/2⌉`). For an *explicit memory
+/// budget* instead of the fixed `O(log T)` one, use
+/// [`CheckpointPlan`] + [`checkpointed_adjoint_plan`].
 pub fn checkpointed_adjoint<S: Clone>(
     s0: S,
     steps: usize,
@@ -166,5 +189,73 @@ mod tests {
         let mut seen = Vec::new();
         checkpointed_adjoint(0.5f64, 9, &mut |x, t| step(x, t), &mut |_x, t| seen.push(t));
         assert_eq!(seen, (0..9).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_steps_is_a_no_op() {
+        // Neither closure may fire: there is no step to take or reverse.
+        let stats = checkpointed_adjoint(
+            1.0f64,
+            0,
+            &mut |_, _| panic!("no steps to take"),
+            &mut |_, _| panic!("no steps to reverse"),
+        );
+        assert_eq!(stats, CheckpointStats::default());
+        // And the store-all recorder agrees.
+        let traj = StoreAll::record(1.0f64, 0, step);
+        assert_eq!(traj.len(), 1);
+        traj.reverse(|_, _| panic!("nothing to reverse"));
+    }
+
+    #[test]
+    fn every_step_count_reverses_exactly_once_in_order() {
+        // Non-power-of-two counts (primes, odd splits at every depth)
+        // must still hit each step exactly once, in descending order,
+        // with the bisection's O(log T) snapshot bound intact.
+        for steps in 1usize..=64 {
+            let mut seen = Vec::new();
+            let stats = checkpointed_adjoint(0.7f64, steps, &mut |x, t| step(x, t), &mut |_, t| {
+                seen.push(t)
+            });
+            assert_eq!(seen, (0..steps).rev().collect::<Vec<_>>(), "steps {steps}");
+            let log2 = (steps as f64).log2().ceil() as usize + 1;
+            assert!(stats.peak_snapshots <= log2 + 1, "steps {steps}: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn bisection_gradients_match_store_all_on_awkward_counts() {
+        let x0 = 1.1;
+        for steps in [3usize, 5, 11, 17, 23, 41, 63] {
+            let expect = reference_gradient(x0, steps);
+            let mut lambda = 1.0;
+            checkpointed_adjoint(x0, steps, &mut |x, t| step(x, t), &mut |x, _t| {
+                lambda *= 1.0 + 0.02 * x;
+            });
+            assert_eq!(
+                lambda.to_bits(),
+                expect.to_bits(),
+                "steps={steps}: bisection must replay bitwise"
+            );
+        }
+    }
+
+    #[test]
+    fn budgeted_plan_api_is_reachable_through_pde() {
+        // The re-exported perforad-ckpt surface: an explicit budget the
+        // bisection scheme cannot express.
+        let plan = CheckpointPlan::with_budget(20, 3);
+        let mut lambda = 1.0;
+        let report = checkpointed_adjoint_plan(
+            &plan,
+            0.8f64,
+            &mut MemStore::new(),
+            &mut |x, t| step(x, t),
+            &mut |_| {},
+            &mut |x, _t| lambda *= 1.0 + 0.02 * x,
+        )
+        .unwrap();
+        assert_eq!(lambda.to_bits(), reference_gradient(0.8, 20).to_bits());
+        assert!(report.peak_snapshots <= 3);
     }
 }

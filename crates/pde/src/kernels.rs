@@ -26,6 +26,13 @@
 //! fusion, and assignment policy) per kernel and machine; these static
 //! kernels remain as the golden reference for the generated-code path
 //! and as the build-time baseline the JIT is benchmarked against.
+//!
+//! Above all three tiers sits the `perforad-ckpt` time-loop layer: every
+//! tier executes *one* step or adjoint sweep against whatever state it
+//! is handed, and multi-step drivers (see [`crate::seismic`]) feed them
+//! states streamed from a memory-budgeted checkpoint plan rather than a
+//! densely stored trajectory — the executor tiers never know (or care)
+//! whether a state was stored or recomputed.
 
 #[allow(dead_code)]
 mod wave3d_gen {

@@ -8,9 +8,12 @@
 //!   piecewise differentiable, producing ternary adjoints (Fig. 7);
 //! * [`heat2d`] — the 2-D 5-point star of Fig. 3 (17 adjoint nests);
 //! * [`seismic`] — a seismic-imaging-style misfit gradient through the
-//!   time-stepped wave equation with an active velocity model;
-//! * [`checkpoint`] — store-all and recursive-bisection checkpointing for
-//!   multi-step reverse sweeps;
+//!   time-stepped wave equation with an active velocity model; long
+//!   sweeps run bounded-memory (streamed forward pass, tuner-chosen
+//!   snapshot budget) and bitwise-identical to the dense reference;
+//! * [`checkpoint`] — store-all and recursive-bisection conveniences for
+//!   multi-step reverse sweeps, plus the re-exported `perforad-ckpt`
+//!   budgeted plans and snapshot stores;
 //! * [`kernels`] — statically generated Rust kernels (built by
 //!   `perforad-codegen` at compile time), the "compiled C" comparison path.
 
@@ -22,4 +25,7 @@ pub mod seismic;
 pub mod wave3d;
 
 pub use checkpoint::{checkpointed_adjoint, CheckpointStats, StoreAll};
-pub use seismic::{forward, gradient, misfit, ricker, SeismicConfig};
+pub use seismic::{
+    forward, gradient, gradient_checkpointed, gradient_checkpointed_with, gradient_store_all,
+    misfit, ricker, SeismicConfig, SnapshotBackend, CKPT_THRESHOLD_STEPS,
+};

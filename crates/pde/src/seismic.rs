@@ -5,16 +5,36 @@
 //! the misfit is `J = ½‖u_T − d‖²` against observed data. The gradient of
 //! `J` with respect to the velocity model `c` is assembled by running the
 //! PerforAD gather adjoint of the single-step stencil backwards through
-//! time (with `c` active), the store-all strategy keeping the primal
-//! trajectory for the nonlinear `∂F/∂c` term.
+//! time (with `c` active).
+//!
+//! The primal trajectory the nonlinear `∂F/∂c` term needs is *not*
+//! materialized for long sweeps: [`gradient`] routes sweeps of
+//! [`CKPT_THRESHOLD_STEPS`] or more through [`gradient_checkpointed`],
+//! which streams the forward pass under a `perforad-ckpt`
+//! [`CheckpointPlan`] — a snapshot budget chosen by the autotuner
+//! (jointly with the stencil schedule, via `TuneOptions::with_time_loop`)
+//! bounds live memory, and reverse segments are recomputed through the
+//! same tuned fused/JIT schedule the short-sweep path uses. Both paths
+//! are **bitwise-identical**: checkpointing changes where states come
+//! from, never how steps execute.
 
 use crate::wave3d;
+use perforad_ckpt::{
+    checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, MemStore, Snapshot,
+};
 use perforad_core::AdjointOptions;
-use perforad_exec::{compile_nest, run_serial, Binding, Grid, ThreadPool, Workspace};
+use perforad_exec::{compile_nest, run_serial, Binding, Grid, Plan, ThreadPool, Workspace};
 use perforad_sched::{
     compile_schedule, run_tuned, SchedOptions, Schedule, TunedConfig, TunedStrategy,
 };
-use perforad_tune::{autotune_adjoint, TuneError, TuneOptions};
+use perforad_tune::{autotune_adjoint, TimeLoop, TuneError, TuneOptions};
+use std::cell::RefCell;
+use std::path::PathBuf;
+
+/// Sweeps at least this long default to the bounded-memory checkpointed
+/// path in [`gradient`]; shorter ones keep the dense store-all sweep
+/// (whose trajectory is a handful of grids at most).
+pub const CKPT_THRESHOLD_STEPS: usize = 64;
 
 /// Problem configuration.
 #[derive(Clone, Copy, Debug)]
@@ -45,35 +65,67 @@ pub fn ricker(steps: usize) -> Vec<f64> {
         .collect()
 }
 
-/// Run the primal time loop; returns the trajectory `u_0 .. u_steps`.
-pub fn forward(cfg: &SeismicConfig, c: &Grid, source: &[f64]) -> Vec<Grid> {
-    assert_eq!(source.len(), cfg.steps);
-    let dims = [cfg.n, cfg.n, cfg.n];
-    let nest = wave3d::nest();
-    let bind = Binding::new().size("n", cfg.n as i64).param("D", cfg.d);
-    let mut ws = Workspace::new();
-    ws.insert("c", c.clone());
-    ws.insert("u", Grid::zeros(&dims));
-    ws.insert("u_1", Grid::zeros(&dims));
-    ws.insert("u_2", Grid::zeros(&dims));
-    let plan = compile_nest(&nest, &ws, &bind).expect("primal compiles");
+/// The time-loop state between steps: `(u_{t−1}, u_t)` — all a wave step
+/// needs, and all a snapshot has to hold.
+pub type WaveState = (Grid, Grid);
 
-    let src = cfg.source_index();
+/// One compiled primal wave step, shared by every forward pass in this
+/// module (the dense [`forward`], the checkpointed streaming pass, and
+/// its recomputed segments), so replayed segments are bitwise-identical
+/// to the first execution.
+struct Stepper {
+    plan: Plan,
+    ws: Workspace,
+    src: [usize; 3],
+    source: Vec<f64>,
+}
+
+impl Stepper {
+    fn new(cfg: &SeismicConfig, c: &Grid, source: &[f64]) -> Stepper {
+        assert_eq!(source.len(), cfg.steps);
+        let dims = [cfg.n, cfg.n, cfg.n];
+        let nest = wave3d::nest();
+        let bind = Binding::new().size("n", cfg.n as i64).param("D", cfg.d);
+        let mut ws = Workspace::new();
+        ws.insert("c", c.clone());
+        ws.insert("u", Grid::zeros(&dims));
+        ws.insert("u_1", Grid::zeros(&dims));
+        ws.insert("u_2", Grid::zeros(&dims));
+        let plan = compile_nest(&nest, &ws, &bind).expect("primal compiles");
+        Stepper {
+            plan,
+            ws,
+            src: cfg.source_index(),
+            source: source.to_vec(),
+        }
+    }
+
+    /// Advance `(u_{t−1}, u_t)` to `(u_t, u_{t+1})`.
+    fn step(&mut self, state: &WaveState, t: usize) -> WaveState {
+        *self.ws.grid_mut("u_1") = state.1.clone();
+        *self.ws.grid_mut("u_2") = state.0.clone();
+        self.ws.grid_mut("u").fill(0.0);
+        run_serial(&self.plan, &mut self.ws).expect("primal step");
+        let mut next = self.ws.grid("u").clone();
+        let v = next.get(&self.src) + self.source[t];
+        next.set(&self.src, v);
+        (state.1.clone(), next)
+    }
+}
+
+/// Run the primal time loop densely; returns the trajectory
+/// `u_0 .. u_steps`. A verification/synthesis helper for short sweeps —
+/// long-sweep gradients never materialize this vector (see
+/// [`gradient_checkpointed`]).
+pub fn forward(cfg: &SeismicConfig, c: &Grid, source: &[f64]) -> Vec<Grid> {
+    let dims = [cfg.n, cfg.n, cfg.n];
+    let mut stepper = Stepper::new(cfg, c, source);
     let mut traj = Vec::with_capacity(cfg.steps + 1);
-    traj.push(Grid::zeros(&dims)); // u_0
-    let mut prev = Grid::zeros(&dims); // u_{-1}
-    let mut cur = Grid::zeros(&dims); // u_0
-    for &src_t in source.iter().take(cfg.steps) {
-        *ws.grid_mut("u_1") = cur.clone();
-        *ws.grid_mut("u_2") = prev.clone();
-        ws.grid_mut("u").fill(0.0);
-        run_serial(&plan, &mut ws).expect("primal step");
-        let mut next = ws.grid("u").clone();
-        let v = next.get(&src) + src_t;
-        next.set(&src, v);
-        traj.push(next.clone());
-        prev = cur;
-        cur = next;
+    traj.push(Grid::zeros(&dims));
+    let mut state: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
+    for t in 0..cfg.steps {
+        state = stepper.step(&state, t);
+        traj.push(state.1.clone());
     }
     traj
 }
@@ -108,43 +160,40 @@ pub fn adjoint_schedule_tuned(
     Ok((schedule, report.config))
 }
 
-/// Misfit and its gradient with respect to the velocity model `c`.
-///
-/// The reverse sweep drives the *autotuned* scheduled adjoint: the tuner
-/// picks the fastest `Strategy×Lowering×TilePolicy×tile×fusion` point
-/// for this grid size and machine (cached across calls), falling back to
-/// the hand-picked fused row-executor schedule if tuning fails. The pool
-/// persists across the whole sweep; every configuration the tuner can
-/// select is bitwise-identical to the serial interpreter reference.
-pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (f64, Grid) {
-    let dims = [cfg.n, cfg.n, cfg.n];
-    let traj = forward(cfg, c, source);
-    let j = misfit(&traj[cfg.steps], data);
+/// The adjoint workspace + tuned schedule every reverse sweep drives.
+/// Tuning is best-effort: on failure the hand-picked fused row-executor
+/// schedule of PR 2 keeps the gradient available.
+struct ReverseSweep {
+    ws: Workspace,
+    pool: ThreadPool,
+    schedule: Schedule,
+    tuned: TunedConfig,
+}
 
-    // Adjoint of one step with c active (computed once; both the tuner
-    // and the fallback compile from it).
-    let nest = wave3d::nest();
-    let adj = nest
-        .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
-        .expect("adjoint transforms");
-    let bind = Binding::new().size("n", cfg.n as i64).param("D", cfg.d);
-    let mut ws = Workspace::new();
-    ws.insert("c", c.clone());
-    ws.insert("u_1", Grid::zeros(&dims));
-    ws.insert("u_b", Grid::zeros(&dims));
-    ws.insert("u_1_b", Grid::zeros(&dims));
-    ws.insert("u_2_b", Grid::zeros(&dims));
-    ws.insert("c_b", Grid::zeros(&dims));
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get().min(8))
-        .unwrap_or(2);
-    let pool = ThreadPool::new(threads);
-    let (schedule, tuned) =
-        match autotune_adjoint(&adj, &mut ws, &bind, &pool, &TuneOptions::quick()) {
+impl ReverseSweep {
+    fn new(cfg: &SeismicConfig, c: &Grid, time_loop: Option<TimeLoop>) -> ReverseSweep {
+        let dims = [cfg.n, cfg.n, cfg.n];
+        let nest = wave3d::nest();
+        let adj = nest
+            .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
+            .expect("adjoint transforms");
+        let bind = Binding::new().size("n", cfg.n as i64).param("D", cfg.d);
+        let mut ws = Workspace::new();
+        ws.insert("c", c.clone());
+        ws.insert("u_1", Grid::zeros(&dims));
+        ws.insert("u_b", Grid::zeros(&dims));
+        ws.insert("u_1_b", Grid::zeros(&dims));
+        ws.insert("u_2_b", Grid::zeros(&dims));
+        ws.insert("c_b", Grid::zeros(&dims));
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get().min(8))
+            .unwrap_or(2);
+        let pool = ThreadPool::new(threads);
+        let mut topts = TuneOptions::quick();
+        topts.time_loop = time_loop;
+        let (schedule, tuned) = match autotune_adjoint(&adj, &mut ws, &bind, &pool, &topts) {
             Ok((s, report)) => (s, report.config),
             Err(_) => {
-                // Tuning is best-effort; the hand-picked schedule of PR 2
-                // keeps the gradient available.
                 let s = compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_rows())
                     .expect("adjoint schedules");
                 let fallback = TunedConfig {
@@ -156,6 +205,58 @@ pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (
                 (s, fallback)
             }
         };
+        ReverseSweep {
+            ws,
+            pool,
+            schedule,
+            tuned,
+        }
+    }
+
+    /// One adjoint step: consume `λ_{t+1}` with `u_1 = u_t` bound, leaving
+    /// the `u_1_b`/`u_2_b`/`c_b` contributions in the workspace.
+    fn back(&mut self, u_t: &Grid, lambda_next: &Grid) {
+        *self.ws.grid_mut("u_1") = u_t.clone();
+        *self.ws.grid_mut("u_b") = lambda_next.clone();
+        self.ws.grid_mut("u_1_b").fill(0.0);
+        self.ws.grid_mut("u_2_b").fill(0.0);
+        self.ws.grid_mut("c_b").fill(0.0);
+        run_tuned(&self.schedule, &self.tuned, &mut self.ws, &self.pool).expect("adjoint step");
+    }
+}
+
+/// Misfit and its gradient with respect to the velocity model `c`.
+///
+/// Sweeps of [`CKPT_THRESHOLD_STEPS`] or more run bounded-memory (the
+/// checkpointed path, tuner-chosen snapshot budget, [`SnapshotBackend::Auto`]);
+/// shorter sweeps keep the dense store-all reverse sweep. The two paths
+/// are bitwise-identical — the reverse sweep drives the *autotuned*
+/// scheduled adjoint either way, and every configuration the tuner can
+/// select matches the serial interpreter reference bit for bit.
+pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (f64, Grid) {
+    if cfg.steps >= CKPT_THRESHOLD_STEPS {
+        let (j, grad, _) = gradient_checkpointed(cfg, c, data, source);
+        (j, grad)
+    } else {
+        gradient_store_all(cfg, c, data, source)
+    }
+}
+
+/// The dense reference path: materialize the full trajectory and the full
+/// adjoint field vector. Memory grows linearly with `steps` — use
+/// [`gradient_checkpointed`] (or plain [`gradient`], which dispatches)
+/// for long sweeps.
+pub fn gradient_store_all(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    data: &Grid,
+    source: &[f64],
+) -> (f64, Grid) {
+    let dims = [cfg.n, cfg.n, cfg.n];
+    let traj = forward(cfg, c, source);
+    let j = misfit(&traj[cfg.steps], data);
+
+    let mut sweep = ReverseSweep::new(cfg, c, None);
 
     // λ_t = ∂J/∂u_t; only λ_T seeded directly. Source injection is additive
     // and c-independent, so it contributes nothing to the adjoint.
@@ -173,20 +274,169 @@ pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (
     let mut c_b = Grid::zeros(&dims);
     for t in (1..=cfg.steps).rev() {
         // Step t produced u_t from u_1 = u_{t-1}, u_2 = u_{t-2}.
-        *ws.grid_mut("u_1") = traj[t - 1].clone();
-        *ws.grid_mut("u_b") = lambda[t].clone();
-        ws.grid_mut("u_1_b").fill(0.0);
-        ws.grid_mut("u_2_b").fill(0.0);
-        ws.grid_mut("c_b").fill(0.0);
-        run_tuned(&schedule, &tuned, &mut ws, &pool).expect("adjoint step");
+        sweep.back(&traj[t - 1], &lambda[t]);
         // Scatter-free accumulation into earlier adjoint fields.
-        add_into(&mut lambda[t - 1], ws.grid("u_1_b"));
+        add_into(&mut lambda[t - 1], sweep.ws.grid("u_1_b"));
         if t >= 2 {
-            add_into(&mut lambda[t - 2], ws.grid("u_2_b"));
+            add_into(&mut lambda[t - 2], sweep.ws.grid("u_2_b"));
         }
-        add_into(&mut c_b, ws.grid("c_b"));
+        add_into(&mut c_b, sweep.ws.grid("c_b"));
     }
     (j, c_b)
+}
+
+/// Where trajectory snapshots live during a checkpointed sweep.
+#[derive(Clone, Debug, Default)]
+pub enum SnapshotBackend {
+    /// Spill to `$PERFORAD_CKPT_DIR` when that variable is set, keep
+    /// in-memory clones otherwise.
+    #[default]
+    Auto,
+    /// In-memory clones (fast; the budget bounds their count).
+    Memory,
+    /// Bitwise-exact spill files under the given directory.
+    Disk(PathBuf),
+}
+
+/// Bounded-memory misfit + gradient: [`gradient_checkpointed_with`] with
+/// the tuner choosing the snapshot budget and the [`SnapshotBackend::Auto`]
+/// store.
+pub fn gradient_checkpointed(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    data: &Grid,
+    source: &[f64],
+) -> (f64, Grid, CkptReport) {
+    gradient_checkpointed_with(cfg, c, data, source, None, &SnapshotBackend::Auto)
+}
+
+/// Bounded-memory misfit + gradient under an explicit snapshot budget
+/// and backend.
+///
+/// The forward pass streams: at most `budget` `(u_{t−1}, u_t)` snapshots
+/// are live at once (tuner-chosen when `budget` is `None` — the
+/// time-loop shape joins the tuner's search space and the winning budget
+/// is persisted in the tuning cache), the adjoint field is a 3-grid
+/// rolling window, and reverse segments are recomputed from snapshots
+/// through the same compiled primal step — so the result is
+/// **bitwise-identical** to [`gradient_store_all`] at a fraction of the
+/// memory. The returned [`CkptReport`] says what that fraction was.
+pub fn gradient_checkpointed_with(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    data: &Grid,
+    source: &[f64],
+    budget: Option<usize>,
+    backend: &SnapshotBackend,
+) -> (f64, Grid, CkptReport) {
+    assert_eq!(source.len(), cfg.steps);
+    let dims = [cfg.n, cfg.n, cfg.n];
+    let s0: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
+    let state_bytes = s0.mem_bytes();
+
+    let sweep = ReverseSweep::new(cfg, c, Some(TimeLoop::new(cfg.steps, state_bytes)));
+    let budget = budget
+        .or(sweep.tuned.checkpoint)
+        .unwrap_or_else(|| default_budget(cfg.steps));
+    let plan = CheckpointPlan::with_budget(cfg.steps, budget);
+
+    // Shared mutable sweep state: the driver calls `seed` and `back`
+    // strictly sequentially, so a RefCell resolves the closure-borrow
+    // overlap without locking.
+    struct Rolling {
+        sweep: ReverseSweep,
+        j: f64,
+        /// λ_{t+1}: fully accumulated, consumed by the next back step.
+        lam_hi: Grid,
+        /// λ_t: partial (holds the `u_1_b` row of the current step).
+        lam_mid: Grid,
+        /// λ_{t−1}: partial (holds the `u_2_b` row of the current step).
+        lam_lo: Grid,
+        c_b: Grid,
+    }
+    let rolling = RefCell::new(Rolling {
+        sweep,
+        j: 0.0,
+        lam_hi: Grid::zeros(&dims),
+        lam_mid: Grid::zeros(&dims),
+        lam_lo: Grid::zeros(&dims),
+        c_b: Grid::zeros(&dims),
+    });
+
+    let mut stepper = Stepper::new(cfg, c, source);
+    let mut step = |s: &WaveState, t: usize| stepper.step(s, t);
+    let mut seed = |s: &WaveState| {
+        let st = &mut *rolling.borrow_mut();
+        st.j = misfit(&s.1, data);
+        for (l, (u, d)) in st
+            .lam_hi
+            .as_mut_slice()
+            .iter_mut()
+            .zip(s.1.as_slice().iter().zip(data.as_slice()))
+        {
+            *l = u - d;
+        }
+    };
+    let mut back = |s: &WaveState, _t: usize| {
+        let st = &mut *rolling.borrow_mut();
+        // Step t produced u_{t+1} from u_1 = u_t (= s.1), u_2 = u_{t−1};
+        // its adjoint consumes λ_{t+1} and feeds λ_t and λ_{t−1}.
+        // (Field borrows of `st` are disjoint: no per-step clones.)
+        st.sweep.back(&s.1, &st.lam_hi);
+        add_into(&mut st.lam_mid, st.sweep.ws.grid("u_1_b"));
+        add_into(&mut st.lam_lo, st.sweep.ws.grid("u_2_b"));
+        add_into(&mut st.c_b, st.sweep.ws.grid("c_b"));
+        // Roll the window down one step.
+        std::mem::swap(&mut st.lam_hi, &mut st.lam_mid);
+        std::mem::swap(&mut st.lam_mid, &mut st.lam_lo);
+        st.lam_lo.fill(0.0);
+    };
+
+    let report = match resolve_backend(backend) {
+        ResolvedBackend::Memory => checkpointed_adjoint_plan(
+            &plan,
+            s0,
+            &mut MemStore::new(),
+            &mut step,
+            &mut seed,
+            &mut back,
+        ),
+        ResolvedBackend::Disk(dir) => checkpointed_adjoint_plan(
+            &plan,
+            s0,
+            &mut DiskStore::new(dir).expect("snapshot spill directory"),
+            &mut step,
+            &mut seed,
+            &mut back,
+        ),
+    }
+    .expect("checkpointed sweep");
+
+    let st = rolling.into_inner();
+    (st.j, st.c_b, report)
+}
+
+enum ResolvedBackend {
+    Memory,
+    Disk(PathBuf),
+}
+
+fn resolve_backend(backend: &SnapshotBackend) -> ResolvedBackend {
+    match backend {
+        SnapshotBackend::Memory => ResolvedBackend::Memory,
+        SnapshotBackend::Disk(dir) => ResolvedBackend::Disk(dir.clone()),
+        SnapshotBackend::Auto => match std::env::var_os(perforad_ckpt::CKPT_DIR_ENV) {
+            Some(dir) => ResolvedBackend::Disk(PathBuf::from(dir)),
+            None => ResolvedBackend::Memory,
+        },
+    }
+}
+
+/// Fallback snapshot budget when tuning is unavailable: `2√T`, the
+/// classic constant-repetition sweet spot, clamped into the plan's valid
+/// range.
+fn default_budget(steps: usize) -> usize {
+    ((2.0 * (steps.max(1) as f64).sqrt()).ceil() as usize).clamp(2, steps.max(2))
 }
 
 fn add_into(dst: &mut Grid, src: &Grid) {
@@ -268,5 +518,47 @@ mod tests {
         let (j, grad) = gradient(&cfg, &c0, &data, &src);
         assert!(j.abs() < 1e-20);
         assert!(grad.norm2() < 1e-12);
+    }
+
+    #[test]
+    fn checkpointed_gradient_is_bitwise_store_all() {
+        let cfg = SeismicConfig {
+            n: 8,
+            steps: 7,
+            d: 0.1,
+        };
+        let src = ricker(cfg.steps);
+        let c0 = velocity(cfg.n);
+        let c_true = Grid::from_fn(&[cfg.n; 3], |ix| c0.get(ix) * 1.04);
+        let data = forward(&cfg, &c_true, &src)[cfg.steps].clone();
+        let (j_ref, g_ref) = gradient_store_all(&cfg, &c0, &data, &src);
+        for budget in [1usize, 2, 3, 7, 50] {
+            let (j, g, report) = gradient_checkpointed_with(
+                &cfg,
+                &c0,
+                &data,
+                &src,
+                Some(budget),
+                &SnapshotBackend::Memory,
+            );
+            assert_eq!(j.to_bits(), j_ref.to_bits(), "budget {budget}");
+            for (a, b) in g.as_slice().iter().zip(g_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "budget {budget}");
+            }
+            assert!(report.peak_snapshots <= budget);
+            assert_eq!(report.budget, budget.min(cfg.steps));
+        }
+    }
+
+    #[test]
+    fn default_budget_is_reasonable() {
+        assert_eq!(default_budget(0), 2);
+        assert_eq!(default_budget(4), 4);
+        assert_eq!(default_budget(100), 20);
+        assert!(default_budget(3) <= 3 + 1);
+        for steps in [1usize, 2, 10, 1000] {
+            let b = default_budget(steps);
+            assert!(b >= 2 && b <= steps.max(2), "steps {steps}: {b}");
+        }
     }
 }

@@ -16,5 +16,6 @@ pub mod model;
 
 pub use machine::{broadwell, host, knl, Machine};
 pub use model::{
-    predict, predict_schedule, profile, speedup_series, with_stack, KernelProfile, ScheduleShape,
+    predict, predict_checkpoint, predict_schedule, profile, speedup_series, with_stack,
+    CheckpointShape, KernelProfile, ScheduleShape,
 };

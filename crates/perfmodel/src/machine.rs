@@ -48,6 +48,15 @@ pub struct Machine {
     /// why [`crate::ScheduleShape::jit_cold_groups`] is a separate knob
     /// rather than folded into the per-point cost.
     pub jit_compile_s: f64,
+    /// Memory the checkpointing layer may spend on live trajectory
+    /// snapshots, bytes. Budgets whose working set exceeds this are
+    /// infeasible to [`crate::predict_checkpoint`] — the knob that turns
+    /// "how much RAM does this box have" into a snapshot-count ceiling.
+    pub mem_budget_bytes: usize,
+    /// Cost of moving one snapshot byte into or out of the snapshot
+    /// store, ns/byte. Memcpy-grade for the in-memory store; set it to
+    /// the storage device's effective rate when sweeps spill to disk.
+    pub snapshot_cost: f64,
 }
 
 impl Machine {
@@ -87,6 +96,9 @@ pub fn broadwell() -> Machine {
         rows_point_ns: 2.5,
         jit_point_ns: 0.6,
         jit_compile_s: 1.5,
+        // 128 GiB per node; snapshots memcpy at roughly bw_single.
+        mem_budget_bytes: 128 << 30,
+        snapshot_cost: 0.1,
     }
 }
 
@@ -109,11 +121,22 @@ pub fn knl() -> Machine {
         rows_point_ns: 6.0,
         jit_point_ns: 1.6,
         jit_compile_s: 4.0,
+        // 16 GiB of MCDRAM — the budget that makes checkpointing bite.
+        mem_budget_bytes: 16 << 30,
+        snapshot_cost: 0.15,
     }
 }
 
 /// A description of this host for the "measured" series.
+///
+/// The snapshot-memory budget honours `PERFORAD_MEM_BUDGET_BYTES` when
+/// set (CI runs the checkpoint suite under an address-space `ulimit` and
+/// tells the model about it this way), defaulting to 2 GiB.
 pub fn host(cores: usize) -> Machine {
+    let mem_budget_bytes = std::env::var("PERFORAD_MEM_BUDGET_BYTES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2 << 30);
     Machine {
         name: "host",
         cores,
@@ -138,5 +161,9 @@ pub fn host(cores: usize) -> Machine {
         // to the build-time static kernels, several-fold under rows.
         jit_point_ns: 0.8,
         jit_compile_s: 1.5,
+        // Containers and laptops: keep trajectory snapshots inside 2 GiB
+        // unless overridden; snapshot copies run memcpy-grade.
+        mem_budget_bytes,
+        snapshot_cost: 0.1,
     }
 }

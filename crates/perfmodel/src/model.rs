@@ -165,6 +165,67 @@ pub fn predict_schedule(m: &Machine, p: &KernelProfile, s: &ScheduleShape) -> f6
         + t_compile
 }
 
+/// Shape of one *checkpointed time loop*: how a `steps`-long reverse
+/// sweep is replayed under a snapshot budget. Built by `perforad-ckpt`'s
+/// `CheckpointPlan::shape` from the plan's simulated action stream —
+/// the recompute ratio and store traffic are exact counts, not
+/// asymptotics.
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointShape {
+    /// Time steps in the sweep.
+    pub steps: usize,
+    /// Maximum simultaneously live snapshots.
+    pub budget: usize,
+    /// Bytes per snapshot (the full time-loop state).
+    pub state_bytes: usize,
+    /// Primal steps recomputed per primal step (0.0 = store-all,
+    /// `(T−1)/2` = budget 1).
+    pub recompute_ratio: f64,
+    /// Snapshot save events across the whole sweep.
+    pub saves: usize,
+    /// Snapshot load events across the whole sweep.
+    pub loads: usize,
+}
+
+impl CheckpointShape {
+    /// Live-snapshot memory high-water mark.
+    pub fn mem_bytes(&self) -> usize {
+        self.budget.saturating_mul(self.state_bytes)
+    }
+}
+
+/// Predicted wall-clock seconds for a checkpointed adjoint time loop,
+/// given the cost of one primal step and one adjoint step (predicted by
+/// [`predict_schedule`] or measured by the tuner's timing stage — the
+/// budget axis never changes per-step cost, so the two compose exactly):
+///
+/// * one streaming forward pass + one reverse sweep — the work store-all
+///   would also do;
+/// * `recompute_ratio × steps` extra primal steps — the price of the
+///   budget;
+/// * snapshot traffic: every save/load moves `state_bytes` through the
+///   store at [`Machine::snapshot_cost`] ns/byte.
+///
+/// Budgets whose live set exceeds [`Machine::mem_budget_bytes`] return
+/// `f64::INFINITY`: infeasible, never merely slow — this is what turns
+/// the tuner's budget axis into a memory-capacity constraint.
+pub fn predict_checkpoint(
+    m: &Machine,
+    primal_step_s: f64,
+    adjoint_step_s: f64,
+    ck: &CheckpointShape,
+) -> f64 {
+    if ck.mem_bytes() > m.mem_budget_bytes {
+        return f64::INFINITY;
+    }
+    let steps = ck.steps as f64;
+    let t_forward = steps * primal_step_s;
+    let t_adjoint = steps * adjoint_step_s;
+    let t_recompute = ck.recompute_ratio * steps * primal_step_s;
+    let t_traffic = (ck.saves + ck.loads) as f64 * ck.state_bytes as f64 * m.snapshot_cost * 1e-9;
+    t_forward + t_adjoint + t_recompute + t_traffic
+}
+
 /// `(threads, seconds, speedup-vs-1-thread)` across a sweep.
 pub fn speedup_series(m: &Machine, p: &KernelProfile, threads: &[usize]) -> Vec<(usize, f64, f64)> {
     let t1 = predict(m, p, 1);
@@ -433,6 +494,44 @@ mod tests {
             sched < plain * 2.0,
             "overheads dominate: {sched} vs {plain}"
         );
+    }
+
+    #[test]
+    fn checkpoint_model_trades_recompute_against_memory() {
+        let m = crate::machine::host(8);
+        // A 1 GiB-per-snapshot state: only small budgets fit in the 2 GiB
+        // host budget.
+        let big = |budget: usize, ratio: f64| CheckpointShape {
+            steps: 1000,
+            budget,
+            state_bytes: 1 << 30,
+            recompute_ratio: ratio,
+            saves: 2 * budget,
+            loads: 4 * budget,
+        };
+        let fits = predict_checkpoint(&m, 1e-3, 2e-3, &big(2, 1.5));
+        assert!(fits.is_finite());
+        let too_big = predict_checkpoint(&m, 1e-3, 2e-3, &big(3, 0.8));
+        assert!(
+            too_big.is_infinite(),
+            "budgets past mem_budget_bytes must be infeasible"
+        );
+        // With memory to spare, less recompute is strictly cheaper...
+        let small = |budget: usize, ratio: f64| CheckpointShape {
+            state_bytes: 1 << 20,
+            ..big(budget, ratio)
+        };
+        let tight = predict_checkpoint(&m, 1e-3, 2e-3, &small(4, 2.0));
+        let roomy = predict_checkpoint(&m, 1e-3, 2e-3, &small(64, 0.2));
+        assert!(roomy < tight, "roomy {roomy} vs tight {tight}");
+        // ...and the floor is the un-checkpointed forward + adjoint cost.
+        let floor = 1000.0 * (1e-3 + 2e-3);
+        assert!(roomy > floor);
+        assert!(
+            predict_checkpoint(&m, 1e-3, 2e-3, &small(64, 0.0)) - floor
+                < 64.0 * 6.0 * (1 << 20) as f64 * m.snapshot_cost * 1e-9 + 1e-12
+        );
+        assert_eq!(small(4, 0.0).mem_bytes(), 4 << 20);
     }
 
     #[test]

@@ -43,6 +43,15 @@ pub struct TunedConfig {
     pub cse: bool,
     /// Worker count the configuration was tuned for (1 when serial).
     pub threads: usize,
+    /// Snapshot budget for checkpointed time loops driving this
+    /// schedule: `Some(b)` means "keep at most `b` trajectory snapshots
+    /// live, recompute the rest" — the winner of the tuner's
+    /// snapshot-count axis when a time loop was described
+    /// (`TuneOptions::with_time_loop`), `None` for plain single-sweep
+    /// tunings. Like `threads`, it is advice to the *driver* of the
+    /// schedule (the checkpointed time loop), not a compile-time knob:
+    /// [`SchedOptions::from_tuned`] ignores it.
+    pub checkpoint: Option<usize>,
 }
 
 impl Default for TunedConfig {
@@ -55,6 +64,7 @@ impl Default for TunedConfig {
             fuse: true,
             cse: false,
             threads: 1,
+            checkpoint: None,
         }
     }
 }
@@ -62,8 +72,12 @@ impl Default for TunedConfig {
 impl TunedConfig {
     /// Compact one-line description for logs and bench output.
     pub fn describe(&self) -> String {
+        let ckpt = match self.checkpoint {
+            Some(b) => format!(" ckpt {b}"),
+            None => String::new(),
+        };
         format!(
-            "{:?}/{:?}/{:?} tile {:?} fuse {} cse {} ({} threads)",
+            "{:?}/{:?}/{:?} tile {:?} fuse {} cse {}{ckpt} ({} threads)",
             self.strategy, self.lowering, self.policy, self.tile, self.fuse, self.cse, self.threads
         )
     }
@@ -105,6 +119,7 @@ mod tests {
             fuse: false,
             cse: true,
             threads: 4,
+            checkpoint: Some(16),
         };
         let opts = SchedOptions::from_tuned(&cfg);
         assert_eq!(opts.tile.as_deref(), Some(&[8, 128][..]));
@@ -120,6 +135,15 @@ mod tests {
         let cfg = TunedConfig::default();
         assert_eq!(cfg.strategy, TunedStrategy::Parallel);
         assert!(cfg.fuse);
+        assert_eq!(cfg.checkpoint, None, "no checkpointing unless tuned for");
+        // The checkpoint budget is driver advice, not a compile-time knob.
+        assert!(cfg.describe().contains("fuse true"));
+        assert!(!cfg.describe().contains("ckpt"));
+        let with_ckpt = TunedConfig {
+            checkpoint: Some(8),
+            ..cfg.clone()
+        };
+        assert!(with_ckpt.describe().contains("ckpt 8"));
         let opts = SchedOptions::from_tuned(&cfg);
         // An empty tile vector means "pick the rank default".
         assert_eq!(opts.tile, None);

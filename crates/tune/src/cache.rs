@@ -114,9 +114,14 @@ impl TuneCache {
             .iter()
             .map(|(k, e)| {
                 let tile: Vec<String> = e.config.tile.iter().map(|t| t.to_string()).collect();
+                let checkpoint = match e.config.checkpoint {
+                    Some(b) => b.to_string(),
+                    None => "null".to_string(),
+                };
                 format!(
                     "{{\"key\":{},\"strategy\":{},\"lowering\":{},\"policy\":{},\
-                     \"tile\":[{}],\"fuse\":{},\"cse\":{},\"threads\":{},\"seconds\":{}}}",
+                     \"tile\":[{}],\"fuse\":{},\"cse\":{},\"threads\":{},\
+                     \"checkpoint\":{checkpoint},\"seconds\":{}}}",
                     json::escape(k),
                     json::escape(strategy_name(e.config.strategy)),
                     json::escape(lowering_name(e.config.lowering)),
@@ -175,6 +180,12 @@ impl TuneCache {
                     .get("threads")
                     .and_then(Value::as_i64)
                     .ok_or("entry missing `threads`")? as usize,
+                // Absent (pre-checkpoint cache files) and explicit null
+                // both mean "no checkpointed time loop was tuned".
+                checkpoint: e
+                    .get("checkpoint")
+                    .and_then(Value::as_i64)
+                    .map(|b| b as usize),
             };
             let seconds = e
                 .get("seconds")
@@ -308,6 +319,7 @@ mod tests {
                 fuse: true,
                 cse: true,
                 threads: 8,
+                checkpoint: None,
             },
             seconds: 1.25e-3,
         }
@@ -367,6 +379,32 @@ mod tests {
             parsed.lookup("jit-key").unwrap().config.lowering,
             Lowering::Jit
         );
+    }
+
+    #[test]
+    fn checkpoint_budgets_round_trip_and_default_to_none() {
+        // A tuner win carrying a snapshot budget must survive the JSON
+        // file, so later processes reuse the checkpointed time-loop
+        // choice without re-searching.
+        let mut e = entry();
+        e.config.checkpoint = Some(12);
+        let mut cache = TuneCache::new();
+        cache.insert("ckpt-key", e.clone());
+        let text = cache.to_json();
+        assert!(text.contains("\"checkpoint\":12"));
+        let parsed = TuneCache::from_json(&text).unwrap();
+        assert_eq!(parsed.lookup("ckpt-key"), Some(&e));
+        // Entries written before the field existed parse as None.
+        let legacy = text.replace(",\"checkpoint\":12", "");
+        let parsed = TuneCache::from_json(&legacy).unwrap();
+        assert_eq!(parsed.lookup("ckpt-key").unwrap().config.checkpoint, None);
+        // Plain single-sweep entries serialize an explicit null.
+        let mut with_none = TuneCache::new();
+        with_none.insert("k", entry());
+        let text = with_none.to_json();
+        assert!(text.contains("\"checkpoint\":null"));
+        let parsed = TuneCache::from_json(&text).unwrap();
+        assert_eq!(parsed.lookup("k").unwrap().config.checkpoint, None);
     }
 
     #[test]

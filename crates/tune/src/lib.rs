@@ -73,8 +73,9 @@ pub mod tuner;
 
 pub use cache::{cache_key, fingerprint_nests, machine_signature, CacheEntry, TuneCache};
 pub use perforad_sched::{run_tuned, TunedConfig, TunedStrategy};
-pub use space::{search_space, search_space_full, tile_palette};
+pub use space::{budget_palette, search_space, search_space_full, tile_palette};
 pub use timing::{time_best, time_once};
 pub use tuner::{
-    autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TuneError, TuneOptions, TuneReport,
+    autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TimeLoop, TuneError, TuneOptions,
+    TuneReport,
 };

@@ -62,6 +62,7 @@ pub fn search_space_full(rank: usize, threads: usize, jit: bool) -> Vec<TunedCon
                         fuse,
                         cse: false,
                         threads: threads.max(1),
+                        checkpoint: None,
                     });
                 }
                 space.push(TunedConfig {
@@ -72,11 +73,44 @@ pub fn search_space_full(rank: usize, threads: usize, jit: bool) -> Vec<TunedCon
                     fuse,
                     cse: false,
                     threads: 1,
+                    checkpoint: None,
                 });
             }
         }
     }
     space
+}
+
+/// The snapshot-count axis for checkpointed time loops: candidate
+/// budgets for a `steps`-long sweep whose per-snapshot state occupies
+/// `state_bytes`, on a machine willing to spend `mem_budget_bytes` on
+/// live snapshots. Powers of two from 2 up to the memory ceiling, plus
+/// the ceiling itself and — when it fits — `steps` (store-all). Budget 1
+/// (quadratic recompute) joins only when nothing else fits, so the tuner
+/// always has at least one candidate.
+pub fn budget_palette(steps: usize, state_bytes: usize, mem_budget_bytes: usize) -> Vec<usize> {
+    if steps == 0 {
+        return vec![1];
+    }
+    let fit_cap = mem_budget_bytes
+        .checked_div(state_bytes)
+        .unwrap_or(steps)
+        .min(steps);
+    let mut palette = Vec::new();
+    let mut b = 2usize;
+    while b <= fit_cap {
+        palette.push(b);
+        b *= 2;
+    }
+    if fit_cap >= 2 && !palette.contains(&fit_cap) {
+        palette.push(fit_cap);
+    }
+    if palette.is_empty() {
+        // Even two snapshots blow the budget: recompute-from-start is
+        // the only bounded-memory option left.
+        palette.push(1);
+    }
+    palette
 }
 
 #[cfg(test)]
@@ -122,6 +156,23 @@ mod tests {
         assert!(with_jit
             .iter()
             .any(|c| c.lowering == Lowering::Jit && c.strategy == TunedStrategy::Serial));
+    }
+
+    #[test]
+    fn budget_palette_respects_the_memory_ceiling() {
+        // 1 KiB states, 10 KiB budget: at most 10 snapshots fit.
+        let p = budget_palette(1000, 1 << 10, 10 << 10);
+        assert_eq!(p, vec![2, 4, 8, 10]);
+        // Roomy memory: the palette tops out at store-all.
+        let p = budget_palette(24, 8, 1 << 30);
+        assert!(p.contains(&24), "store-all must be a candidate: {p:?}");
+        assert!(p.iter().all(|&b| b <= 24));
+        // Nothing fits: budget 1 is the only bounded-memory option.
+        assert_eq!(budget_palette(100, 1 << 20, 1 << 20), vec![1]);
+        assert_eq!(budget_palette(0, 8, 1 << 20), vec![1]);
+        // Monotone and duplicate-free.
+        let p = budget_palette(4096, 1 << 20, 100 << 20);
+        assert!(p.windows(2).all(|w| w[0] < w[1]), "{p:?}");
     }
 
     #[test]

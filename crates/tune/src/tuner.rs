@@ -17,11 +17,14 @@
 use crate::cache::{
     cache_key, fingerprint_nests, fnv1a64, memory_lookup, memory_store, CacheEntry, TuneCache,
 };
-use crate::space::search_space_full;
+use crate::space::{budget_palette, search_space_full};
 use crate::timing::time_best;
+use perforad_ckpt::CheckpointPlan;
 use perforad_core::{Adjoint, BoundaryStrategy, LoopNest};
 use perforad_exec::{Binding, Lowering, ThreadPool, Workspace};
-use perforad_perfmodel::{host, predict_schedule, profile, Machine, ScheduleShape};
+use perforad_perfmodel::{
+    host, predict_checkpoint, predict_schedule, profile, Machine, ScheduleShape,
+};
 use perforad_sched::{
     compile_schedule_nests, run_tuned, SchedError, SchedOptions, Schedule, TilePolicy, TunedConfig,
     TunedStrategy,
@@ -47,6 +50,42 @@ pub enum Measure {
     /// `perforad_jit::prepare_schedule` runs). The cheapest mode;
     /// useful when a workload cannot afford even top-K timing sweeps.
     Model,
+}
+
+/// A checkpointed time loop the tuned schedule will drive, described to
+/// the tuner so it can search the snapshot-count axis jointly with the
+/// stencil schedule. The axis is *separable*: the budget never changes
+/// per-sweep cost, so the tuner times sweeps once per schedule candidate
+/// and prices every budget analytically on top of the winner's measured
+/// time — jointly optimal under the model at the cost of a single axis
+/// sweep, not a cross product.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeLoop {
+    /// Time steps in the sweep.
+    pub steps: usize,
+    /// Bytes per trajectory snapshot (the full time-loop state).
+    pub state_bytes: usize,
+    /// One primal step's cost as a fraction of one adjoint sweep (the
+    /// quantity the tuner actually measures). The adjoint of a stencil
+    /// step does strictly more work than the step itself, so this is
+    /// below 1; recompute cost scales with it.
+    pub primal_factor: f64,
+}
+
+impl TimeLoop {
+    /// Describe a sweep; the primal/adjoint cost ratio defaults to 0.5.
+    pub fn new(steps: usize, state_bytes: usize) -> Self {
+        TimeLoop {
+            steps,
+            state_bytes,
+            primal_factor: 0.5,
+        }
+    }
+
+    pub fn with_primal_factor(mut self, f: f64) -> Self {
+        self.primal_factor = f.max(0.0);
+        self
+    }
 }
 
 /// Tuner knobs.
@@ -78,6 +117,13 @@ pub struct TuneOptions {
     /// `0` disables refinement; [`Measure::Model`] never refines (there
     /// is nothing empirical to climb).
     pub refine_rounds: usize,
+    /// When the schedule will drive a checkpointed time loop, its shape:
+    /// the tuner then also searches the snapshot budget (the
+    /// [`budget_palette`] axis, priced by
+    /// [`perforad_perfmodel::predict_checkpoint`] against
+    /// [`Machine::mem_budget_bytes`]) and records the winner in
+    /// [`TunedConfig::checkpoint`].
+    pub time_loop: Option<TimeLoop>,
 }
 
 impl Default for TuneOptions {
@@ -94,6 +140,7 @@ impl Default for TuneOptions {
             cse: false,
             jit: true,
             refine_rounds: 1,
+            time_loop: None,
         }
     }
 }
@@ -150,6 +197,13 @@ impl TuneOptions {
         self.refine_rounds = rounds;
         self
     }
+
+    /// Tune for a checkpointed time loop: search the snapshot-count axis
+    /// too, recording the winning budget in [`TunedConfig::checkpoint`].
+    pub fn with_time_loop(mut self, time_loop: TimeLoop) -> Self {
+        self.time_loop = Some(time_loop);
+        self
+    }
 }
 
 /// Why tuning failed. (Cache-file I/O never fails a tuning run: an
@@ -199,6 +253,12 @@ pub struct TuneReport {
     pub refined: usize,
     /// Model ranking of the full space, best predicted first.
     pub predictions: Vec<(TunedConfig, f64)>,
+    /// The snapshot-count axis, when a [`TimeLoop`] was described:
+    /// `(budget, predicted time-loop seconds)` per candidate, in palette
+    /// order; `f64::INFINITY` marks budgets whose live set blows
+    /// [`Machine::mem_budget_bytes`]. Empty otherwise (and on cache
+    /// hits — the cached config already carries the winning budget).
+    pub checkpoint_candidates: Vec<(usize, f64)>,
 }
 
 /// Tune a nest list: enumerate, model-prune, time, cache, and return the
@@ -220,6 +280,17 @@ pub fn autotune_nests(
         // CSE changes the compiled programs, so tunings must not be
         // shared across the setting.
         key.push_str("|cse");
+    }
+    if let Some(tl) = &opts.time_loop {
+        // The winning snapshot budget depends on the sweep shape AND on
+        // what it was priced against — a budget cached under a roomy
+        // memory cap must never be replayed under a tight one (it could
+        // blow the exact cap the feature exists to honour) — so the key
+        // carries the full pricing context, not just the sweep.
+        key.push_str(&format!(
+            "|tl{}x{}m{}p{}",
+            tl.steps, tl.state_bytes, opts.machine.mem_budget_bytes, tl.primal_factor
+        ));
     }
 
     // Cache layers first: memory, then file.
@@ -365,7 +436,7 @@ pub fn autotune_nests(
         }
     }
 
-    let (schedule, config, seconds) = match best {
+    let (schedule, mut config, seconds) = match best {
         Some(b) => b,
         None => {
             return Err(last_err
@@ -373,6 +444,17 @@ pub fn autotune_nests(
                 .unwrap_or(TuneError::EmptySpace))
         }
     };
+
+    // Snapshot-count axis: with the per-sweep winner fixed, price every
+    // feasible checkpoint budget on top of its measured sweep time. The
+    // axis is separable (the budget never changes per-sweep cost), so
+    // this single sweep is jointly optimal under the model.
+    let mut checkpoint_candidates = Vec::new();
+    if let Some(tl) = &opts.time_loop {
+        let (budget, scored) = pick_budget(&opts.machine, tl, seconds);
+        config.checkpoint = Some(budget);
+        checkpoint_candidates = scored;
+    }
 
     // Record the win in both cache layers.
     let entry = CacheEntry {
@@ -398,8 +480,39 @@ pub fn autotune_nests(
         timed,
         refined,
         predictions: ranked,
+        checkpoint_candidates,
     };
     Ok((schedule, report))
+}
+
+/// Score every palette budget for a time loop whose adjoint sweep costs
+/// `adjoint_step_s`, returning the winner (ties to the smaller budget —
+/// less memory for the same predicted time) and the full scored axis.
+/// When every budget is infeasible the smallest palette entry wins: the
+/// model cannot bless it, but bounded memory beats none at all.
+fn pick_budget(
+    machine: &Machine,
+    tl: &TimeLoop,
+    adjoint_step_s: f64,
+) -> (usize, Vec<(usize, f64)>) {
+    let primal_step_s = adjoint_step_s * tl.primal_factor;
+    let scored: Vec<(usize, f64)> =
+        budget_palette(tl.steps, tl.state_bytes, machine.mem_budget_bytes)
+            .into_iter()
+            .map(|budget| {
+                let shape = CheckpointPlan::with_budget(tl.steps, budget).shape(tl.state_bytes);
+                (
+                    budget,
+                    predict_checkpoint(machine, primal_step_s, adjoint_step_s, &shape),
+                )
+            })
+            .collect();
+    let budget = scored
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|&(b, _)| b)
+        .unwrap_or(1);
+    (budget, scored)
 }
 
 /// Natively prepare a JIT candidate's schedule (registry → artifact
@@ -496,6 +609,7 @@ fn finish_cached(
         timed: 0,
         refined: 0,
         predictions: Vec::new(),
+        checkpoint_candidates: Vec::new(),
     };
     Ok((schedule, report))
 }
@@ -791,6 +905,82 @@ mod tests {
                 assert!(j < i, "jit {j} must outrank interpreter {i}");
             }
         }
+    }
+
+    #[test]
+    fn time_loop_tuning_picks_and_caches_a_snapshot_budget() {
+        let adj = adjoint();
+        let pool = ThreadPool::new(2);
+        // n=320 keeps this test's cache keys disjoint from every other
+        // test in this module (the memory layer is process-global).
+        let (mut ws, bind) = setup(320);
+        // 1 MiB states, 512-step sweep, 16 MiB budget: at most 16
+        // snapshots fit, so store-all is infeasible and some recompute
+        // must be accepted.
+        let mut machine = host(2);
+        machine.mem_budget_bytes = 16 << 20;
+        let tl = TimeLoop::new(512, 1 << 20);
+        let opts = TuneOptions::default()
+            .without_cache()
+            .with_machine(machine)
+            .with_jit(false)
+            .with_measure(Measure::Synthetic { seed: 5 })
+            .with_time_loop(tl);
+        let (_, report) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        let budget = report.config.checkpoint.expect("budget searched");
+        assert!((2..=16).contains(&budget), "budget {budget}");
+        // The axis was scored, infeasible budgets marked infinite, and
+        // the winner is the finite minimum.
+        assert!(!report.checkpoint_candidates.is_empty());
+        assert!(report
+            .checkpoint_candidates
+            .iter()
+            .all(|&(b, s)| (b > 16) == s.is_infinite()));
+        let best = report
+            .checkpoint_candidates
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        assert_eq!(best.0, budget);
+
+        // The budget survives the cache: a second tuner (memory layer)
+        // returns the same config, checkpoint included.
+        let opts = TuneOptions {
+            memory_cache: true,
+            ..opts
+        };
+        let (_, first) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        let (_, second) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &opts).unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.config.checkpoint, first.config.checkpoint);
+        // A plain tuning of the same nests must not share the entry.
+        let plain = TuneOptions {
+            time_loop: None,
+            ..opts
+        };
+        let (_, third) = autotune_adjoint(&adj, &mut ws, &bind, &pool, &plain).unwrap();
+        assert!(!third.cache_hit, "time-loop tunings must not leak");
+        assert_eq!(third.config.checkpoint, None);
+    }
+
+    #[test]
+    fn pick_budget_prefers_less_recompute_when_memory_allows() {
+        let machine = host(4); // 2 GiB budget
+        let tl = TimeLoop::new(100, 1 << 10); // 1 KiB states: everything fits
+        let (budget, scored) = pick_budget(&machine, &tl, 1e-3);
+        // With memory free, store-all (zero recompute) wins.
+        assert_eq!(budget, 100, "{scored:?}");
+        // Starve the memory: the winner shrinks but stays feasible.
+        let mut tight = machine;
+        tight.mem_budget_bytes = 8 << 10;
+        let (budget, scored) = pick_budget(&tight, &tl, 1e-3);
+        assert!(budget <= 8, "budget {budget} of {scored:?}");
+        assert!(scored.iter().any(|&(_, s)| s.is_finite()));
+        // Nothing fits: fall back to the constant-memory budget 1.
+        tight.mem_budget_bytes = 512;
+        let (budget, scored) = pick_budget(&tight, &tl, 1e-3);
+        assert_eq!(budget, 1);
+        assert!(scored.iter().all(|&(_, s)| s.is_infinite()));
     }
 
     #[test]

@@ -15,7 +15,11 @@
 //! * [`jit`] — run-time native lowering: fused groups compiled by
 //!   `rustc` into `dlopen`-loaded cdylibs;
 //! * [`sched`] — the fusion + tiling execution scheduler;
-//! * [`tune`] — the perf-model-guided autotuner for adjoint schedules;
+//! * [`tune`] — the perf-model-guided autotuner for adjoint schedules
+//!   and checkpoint budgets;
+//! * [`ckpt`] — memory-budgeted checkpointed time loops: binomial
+//!   (revolve) snapshot plans, memory/disk snapshot stores, and the
+//!   replay driver;
 //! * [`autodiff`] — tape-based conventional AD (verification baseline);
 //! * [`perfmodel`] — Broadwell/KNL analytic models for the figures;
 //! * [`pde`] — the wave/Burgers/heat test cases, seismic gradients,
@@ -117,6 +121,47 @@
 //! assert!(ws.grid("u_b").sum() != 0.0);
 //! ```
 //!
+//! ## Checkpointing
+//!
+//! A reverse sweep over `T` time steps needs the primal trajectory, and
+//! storing it densely caps `T` at whatever RAM allows. The [`ckpt`]
+//! subsystem bounds that memory instead: a [`ckpt::CheckpointPlan`]
+//! places binomial (revolve) checkpoints for a given snapshot budget, a
+//! [`ckpt::SnapshotStore`] keeps them in RAM ([`ckpt::MemStore`]) or
+//! spills them bitwise-exactly to disk ([`ckpt::DiskStore`], see
+//! `PERFORAD_CKPT_DIR`), and [`ckpt::checkpointed_adjoint_plan`] replays
+//! forward segments from snapshots so the reverse sweep sees every state
+//! without ever materializing the trajectory. The result is
+//! bitwise-identical to store-all — only the memory/recompute trade-off
+//! moves, and the autotuner picks the budget
+//! (`TuneOptions::with_time_loop`) jointly with the stencil schedule.
+//!
+//! ```
+//! use perforad::prelude::*;
+//!
+//! // x_{t+1} = x_t + dt·x_t², J = x_T, reversed under a budget of 5
+//! // snapshots instead of the 65 a store-all sweep would keep live.
+//! let step = |x: &f64, _t: usize| x + 0.01 * x * x;
+//! let plan = CheckpointPlan::with_budget(64, 5);
+//! let (mut x_t, mut lambda) = (0.0, 1.0);
+//! let report = checkpointed_adjoint_plan(
+//!     &plan,
+//!     0.8_f64,
+//!     &mut MemStore::new(),
+//!     &mut |x, t| step(x, t),
+//!     &mut |x| x_t = *x,                        // objective: J = x_T
+//!     &mut |x, _t| lambda *= 1.0 + 0.02 * x,    // reverse step
+//! ).unwrap();
+//!
+//! // Bitwise-identical to the dense reference...
+//! let mut reference = vec![0.8_f64];
+//! for t in 0..64 { reference.push(step(&reference[t], t)); }
+//! assert_eq!(x_t.to_bits(), reference[64].to_bits());
+//! // ...at 5 live snapshots, paying a bounded recompute ratio.
+//! assert!(report.peak_snapshots <= 5);
+//! assert!(report.recompute_ratio() < 3.0);
+//! ```
+//!
 //! ## JIT execution
 //!
 //! The interpreter and the row executor still pay per-op dispatch; the
@@ -162,6 +207,7 @@
 //! ```
 
 pub use perforad_autodiff as autodiff;
+pub use perforad_ckpt as ckpt;
 pub use perforad_codegen as codegen;
 pub use perforad_core as core;
 pub use perforad_exec as exec;
@@ -174,6 +220,10 @@ pub use perforad_tune as tune;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use perforad_ckpt::{
+        checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, MemStore, Snapshot,
+        SnapshotStore,
+    };
     pub use perforad_codegen::{c_nest, parse_stencil, print_function, COptions};
     pub use perforad_core::{
         make_loop_nest, ActivityMap, Adjoint, AdjointOptions, BoundaryStrategy, LoopNest,
@@ -191,7 +241,7 @@ pub mod prelude {
     };
     pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
     pub use perforad_tune::{
-        autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TuneError, TuneOptions,
-        TuneReport,
+        autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TimeLoop, TuneError,
+        TuneOptions, TuneReport,
     };
 }

@@ -21,6 +21,7 @@ fn tuning_cache_round_trips_an_identical_config() {
         fuse: false,
         cse: true,
         threads: 1,
+        checkpoint: Some(8),
     };
     let entry = CacheEntry {
         config: config.clone(),
