@@ -37,6 +37,10 @@
 //! 0.25), `PERFORAD_BENCH_GATE_FLOOR_US` (min gated series time, default
 //! 100). The jit series additionally honours `PERFORAD_JIT_CACHE`
 //! (artifact directory) and `PERFORAD_JIT_RUSTC` (toolchain override).
+//! With `PERFORAD_TRACE=1` the run records spans across every layer,
+//! prints the `TraceReport` rollup, embeds it as `"trace_report"` in the
+//! JSON, and writes a `chrome://tracing` file when `PERFORAD_TRACE_OUT`
+//! names a path.
 
 use perforad_bench::{env_size, json_escape, time_best, Case};
 use perforad_exec::{
@@ -422,10 +426,29 @@ fn main() {
         seismic.budget
     ));
 
+    // The observability rollup: when recording is on (PERFORAD_TRACE=1)
+    // the whole run — tuner search, JIT builds, checkpointed sweeps,
+    // parallel regions — has been recording spans. Summarize them into
+    // the payload, and export the raw Chrome trace when
+    // PERFORAD_TRACE_OUT names a path.
+    let trace_json = if perforad_obs::enabled() {
+        let events = perforad_obs::collect_events();
+        let report = perforad_obs::TraceReport::build(&events, 10);
+        println!("\n{report}");
+        match perforad_obs::write_trace_if_configured(&events) {
+            Ok(Some(p)) => println!("wrote Chrome trace: {}", p.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("Chrome trace export failed: {e}"),
+        }
+        format!(",\"trace_report\":{}", report.to_json())
+    } else {
+        String::new()
+    };
+
     let payload = format!(
         "{{\"bench\":\"exec_lowering\",\"threads\":{threads},\"samples\":{reps},\
          \"wave_n\":{n},\"burgers_n\":{nb},\"seismic_n\":{sn},\"seismic_steps\":{ssteps},\
-         \"cases\":[{}]}}",
+         \"cases\":[{}]{trace_json}}}",
         case_json.join(",")
     );
     let path =

@@ -31,6 +31,14 @@ pub struct CkptReport {
     pub peak_snapshot_bytes: usize,
     /// Snapshot store backend ("memory" / "disk").
     pub store: &'static str,
+    /// *Measured* recompute ratio, from the observability layer: primal
+    /// steps re-executed under `ckpt.recompute` spans, divided by
+    /// `steps`. `Some` only when recording was enabled
+    /// ([`perforad_obs::enabled`]) for the whole sweep; by construction
+    /// it must equal [`CkptReport::recompute_ratio`], and a test pins
+    /// both against [`CheckpointPlan::stats`]'s exact prediction —
+    /// closing the model-vs-reality gap instead of assuming it.
+    pub recompute_ratio_observed: Option<f64>,
 }
 
 impl CkptReport {
@@ -68,6 +76,12 @@ pub fn checkpointed_adjoint_plan<S>(
     let mut cursor = s0;
     let mut recomputed = 0usize;
     let mut peak_live = 0usize;
+    // The observed ratio is accumulated locally (not read back from the
+    // process-wide counters) so concurrent sweeps in one process cannot
+    // contaminate each other's reports; `obs_on` is latched once so a
+    // mid-sweep toggle yields `None` semantics, not a partial count.
+    let obs_on = perforad_obs::enabled();
+    let mut obs_recomputed = 0u64;
     for act in plan.actions() {
         match act {
             CkptAction::Advance {
@@ -75,30 +89,64 @@ pub fn checkpointed_adjoint_plan<S>(
                 to,
                 recompute,
             } => {
+                let _span = if recompute {
+                    perforad_obs::span!(
+                        "ckpt.recompute", "ckpt", "from" => from as u64, "to" => to as u64
+                    )
+                } else {
+                    perforad_obs::span!(
+                        "ckpt.advance", "ckpt", "from" => from as u64, "to" => to as u64
+                    )
+                };
                 for t in from..to {
                     cursor = step(&cursor, t);
                 }
                 if recompute {
                     recomputed += to - from;
+                    if obs_on {
+                        obs_recomputed += (to - from) as u64;
+                        perforad_obs::counter("ckpt.recomputed_steps").add((to - from) as u64);
+                    }
                 }
             }
             CkptAction::Save { t } => {
+                let _span = perforad_obs::span!("ckpt.save", "ckpt", "t" => t as u64);
                 store.save(t, &cursor)?;
+                perforad_obs::counter("ckpt.saves").inc();
                 peak_live = peak_live.max(store.live());
             }
-            CkptAction::Load { t } => cursor = store.load(t)?,
+            CkptAction::Load { t } => {
+                let _span = perforad_obs::span!("ckpt.load", "ckpt", "t" => t as u64);
+                cursor = store.load(t)?;
+                perforad_obs::counter("ckpt.loads").inc();
+            }
             CkptAction::Free { t } => store.free(t)?,
-            CkptAction::Seed => seed(&cursor),
-            CkptAction::Back { t } => back(&cursor, t),
+            CkptAction::Seed => {
+                let _span = perforad_obs::span!("ckpt.seed", "ckpt");
+                seed(&cursor);
+            }
+            CkptAction::Back { t } => {
+                let _span = perforad_obs::span!("ckpt.back", "ckpt", "t" => t as u64);
+                back(&cursor, t);
+            }
         }
     }
+    perforad_obs::gauge("ckpt.peak_snapshot_bytes").set_max(store.peak_bytes() as u64);
+    let steps = plan.steps();
     Ok(CkptReport {
-        steps: plan.steps(),
+        steps,
         budget: plan.budget(),
         recomputed_steps: recomputed,
         peak_snapshots: peak_live,
         peak_snapshot_bytes: store.peak_bytes(),
         store: store.label(),
+        recompute_ratio_observed: obs_on.then(|| {
+            if steps == 0 {
+                0.0
+            } else {
+                obs_recomputed as f64 / steps as f64
+            }
+        }),
     })
 }
 
@@ -207,6 +255,30 @@ mod tests {
         assert_eq!(rep.recomputed_steps, 0);
         assert_eq!(rep.peak_snapshots, 0);
         assert_eq!(rep.recompute_ratio(), 0.0);
+    }
+
+    #[test]
+    fn observed_recompute_ratio_pins_the_plan_prediction() {
+        // Recording off: no observation, the field stays absent.
+        perforad_obs::set_enabled(false);
+        let (_, _, rep) = run_with(&mut MemStore::new(), 30, 3);
+        assert_eq!(rep.recompute_ratio_observed, None);
+
+        // Recording on: what the obs layer measured must equal both the
+        // report's own counting and the plan's exact simulation.
+        perforad_obs::set_enabled(true);
+        for (steps, budget) in [(50usize, 4usize), (64, 8), (100, 1), (33, 7), (0, 2)] {
+            let plan = CheckpointPlan::with_budget(steps, budget);
+            let stats = plan.stats();
+            let (_, _, rep) = run_with(&mut MemStore::new(), steps, budget);
+            let observed = rep
+                .recompute_ratio_observed
+                .expect("recording was enabled for the whole sweep");
+            assert_eq!(observed, stats.recompute_ratio(steps), "steps {steps}");
+            assert_eq!(observed, rep.recompute_ratio(), "steps {steps}");
+        }
+        perforad_obs::set_enabled(false);
+        perforad_obs::clear_events();
     }
 
     #[test]

@@ -189,15 +189,19 @@ impl<S: Clone + Snapshot> SnapshotStore<S> for MemStore<S> {
         }
         self.bytes += state.mem_bytes();
         self.peak = self.peak.max(self.bytes);
+        perforad_obs::counter("ckpt.save_bytes").add(state.mem_bytes() as u64);
         self.slots.insert(t, state.clone());
         Ok(())
     }
 
     fn load(&mut self, t: usize) -> Result<S, CkptError> {
-        self.slots
+        let state = self
+            .slots
             .get(&t)
             .cloned()
-            .ok_or_else(|| CkptError::Protocol(format!("load of dead snapshot {t}")))
+            .ok_or_else(|| CkptError::Protocol(format!("load of dead snapshot {t}")))?;
+        perforad_obs::counter("ckpt.load_bytes").add(state.mem_bytes() as u64);
+        Ok(state)
     }
 
     fn free(&mut self, t: usize) -> Result<(), CkptError> {
@@ -281,6 +285,8 @@ impl<S: Snapshot> SnapshotStore<S> for DiskStore {
             .map_err(|e| CkptError::Store(format!("write {}: {e}", path.display())))?;
         self.bytes += bytes.len();
         self.peak = self.peak.max(self.bytes);
+        perforad_obs::counter("ckpt.save_bytes").add(bytes.len() as u64);
+        perforad_obs::counter("ckpt.spill_bytes").add(bytes.len() as u64);
         self.live.insert(t, bytes.len());
         Ok(())
     }
@@ -292,6 +298,7 @@ impl<S: Snapshot> SnapshotStore<S> for DiskStore {
         let path = self.path(t);
         let bytes = std::fs::read(&path)
             .map_err(|e| CkptError::Store(format!("read {}: {e}", path.display())))?;
+        perforad_obs::counter("ckpt.load_bytes").add(bytes.len() as u64);
         S::from_bytes(&bytes)
     }
 

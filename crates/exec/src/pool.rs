@@ -11,9 +11,21 @@
 //! parallel regions, so a time-stepping loop pays thread-spawn cost once.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+
+/// Histogram of per-worker barrier wait (region wall time minus the
+/// worker's busy time) — the load-imbalance cost of each parallel region.
+fn barrier_wait_hist() -> &'static perforad_obs::Histogram {
+    static H: OnceLock<perforad_obs::Histogram> = OnceLock::new();
+    H.get_or_init(|| perforad_obs::histogram("exec.barrier_wait_ns"))
+}
+
+fn regions_counter() -> &'static perforad_obs::Counter {
+    static C: OnceLock<perforad_obs::Counter> = OnceLock::new();
+    C.get_or_init(|| perforad_obs::counter("exec.parallel_regions"))
+}
 
 type Job = &'static (dyn Fn(usize) + Sync);
 
@@ -71,7 +83,31 @@ impl ThreadPool {
     }
 
     /// Run `f(worker_id)` on every worker; blocks until all return.
+    ///
+    /// With tracing enabled ([`perforad_obs::enabled`]) each region also
+    /// records one `exec.barrier_wait_ns` histogram sample per worker —
+    /// the gap between a worker finishing its share and the whole team
+    /// crossing the barrier.
     pub fn run(&self, f: &(dyn Fn(usize) + Sync)) {
+        if !perforad_obs::enabled() {
+            return self.run_inner(f);
+        }
+        let busy: Vec<AtomicU64> = (0..self.workers.len()).map(|_| AtomicU64::new(0)).collect();
+        let t0 = perforad_obs::now_ns();
+        self.run_inner(&|tid| {
+            let s = perforad_obs::now_ns();
+            f(tid);
+            busy[tid].store(perforad_obs::now_ns().saturating_sub(s), Ordering::Relaxed);
+        });
+        let region_ns = perforad_obs::now_ns().saturating_sub(t0);
+        let wait = barrier_wait_hist();
+        for b in &busy {
+            wait.record(region_ns.saturating_sub(b.load(Ordering::Relaxed)));
+        }
+        regions_counter().inc();
+    }
+
+    fn run_inner(&self, f: &(dyn Fn(usize) + Sync)) {
         // SAFETY: the job pointer outlives its use because this function
         // blocks until every worker has finished the epoch (active == 0)
         // before returning, and the job slot is cleared below.

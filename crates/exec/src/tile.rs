@@ -22,7 +22,21 @@ use crate::run::{
     exec_point, make_buffers, max_stack, max_tmps, resolve_native, Buffers, Lowering,
 };
 use crate::workspace::Workspace;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// Dispatch counters: which lowering actually executed each tile
+/// (`exec.tiles_interp` / `exec.tiles_rows` / `exec.tiles_jit`), making
+/// rows-vs-jit fallback visible without a debugger.
+fn tile_counters() -> &'static [perforad_obs::Counter; 3] {
+    static C: OnceLock<[perforad_obs::Counter; 3]> = OnceLock::new();
+    C.get_or_init(|| {
+        [
+            perforad_obs::counter("exec.tiles_interp"),
+            perforad_obs::counter("exec.tiles_rows"),
+            perforad_obs::counter("exec.tiles_jit"),
+        ]
+    })
+}
 
 /// A rectangular slice of one nest's iteration space (inclusive bounds,
 /// outermost dimension first).
@@ -175,6 +189,14 @@ impl<'a> TileRunner<'a> {
         );
         if tile.points() == 0 {
             return;
+        }
+        if perforad_obs::enabled() {
+            let [interp, rows_c, jit] = tile_counters();
+            match self.lowering {
+                Lowering::PerPoint => interp.inc(),
+                Lowering::Jit if self.native.is_some() => jit.inc(),
+                Lowering::Rows | Lowering::Jit => rows_c.inc(),
+            }
         }
         match self.lowering {
             Lowering::PerPoint => self.walk_box(nest, tile, 0, 0, scratch),

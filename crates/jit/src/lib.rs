@@ -403,6 +403,7 @@ fn prepare_group(
     let fp = plan.fingerprint();
     if native_lookup(fp).is_some() {
         report.registered += 1;
+        perforad_obs::counter("jit.registry_hits").inc();
         return Ok(());
     }
     check_binding(plan, nests, cse, bind)?;
@@ -416,8 +417,13 @@ fn prepare_group(
     let artifact = dir.join(format!("{stem}.so"));
 
     if let Some(cached) = find_artifact(&dir, &artifact, fp) {
-        register_native(fp, load_group(&cached, plan.nests.len())?);
+        let group = {
+            let _span = perforad_obs::span!("jit.load", "jit", "nests" => plan.nests.len() as u64);
+            load_group(&cached, plan.nests.len())?
+        };
+        register_native(fp, group);
         report.loaded += 1;
+        perforad_obs::counter("jit.artifact_hits").inc();
         return Ok(());
     }
 
@@ -446,14 +452,22 @@ fn prepare_group(
     std::fs::write(&src_path, &source)
         .map_err(|e| JitError::Io(format!("{}: {e}", src_path.display())))?;
     let t0 = Instant::now();
-    let built = compile_cdylib(opts, &src_path, &artifact);
+    let built = {
+        let _span = perforad_obs::span!("jit.compile", "jit", "nests" => plan.nests.len() as u64);
+        compile_cdylib(opts, &src_path, &artifact)
+    };
     report.compile_ms += t0.elapsed().as_secs_f64() * 1e3;
     if !opts.keep_sources {
         let _ = std::fs::remove_file(&src_path);
     }
     built?;
-    register_native(fp, load_group(&artifact, plan.nests.len())?);
+    let group = {
+        let _span = perforad_obs::span!("jit.load", "jit", "nests" => plan.nests.len() as u64);
+        load_group(&artifact, plan.nests.len())?
+    };
+    register_native(fp, group);
     report.compiled += 1;
+    perforad_obs::counter("jit.artifact_misses").inc();
     Ok(())
 }
 

@@ -1,0 +1,211 @@
+//! Observability for the perforad adjoint pipeline.
+//!
+//! The pipeline spans five stages — schedule → tune → JIT → checkpoint →
+//! execute — and until now the only visibility into it was `bench_exec`'s
+//! end-to-end timings. This crate adds the missing layer, in the spirit of
+//! OpDiLib's event-based instrumentation of AD runtimes: cheap enough to
+//! stay compiled into the hot path, rich enough to show where a gradient's
+//! wall time actually goes (fusion-group barriers, tile dispatch, JIT
+//! compiles, checkpoint recomputation).
+//!
+//! Three pieces, all std-only:
+//!
+//! * **Tracing spans** ([`span!`], [`SpanGuard`]): RAII guards with
+//!   `&'static str` names and up to two `u64` args. Each thread records
+//!   into its own buffer (registered once, then touched only by its owner
+//!   — uncontended), so parallel adjoint sweeps get per-worker accounting.
+//!   When tracing is disabled the guard is a single relaxed atomic load
+//!   and a branch: no allocation, no clock read.
+//! * **Metrics registry** ([`counter`], [`gauge`], [`histogram`]): typed
+//!   handles backed by atomics, with fixed log-bucketed histograms.
+//!   [`MetricsSnapshot::collect`] turns the registry into a plain struct
+//!   with a JSON encoding.
+//! * **Exporters**: [`chrome_trace_json`] writes the recorded spans in
+//!   Chrome `chrome://tracing` / Perfetto format (`PERFORAD_TRACE_OUT`
+//!   names the file), and [`TraceReport`] rolls them up into per-phase
+//!   self/total times plus the top-N spans by self time.
+//!
+//! Tracing is off by default. Enable it with `PERFORAD_TRACE=1` in the
+//! environment or programmatically with [`set_enabled`]:
+//!
+//! ```
+//! perforad_obs::set_enabled(true);
+//! {
+//!     let _sweep = perforad_obs::span!("demo.sweep", "demo", "points" => 1024u64);
+//!     perforad_obs::counter("demo.sweeps").inc();
+//! }
+//! let events = perforad_obs::collect_events();
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].name, "demo.sweep");
+//! ```
+
+mod metrics;
+mod recorder;
+mod span;
+mod trace;
+
+pub use metrics::{
+    counter, gauge, histogram, reset_metrics, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsSnapshot, HIST_BUCKETS,
+};
+pub use recorder::{clear_events, collect_events, SpanEvent, SPAN_ARGS};
+pub use span::SpanGuard;
+pub use trace::{
+    chrome_trace_json, trace_out_path, write_chrome_trace, write_trace_if_configured, PhaseStat,
+    SpanStat, TraceReport, TRACE_ENV, TRACE_OUT_ENV,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Tri-state enabled flag: 0 = not yet initialised from the environment,
+/// 1 = disabled, 2 = enabled. Hot paths pay one relaxed load.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+/// Is tracing/metrics recording enabled?
+///
+/// First call initialises the flag from `PERFORAD_TRACE` (`1`/`true`/`on`
+/// enable it); after that it is a single relaxed atomic load. Every guard
+/// and metric handle checks this, so a disabled process records nothing
+/// and allocates nothing.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var(TRACE_ENV)
+        .map(|v| matches!(v.as_str(), "1" | "true" | "on"))
+        .unwrap_or(false);
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    on
+}
+
+/// Enable or disable recording programmatically, overriding
+/// `PERFORAD_TRACE`. Used by examples and tests; safe to call at any time
+/// (spans already in flight still complete and are recorded or dropped
+/// according to the flag's value when they *started*).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process-wide trace epoch (the first call).
+/// Monotonic; shared by every span so start times are comparable.
+#[inline]
+pub fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests mutate process-global state (the enabled flag, the recorder,
+    /// the metrics registry), so they serialise on this lock.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn with_clean_state<R>(f: impl FnOnce() -> R) -> R {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        clear_events();
+        reset_metrics();
+        let r = f();
+        set_enabled(false);
+        clear_events();
+        reset_metrics();
+        r
+    }
+
+    #[test]
+    fn set_enabled_overrides_env() {
+        let _g = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        with_clean_state(|| {
+            set_enabled(false);
+            {
+                let _s = span!("off.span", "test");
+                counter("off.counter").inc();
+            }
+            set_enabled(true);
+            assert!(collect_events().is_empty());
+            assert_eq!(counter("off.counter").get(), 0);
+        });
+    }
+
+    #[test]
+    fn span_args_are_recorded() {
+        with_clean_state(|| {
+            {
+                let _s = span!("argful", "test", "rows" => 7u64, "cols" => 9u64);
+            }
+            let ev = collect_events();
+            assert_eq!(ev.len(), 1);
+            assert_eq!(ev[0].args[0], ("rows", 7));
+            assert_eq!(ev[0].args[1], ("cols", 9));
+        });
+    }
+
+    #[test]
+    fn nested_spans_nest_in_time() {
+        with_clean_state(|| {
+            {
+                let _outer = span!("outer", "test");
+                let _inner = span!("inner", "test");
+            }
+            let ev = collect_events();
+            assert_eq!(ev.len(), 2);
+            let outer = ev.iter().find(|e| e.name == "outer").unwrap();
+            let inner = ev.iter().find(|e| e.name == "inner").unwrap();
+            assert!(inner.start_ns >= outer.start_ns);
+            assert!(inner.end_ns() <= outer.end_ns());
+        });
+    }
+
+    #[test]
+    fn worker_threads_get_distinct_tids() {
+        with_clean_state(|| {
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    std::thread::spawn(|| {
+                        let _s = span!("worker", "test");
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            let ev = collect_events();
+            assert_eq!(ev.len(), 3);
+            let mut tids: Vec<_> = ev.iter().map(|e| e.tid).collect();
+            tids.sort_unstable();
+            tids.dedup();
+            assert_eq!(tids.len(), 3, "each thread records under its own tid");
+        });
+    }
+}

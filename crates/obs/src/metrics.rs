@@ -1,0 +1,431 @@
+//! Typed metrics registry: counters, gauges, and log-bucketed histograms.
+//!
+//! Handles are resolved by name once ([`counter`], [`gauge`],
+//! [`histogram`]) — typically into a `OnceLock` at the call site — and
+//! from then on every update is a handful of atomic ops. Updates are
+//! dropped while recording is disabled ([`crate::enabled`]), mirroring the
+//! span contract, so a disabled process observes nothing and pays one
+//! relaxed load per update.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::enabled;
+
+/// Number of histogram buckets. Bucket 0 holds zero values; bucket `b`
+/// (for `b ≥ 1`) holds values in `[2^(b-1), 2^b)`, with the last bucket
+/// absorbing everything larger.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n` (no-op while recording is disabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one (no-op while recording is disabled).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge.
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge (no-op while recording is disabled).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the gauge to `v` if it is below it (no-op while disabled).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if enabled() {
+            self.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+/// A fixed log-bucketed histogram of `u64` samples (one bucket per power
+/// of two). Cheap enough for per-tile and per-worker recording: one
+/// `leading_zeros` plus three relaxed `fetch_add`s per sample.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one sample (no-op while recording is disabled).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if enabled() {
+            let cell = &*self.0;
+            cell.count.fetch_add(1, Ordering::Relaxed);
+            cell.sum.fetch_add(v, Ordering::Relaxed);
+            cell.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded samples.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    #[inline]
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Read-only snapshot of this histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cell = &*self.0;
+        let buckets: Vec<u64> = cell
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: cell.count.load(Ordering::Relaxed),
+            sum: cell.sum.load(Ordering::Relaxed),
+            p50: quantile_upper_bound(&buckets, 0.50),
+            p99: quantile_upper_bound(&buckets, 0.99),
+            buckets,
+        }
+    }
+}
+
+/// Upper bound of the bucket containing quantile `q` (0, since buckets
+/// are powers of two, the bound is exact to within 2x).
+fn quantile_upper_bound(buckets: &[u64], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64) * q).ceil() as u64;
+    let mut seen = 0u64;
+    for (b, &n) in buckets.iter().enumerate() {
+        seen += n;
+        if seen >= rank {
+            return if b == 0 { 0 } else { 1u64 << b.min(63) };
+        }
+    }
+    u64::MAX
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Upper bound of the bucket holding the median sample.
+    pub p50: u64,
+    /// Upper bound of the bucket holding the 99th-percentile sample.
+    pub p99: u64,
+    /// Raw bucket counts ([`HIST_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Resolve (registering on first use) the counter named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind —
+/// that is a programming error, not a runtime condition.
+pub fn counter(name: &'static str) -> Counter {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Counter(c) => c.clone(),
+        _ => panic!("metric {name:?} is not a counter"),
+    }
+}
+
+/// Resolve (registering on first use) the gauge named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn gauge(name: &'static str) -> Gauge {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg
+        .entry(name)
+        .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0)))))
+    {
+        Metric::Gauge(g) => g.clone(),
+        _ => panic!("metric {name:?} is not a gauge"),
+    }
+}
+
+/// Resolve (registering on first use) the histogram named `name`.
+///
+/// Panics if `name` is already registered as a different metric kind.
+pub fn histogram(name: &'static str) -> Histogram {
+    let mut reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    match reg.entry(name).or_insert_with(|| {
+        Metric::Histogram(Histogram(Arc::new(HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        })))
+    }) {
+        Metric::Histogram(h) => h.clone(),
+        _ => panic!("metric {name:?} is not a histogram"),
+    }
+}
+
+/// Zero every registered metric (handles stay valid). For tests and for
+/// isolating one measured region from the next.
+pub fn reset_metrics() {
+    let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+    for metric in reg.values() {
+        match metric {
+            Metric::Counter(c) => c.0.store(0, Ordering::Relaxed),
+            Metric::Gauge(g) => g.0.store(0, Ordering::Relaxed),
+            Metric::Histogram(h) => {
+                h.0.count.store(0, Ordering::Relaxed);
+                h.0.sum.store(0, Ordering::Relaxed);
+                for b in &h.0.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Point-in-time view of the whole registry, sorted by name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge.
+    pub gauges: Vec<(String, u64)>,
+    /// `(name, snapshot)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Snapshot every registered metric.
+    pub fn collect() -> Self {
+        let reg = registry().lock().unwrap_or_else(|e| e.into_inner());
+        let mut snap = MetricsSnapshot::default();
+        for (name, metric) in reg.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.to_string(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.to_string(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.to_string(), h.snapshot())),
+            }
+        }
+        snap
+    }
+
+    /// Encode as a JSON object: `{"counters":{...},"gauges":{...},
+    /// "histograms":{name:{"count","sum","mean","p50","p99"}}}`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{v}", escape_json(name)));
+        }
+        s.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\":{v}", escape_json(name)));
+        }
+        s.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean\":{:.3},\"p50\":{},\"p99\":{}}}",
+                escape_json(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.p50,
+                h.p99,
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, v) in &self.counters {
+            writeln!(f, "{name:<40} {v:>12}")?;
+        }
+        for (name, v) in &self.gauges {
+            writeln!(f, "{name:<40} {v:>12}")?;
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                f,
+                "{name:<40} {:>12} samples  mean {:>10.0}  p50 {:>10}  p99 {:>10}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p99,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::with_clean_state;
+
+    #[test]
+    fn counters_and_gauges_round_trip() {
+        with_clean_state(|| {
+            counter("m.count").add(3);
+            counter("m.count").inc();
+            gauge("m.gauge").set(17);
+            gauge("m.gauge").set_max(5); // below: no change
+            assert_eq!(counter("m.count").get(), 4);
+            assert_eq!(gauge("m.gauge").get(), 17);
+        });
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        with_clean_state(|| {
+            let h = histogram("m.hist");
+            for v in [0u64, 1, 2, 3, 1024, u64::MAX] {
+                h.record(v);
+            }
+            let snap = h.snapshot();
+            assert_eq!(snap.count, 6);
+            assert_eq!(snap.buckets[0], 1); // 0
+            assert_eq!(snap.buckets[1], 1); // 1
+            assert_eq!(snap.buckets[2], 2); // 2, 3
+            assert_eq!(snap.buckets[11], 1); // 1024
+            assert_eq!(snap.buckets[HIST_BUCKETS - 1], 1); // u64::MAX
+        });
+    }
+
+    #[test]
+    fn quantiles_are_bucket_upper_bounds() {
+        with_clean_state(|| {
+            let h = histogram("m.quant");
+            for _ in 0..99 {
+                h.record(100); // bucket 7: [64, 128)
+            }
+            h.record(1 << 40);
+            let snap = h.snapshot();
+            assert_eq!(snap.p50, 128);
+            assert!(snap.p99 >= 128);
+        });
+    }
+
+    #[test]
+    fn wrong_kind_panics() {
+        with_clean_state(|| {
+            counter("m.kind");
+            let r = std::panic::catch_unwind(|| gauge("m.kind"));
+            assert!(r.is_err());
+        });
+    }
+
+    #[test]
+    fn snapshot_to_json_is_well_formed() {
+        with_clean_state(|| {
+            counter("json.count").add(2);
+            gauge("json.gauge").set(9);
+            histogram("json.hist").record(50);
+            let json = MetricsSnapshot::collect().to_json();
+            assert!(json.contains("\"json.count\":2"));
+            assert!(json.contains("\"json.gauge\":9"));
+            assert!(json.contains("\"json.hist\":{\"count\":1"));
+            assert!(json.starts_with('{') && json.ends_with('}'));
+        });
+    }
+}

@@ -1,0 +1,103 @@
+//! The process-wide span recorder.
+//!
+//! Each thread that records a span lazily registers one [`ThreadBuf`] in a
+//! global registry and from then on pushes events under its own mutex.
+//! The mutex is uncontended in steady state — only [`collect_events`] /
+//! [`clear_events`] ever touch another thread's buffer — so recording is
+//! effectively a `Vec::push` plus one clock read per span boundary.
+
+use std::cell::OnceCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of `(key, value)` argument slots carried by each span.
+/// Unused slots hold `("", 0)` and are skipped by the exporters.
+pub const SPAN_ARGS: usize = 2;
+
+/// One completed span, as recorded by a [`crate::SpanGuard`] on drop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Static span name, e.g. `"exec.tile"`.
+    pub name: &'static str,
+    /// Coarse pipeline phase the span belongs to, e.g. `"exec"` — the
+    /// grouping key for [`crate::TraceReport`] rollups.
+    pub phase: &'static str,
+    /// Start time in nanoseconds since the trace epoch ([`crate::now_ns`]).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread, as a small sequential id (0 = first thread that
+    /// ever recorded, usually the main thread).
+    pub tid: u64,
+    /// Up to [`SPAN_ARGS`] static-keyed integer arguments.
+    pub args: [(&'static str, u64); SPAN_ARGS],
+}
+
+impl SpanEvent {
+    /// End time in nanoseconds since the trace epoch.
+    #[inline]
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL: OnceCell<Arc<ThreadBuf>> = const { OnceCell::new() };
+}
+
+fn local_buf_register() -> Arc<ThreadBuf> {
+    let buf = Arc::new(ThreadBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Mutex::new(Vec::new()),
+    });
+    registry()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Arc::clone(&buf));
+    buf
+}
+
+/// Record one completed span into the calling thread's buffer, stamping
+/// it with the thread's recorder id. Called by [`crate::SpanGuard`]; only
+/// reached when recording is enabled.
+pub(crate) fn record(mut ev: SpanEvent) {
+    LOCAL.with(|cell| {
+        let buf = cell.get_or_init(local_buf_register);
+        ev.tid = buf.tid;
+        buf.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(ev);
+    });
+}
+
+/// Drain every thread's buffer and return all recorded spans, sorted by
+/// start time. Buffers stay registered (threads keep their ids), but are
+/// left empty — a subsequent `collect_events` returns only new spans.
+pub fn collect_events() -> Vec<SpanEvent> {
+    let bufs: Vec<Arc<ThreadBuf>> = registry().lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let mut out = Vec::new();
+    for buf in bufs {
+        let mut events = buf.events.lock().unwrap_or_else(|e| e.into_inner());
+        out.append(&mut events);
+    }
+    out.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.dur_ns)));
+    out
+}
+
+/// Discard all buffered spans without returning them.
+pub fn clear_events() {
+    drop(collect_events());
+}

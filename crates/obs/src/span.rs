@@ -1,0 +1,90 @@
+//! RAII span guards and the [`span!`] macro.
+
+use crate::recorder::{self, SpanEvent, SPAN_ARGS};
+use crate::{enabled, now_ns};
+
+/// An in-flight span. Created by [`crate::span!`] (or [`SpanGuard::enter`]);
+/// records a [`SpanEvent`] when dropped. When recording is disabled the
+/// guard holds nothing and drop is free — the whole round trip is one
+/// relaxed atomic load and a branch.
+///
+/// Bind it to a named variable (`let _span = ...`, not `let _ = ...`) so
+/// it lives to the end of the scope being measured.
+#[must_use = "a span guard measures the scope it is bound in; dropping it immediately records an empty span"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: &'static str,
+    phase: &'static str,
+    start_ns: u64,
+    args: [(&'static str, u64); SPAN_ARGS],
+}
+
+impl SpanGuard {
+    /// Start a span with no arguments.
+    #[inline]
+    pub fn enter(name: &'static str, phase: &'static str) -> Self {
+        Self::enter_args(name, phase, [("", 0); SPAN_ARGS])
+    }
+
+    /// Start a span carrying up to [`SPAN_ARGS`] integer arguments;
+    /// unused slots are `("", 0)`.
+    #[inline]
+    pub fn enter_args(
+        name: &'static str,
+        phase: &'static str,
+        args: [(&'static str, u64); SPAN_ARGS],
+    ) -> Self {
+        if !enabled() {
+            return SpanGuard(None);
+        }
+        SpanGuard(Some(ActiveSpan {
+            name,
+            phase,
+            start_ns: now_ns(),
+            args,
+        }))
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(active) = self.0.take() {
+            recorder::record(SpanEvent {
+                name: active.name,
+                phase: active.phase,
+                start_ns: active.start_ns,
+                dur_ns: now_ns().saturating_sub(active.start_ns),
+                tid: 0, // stamped by the recorder
+                args: active.args,
+            });
+        }
+    }
+}
+
+/// Open a trace span over the enclosing scope.
+///
+/// `span!(name, phase)` or `span!(name, phase, "key" => value, ...)` with
+/// up to two `u64`-convertible values. Both `name` and `phase` (and the
+/// keys) must be `&'static str`. Returns a [`SpanGuard`] — bind it:
+///
+/// ```
+/// perforad_obs::set_enabled(true);
+/// {
+///     let _span = perforad_obs::span!("doc.work", "doc", "items" => 3u64);
+/// }
+/// assert_eq!(perforad_obs::collect_events().len(), 1);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr, $phase:expr $(,)?) => {
+        $crate::SpanGuard::enter($name, $phase)
+    };
+    ($name:expr, $phase:expr, $k0:expr => $v0:expr $(,)?) => {
+        $crate::SpanGuard::enter_args($name, $phase, [($k0, $v0 as u64), ("", 0)])
+    };
+    ($name:expr, $phase:expr, $k0:expr => $v0:expr, $k1:expr => $v1:expr $(,)?) => {
+        $crate::SpanGuard::enter_args($name, $phase, [($k0, $v0 as u64), ($k1, $v1 as u64)])
+    };
+}

@@ -3,36 +3,38 @@
 //! Intel-compiled C in the paper's setup; the VM-vs-static criterion bench
 //! quantifies the interpreter overhead of the bytecode path.
 //!
-//! These build-time kernels are the *oldest* of what is now a three-tier
-//! execution story, frozen at the two shapes generated here:
+//! These build-time kernels are the *oldest* corner of what is now a
+//! five-stage pipeline — **schedule → tune → JIT → checkpoint →
+//! execute** — frozen at the two shapes generated here:
 //!
-//! 1. **Bytecode VM** (`perforad_exec::bytecode`, `Lowering::PerPoint`)
-//!    — the per-point stack interpreter, the always-available reference
-//!    every other tier must match bitwise.
-//! 2. **Register-IR rows** (`perforad_exec::{regir, rows}`,
-//!    `Lowering::Rows`) — stack programs lowered to a register IR and
-//!    evaluated over whole innermost-dimension rows in vectorizable lane
-//!    chunks; several-fold over the VM with no compiler in the loop.
-//! 3. **JIT native** (`perforad-jit`, `Lowering::Jit`) — the run-time
+//! 1. **Schedule** (`perforad-sched`) — the adjoint's disjoint nests
+//!    fuse into barrier-free groups and tile into cache blocks.
+//! 2. **Tune** (`perforad-tune`) — the analytic model prunes the
+//!    `Strategy × Lowering × TilePolicy × tile × fusion` space (plus
+//!    the snapshot budget for time loops), the survivors are wall-clock
+//!    timed, and the winner persists in the tuning cache.
+//! 3. **JIT** (`perforad-jit`, `Lowering::Jit`) — the run-time
 //!    generalisation of this module: *any* fused, tiled schedule (not
 //!    just the two shapes frozen here) is emitted through the same
 //!    `perforad-codegen` Rust back-end, compiled out-of-process by
 //!    `rustc` into a `cdylib`, `dlopen`-loaded, and dispatched through
 //!    the tile executors. Artifacts persist across processes
-//!    (`PERFORAD_JIT_CACHE`), and execution falls back to tier 2 when no
-//!    toolchain is present.
+//!    (`PERFORAD_JIT_CACHE`); without a toolchain execution falls back
+//!    to the register-IR row executor (`Lowering::Rows`), whose own
+//!    reference is the per-point bytecode VM (`Lowering::PerPoint`) —
+//!    every lowering must match it bitwise.
+//! 4. **Checkpoint** (`perforad-ckpt`) — multi-step drivers (see
+//!    [`crate::seismic`]) stream states from a memory-budgeted revolve
+//!    plan rather than a densely stored trajectory; the executor never
+//!    knows (or cares) whether a state was stored or recomputed.
+//! 5. **Execute** (`perforad-exec`) — tile executors run each fusion
+//!    group as one parallel region, dispatching per tile into
+//!    native / rows / VM code.
 //!
-//! The `perforad-tune` autotuner searches across tiers 1–3 (plus tiling,
-//! fusion, and assignment policy) per kernel and machine; these static
-//! kernels remain as the golden reference for the generated-code path
-//! and as the build-time baseline the JIT is benchmarked against.
-//!
-//! Above all three tiers sits the `perforad-ckpt` time-loop layer: every
-//! tier executes *one* step or adjoint sweep against whatever state it
-//! is handed, and multi-step drivers (see [`crate::seismic`]) feed them
-//! states streamed from a memory-budgeted checkpoint plan rather than a
-//! densely stored trajectory — the executor tiers never know (or care)
-//! whether a state was stored or recomputed.
+//! Every stage reports into the `perforad-obs` observability layer
+//! (spans + metrics, enabled with `PERFORAD_TRACE=1`); these static
+//! kernels remain the golden reference for the generated-code path and
+//! the build-time baseline the JIT is benchmarked against.
 
 #[allow(dead_code)]
 mod wave3d_gen {

@@ -102,6 +102,7 @@ impl Stepper {
 
     /// Advance `(u_{t−1}, u_t)` to `(u_t, u_{t+1})`.
     fn step(&mut self, state: &WaveState, t: usize) -> WaveState {
+        let _span = perforad_obs::span!("seismic.step", "seismic", "t" => t as u64);
         *self.ws.grid_mut("u_1") = state.1.clone();
         *self.ws.grid_mut("u_2") = state.0.clone();
         self.ws.grid_mut("u").fill(0.0);
@@ -118,6 +119,9 @@ impl Stepper {
 /// long-sweep gradients never materialize this vector (see
 /// [`gradient_checkpointed`]).
 pub fn forward(cfg: &SeismicConfig, c: &Grid, source: &[f64]) -> Vec<Grid> {
+    let _span = perforad_obs::span!(
+        "seismic.forward", "seismic", "steps" => cfg.steps as u64, "n" => cfg.n as u64
+    );
     let dims = [cfg.n, cfg.n, cfg.n];
     let mut stepper = Stepper::new(cfg, c, source);
     let mut traj = Vec::with_capacity(cfg.steps + 1);
@@ -172,6 +176,7 @@ struct ReverseSweep {
 
 impl ReverseSweep {
     fn new(cfg: &SeismicConfig, c: &Grid, time_loop: Option<TimeLoop>) -> ReverseSweep {
+        let _span = perforad_obs::span!("seismic.setup", "seismic", "n" => cfg.n as u64);
         let dims = [cfg.n, cfg.n, cfg.n];
         let nest = wave3d::nest();
         let adj = nest
@@ -216,6 +221,7 @@ impl ReverseSweep {
     /// One adjoint step: consume `λ_{t+1}` with `u_1 = u_t` bound, leaving
     /// the `u_1_b`/`u_2_b`/`c_b` contributions in the workspace.
     fn back(&mut self, u_t: &Grid, lambda_next: &Grid) {
+        let _span = perforad_obs::span!("seismic.back", "seismic");
         *self.ws.grid_mut("u_1") = u_t.clone();
         *self.ws.grid_mut("u_b") = lambda_next.clone();
         self.ws.grid_mut("u_1_b").fill(0.0);
@@ -252,6 +258,9 @@ pub fn gradient_store_all(
     data: &Grid,
     source: &[f64],
 ) -> (f64, Grid) {
+    let _root = perforad_obs::span!(
+        "seismic.gradient_store_all", "seismic", "steps" => cfg.steps as u64, "n" => cfg.n as u64
+    );
     let dims = [cfg.n, cfg.n, cfg.n];
     let traj = forward(cfg, c, source);
     let j = misfit(&traj[cfg.steps], data);
@@ -330,6 +339,9 @@ pub fn gradient_checkpointed_with(
     backend: &SnapshotBackend,
 ) -> (f64, Grid, CkptReport) {
     assert_eq!(source.len(), cfg.steps);
+    let _root = perforad_obs::span!(
+        "seismic.gradient_checkpointed", "seismic", "steps" => cfg.steps as u64, "n" => cfg.n as u64
+    );
     let dims = [cfg.n, cfg.n, cfg.n];
     let s0: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
     let state_bytes = s0.mem_bytes();

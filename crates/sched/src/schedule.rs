@@ -265,6 +265,7 @@ pub fn compile_schedule_nests(
             bad.rank()
         )));
     }
+    let _span = perforad_obs::span!("sched.compile", "sched", "nests" => nests.len() as u64);
     let graph = dependence_graph(nests, &binding.sizes)?;
     let tile = resolve_tile(opts, nests[0].rank())?;
     let plan_opts = PlanOptions {
@@ -302,6 +303,14 @@ pub fn compile_schedule_nests(
             Ok(group)
         })
         .collect::<Result<Vec<_>, SchedError>>()?;
+    if perforad_obs::enabled() {
+        // Fusion decisions, countable: how many regions the dependence
+        // graph allowed, and how many edges forbade merging further.
+        perforad_obs::counter("sched.compiles").inc();
+        perforad_obs::counter("sched.groups").add(groups.len() as u64);
+        perforad_obs::counter("sched.fused_nests").add(nests.len() as u64);
+        perforad_obs::counter("sched.conflict_edges").add(graph.edge_count() as u64);
+    }
     Ok(Schedule {
         groups,
         graph,
@@ -343,7 +352,10 @@ pub fn run_schedule(
     if !schedule.gather_only() {
         return Err(SchedError::ScatterPlan);
     }
-    for group in &schedule.groups {
+    for (gi, group) in schedule.groups.iter().enumerate() {
+        let _group_span = perforad_obs::span!(
+            "exec.group", "exec", "group" => gi as u64, "tiles" => group.tiles.len() as u64
+        );
         let runner = TileRunner::new(&group.plan, ws)?.with_lowering(schedule.lowering);
         match schedule.policy {
             TilePolicy::Dynamic => {
@@ -355,11 +367,16 @@ pub fn run_schedule(
                         if k >= group.tiles.len() {
                             break;
                         }
+                        let tile = &group.tiles[k];
+                        let _tile_span = perforad_obs::span!(
+                            "exec.tile", "exec",
+                            "nest" => tile.nest as u64, "points" => tile.points()
+                        );
                         // SAFETY: tiles within a group have disjoint write
                         // sets (gather-only plan + per-nest disjoint boxes +
                         // dependence-checked cross-nest write regions), and
                         // the atomic counter hands each tile to one worker.
-                        unsafe { runner.run_tile(&group.tiles[k], &mut scratch) };
+                        unsafe { runner.run_tile(tile, &mut scratch) };
                     }
                 });
             }
@@ -368,9 +385,14 @@ pub fn run_schedule(
                 pool.run(&|tid| {
                     let mut scratch = runner.scratch();
                     for &k in &assignment[tid] {
+                        let tile = &group.tiles[k];
+                        let _tile_span = perforad_obs::span!(
+                            "exec.tile", "exec",
+                            "nest" => tile.nest as u64, "points" => tile.points()
+                        );
                         // SAFETY: as above; the LPT bins partition the tile
                         // list, so no tile runs on two workers.
-                        unsafe { runner.run_tile(&group.tiles[k], &mut scratch) };
+                        unsafe { runner.run_tile(tile, &mut scratch) };
                     }
                 });
             }
@@ -389,10 +411,16 @@ pub fn run_schedule_serial(
     if !schedule.gather_only() {
         return Err(SchedError::ScatterPlan);
     }
-    for group in &schedule.groups {
+    for (gi, group) in schedule.groups.iter().enumerate() {
+        let _group_span = perforad_obs::span!(
+            "exec.group", "exec", "group" => gi as u64, "tiles" => group.tiles.len() as u64
+        );
         let runner = TileRunner::new(&group.plan, ws)?.with_lowering(schedule.lowering);
         let mut scratch = runner.scratch();
         for t in &group.tiles {
+            let _tile_span = perforad_obs::span!(
+                "exec.tile", "exec", "nest" => t.nest as u64, "points" => t.points()
+            );
             // SAFETY: single-threaded execution cannot race.
             unsafe { runner.run_tile(t, &mut scratch) };
         }

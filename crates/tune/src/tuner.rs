@@ -274,6 +274,7 @@ pub fn autotune_nests(
     if nests.is_empty() {
         return Err(SchedError::BadInput("no nests to autotune".into()).into());
     }
+    let _span = perforad_obs::span!("tune.search", "tune", "nests" => nests.len() as u64);
     let threads = pool.size().max(1);
     let mut key = cache_key(fingerprint_nests(nests, padded, bind), threads);
     if opts.cse {
@@ -296,6 +297,7 @@ pub fn autotune_nests(
     // Cache layers first: memory, then file.
     if opts.memory_cache {
         if let Some(hit) = memory_lookup(&key) {
+            perforad_obs::counter("tune.cache_hits").inc();
             return finish_cached(nests, ws, bind, padded, hit);
         }
     }
@@ -307,9 +309,11 @@ pub fn autotune_nests(
             if opts.memory_cache {
                 memory_store(&key, hit.clone());
             }
+            perforad_obs::counter("tune.cache_hits").inc();
             return finish_cached(nests, ws, bind, padded, hit);
         }
     }
+    perforad_obs::counter("tune.cache_misses").inc();
 
     // Stage 1: rank the whole space analytically. The JIT axis joins
     // only when this host can actually build (or has cached) native code.
@@ -330,12 +334,14 @@ pub fn autotune_nests(
     ranked.sort_by(|a, b| a.1.total_cmp(&b.1));
     let candidates = ranked.len();
     let k = opts.top_k.clamp(1, candidates);
+    perforad_obs::counter("tune.pruned").add((candidates - k) as u64);
 
     // Stage 2: score the survivors.
     let mut best: Option<(Schedule, TunedConfig, f64)> = None;
     let mut last_err: Option<SchedError> = None;
     let mut timed = 0usize;
-    for (cfg, pred) in ranked.iter().take(k) {
+    for (ci, (cfg, pred)) in ranked.iter().take(k).enumerate() {
+        let _cand_span = perforad_obs::span!("tune.candidate", "tune", "rank" => ci as u64);
         let schedule =
             match compile_schedule_nests(nests, ws, bind, padded, &SchedOptions::from_tuned(cfg)) {
                 Ok(s) => s,
@@ -366,6 +372,7 @@ pub fn autotune_nests(
             }
         };
         timed += 1;
+        perforad_obs::counter("tune.timed").inc();
         if best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
             best = Some((schedule, cfg.clone(), secs));
         }
@@ -395,6 +402,7 @@ pub fn autotune_nests(
                     if !tried.insert(tile.clone()) {
                         continue;
                     }
+                    let _refine_span = perforad_obs::span!("tune.refine", "tune");
                     let mut cfg = base_cfg.clone();
                     cfg.tile = tile;
                     let Ok(schedule) = compile_schedule_nests(
@@ -424,6 +432,7 @@ pub fn autotune_nests(
                         }
                     };
                     refined += 1;
+                    perforad_obs::counter("tune.refined").inc();
                     if secs < base_best && best.as_ref().is_none_or(|(_, _, b)| secs < *b) {
                         best = Some((schedule, cfg, secs));
                         improved = true;

@@ -1,0 +1,55 @@
+//! Observability end-to-end: run a checkpointed seismic gradient with
+//! tracing on, write the Chrome-trace JSON (`chrome://tracing` /
+//! Perfetto-loadable), and print the [`TraceReport`] per-phase rollup
+//! plus the metrics registry — the same artifacts `bench_exec` embeds
+//! into `BENCH_exec.json`.
+//!
+//! Run with: `cargo run --release --example trace`
+//! (set `PERFORAD_TRACE_OUT=somewhere.trace.json` to pick the path).
+
+use perforad::exec::Grid;
+use perforad::pde::seismic::{
+    forward, gradient_checkpointed_with, ricker, SeismicConfig, SnapshotBackend,
+};
+use perforad::prelude::*;
+
+fn main() {
+    // Equivalent to PERFORAD_TRACE=1 in the environment.
+    perforad::obs::set_enabled(true);
+
+    let cfg = SeismicConfig {
+        n: 12,
+        steps: 24,
+        d: 0.1,
+    };
+    let src = ricker(cfg.steps);
+    let c0 = Grid::from_fn(&[cfg.n; 3], |ix| 0.8 + 0.4 * (ix[2] as f64 / cfg.n as f64));
+    let c_true = Grid::from_fn(&[cfg.n; 3], |ix| c0.get(ix) * 1.05);
+    let data = forward(&cfg, &c_true, &src)[cfg.steps].clone();
+
+    let (j, grad, report) =
+        gradient_checkpointed_with(&cfg, &c0, &data, &src, Some(5), &SnapshotBackend::Memory);
+    println!("misfit J(c0) = {j:.6e},  |dJ/dc| = {:.6e}", grad.norm2());
+    println!(
+        "ckpt: budget {}, recompute ratio {:.2} (observed {:.2})",
+        report.budget,
+        report.recompute_ratio(),
+        report.recompute_ratio_observed.unwrap_or(f64::NAN),
+    );
+
+    // Everything above recorded spans; export and summarize them.
+    let events = collect_events();
+    assert!(!events.is_empty(), "tracing was enabled — spans expected");
+
+    let out = perforad::obs::trace_out_path()
+        .unwrap_or_else(|| std::path::PathBuf::from("seismic.trace.json"));
+    write_chrome_trace(&out, &events).expect("write Chrome trace");
+    println!(
+        "\nwrote {} ({} spans) — load it in chrome://tracing or ui.perfetto.dev",
+        out.display(),
+        events.len()
+    );
+
+    println!("\n{}", TraceReport::build(&events, 10));
+    println!("{}", MetricsSnapshot::collect());
+}

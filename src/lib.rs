@@ -20,6 +20,9 @@
 //! * [`ckpt`] — memory-budgeted checkpointed time loops: binomial
 //!   (revolve) snapshot plans, memory/disk snapshot stores, and the
 //!   replay driver;
+//! * [`obs`] — structured tracing + metrics: `span!` guards, a typed
+//!   counter/gauge/histogram registry, Chrome-trace export, and the
+//!   [`obs::TraceReport`] per-phase rollup;
 //! * [`autodiff`] — tape-based conventional AD (verification baseline);
 //! * [`perfmodel`] — Broadwell/KNL analytic models for the figures;
 //! * [`pde`] — the wave/Burgers/heat test cases, seismic gradients,
@@ -205,6 +208,40 @@
 //! run_schedule(&schedule, &mut ws, &pool).unwrap();   // native tiles
 //! assert!(ws.grid("u_b").sum() != 0.0);
 //! ```
+//!
+//! ## Tracing
+//!
+//! Every layer of the pipeline — scheduler, tuner, JIT, checkpointing,
+//! executor, seismic driver — is instrumented with the std-only [`obs`]
+//! crate. `span!` guards record into per-thread buffers (when recording
+//! is disabled, via `PERFORAD_TRACE` unset, the whole round trip is one
+//! relaxed atomic load), typed counters/gauges/histograms accumulate in
+//! a process-wide registry, and a finished trace exports as Chrome-trace
+//! JSON (open in `chrome://tracing` or Perfetto; written automatically
+//! when `PERFORAD_TRACE_OUT` names a path) or rolls up into an
+//! [`obs::TraceReport`] of per-phase self/total times.
+//!
+//! ```
+//! use perforad::prelude::*;
+//!
+//! perforad::obs::set_enabled(true); // or set PERFORAD_TRACE=1
+//! {
+//!     let _root = perforad::obs::span!("demo.root", "demo");
+//!     let _child = perforad::obs::span!("demo.step", "demo", "items" => 3);
+//!     counter("demo.items").add(3);
+//! }
+//! let events = perforad::obs::collect_events();
+//! assert_eq!(events.len(), 2);
+//!
+//! let report = TraceReport::build(&events, 10);
+//! assert_eq!(report.spans, 2);
+//! assert!(report.wall_ns >= report.phases[0].self_ns);
+//!
+//! let json = chrome_trace_json(&events); // chrome://tracing-ready
+//! assert!(json.contains("\"traceEvents\""));
+//! let metrics = MetricsSnapshot::collect();
+//! assert!(metrics.counters.contains(&("demo.items".into(), 3)));
+//! ```
 
 pub use perforad_autodiff as autodiff;
 pub use perforad_ckpt as ckpt;
@@ -212,6 +249,7 @@ pub use perforad_codegen as codegen;
 pub use perforad_core as core;
 pub use perforad_exec as exec;
 pub use perforad_jit as jit;
+pub use perforad_obs as obs;
 pub use perforad_pde as pde;
 pub use perforad_perfmodel as perfmodel;
 pub use perforad_sched as sched;
@@ -235,6 +273,10 @@ pub mod prelude {
         Lowering, ThreadPool, Workspace,
     };
     pub use perforad_jit::{prepare_schedule, JitOptions, JitReport};
+    pub use perforad_obs::{
+        chrome_trace_json, collect_events, counter, gauge, histogram, write_chrome_trace,
+        MetricsSnapshot, SpanEvent, SpanGuard, TraceReport,
+    };
     pub use perforad_sched::{
         compile_schedule, run_schedule, run_tuned, SchedOptions, Schedule, TilePolicy, TunedConfig,
         TunedStrategy,
