@@ -27,9 +27,19 @@
 //! `ckpt_budget`) in the JSON. Its gate reference is its own
 //! `storeall_gradient` series.
 //!
+//! A `seismic_batch` case times the batched multi-shot gradient
+//! (`gradient_batch_with`: one compile/tune, shots dispatched under the
+//! perf-model-chosen strategy) against N sequential `gradient` calls on
+//! the same pool, reporting `shots_per_sec`, `batch_speedup`, and the
+//! chosen `batch_strategy`; the two are asserted bitwise-identical
+//! in-bench, and its gate reference is its own `sequential_gradient`
+//! series.
+//!
 //! Knobs: `PERFORAD_N` (wave grid edge, default 48), `PERFORAD_N_BURGERS`
 //! (cells, default 2^18), `PERFORAD_SEISMIC_N` / `PERFORAD_SEISMIC_STEPS`
-//! (seismic sweep, default 20 / 48), `PERFORAD_SAMPLES` (best-of reps,
+//! (seismic sweep, default 20 / 48), `PERFORAD_SHOTS` /
+//! `PERFORAD_BATCH_N` / `PERFORAD_BATCH_STEPS` (batched survey, default
+//! 8 / 12 / 24), `PERFORAD_SAMPLES` (best-of reps,
 //! default 5), `PERFORAD_THREADS` (pool size), `PERFORAD_BENCH_JSON`
 //! (output path, default `BENCH_exec.json`), `PERFORAD_BENCH_BASELINE`
 //! (baseline path, default `BENCH_baseline.json`; missing file skips the
@@ -47,7 +57,10 @@ use perforad_exec::{
     run_parallel, run_parallel_rows, run_serial, run_serial_rows, Grid, ThreadPool,
 };
 use perforad_jit::{prepare_schedule, JitOptions};
-use perforad_pde::seismic::{gradient_checkpointed, gradient_store_all, ricker, SeismicConfig};
+use perforad_pde::seismic::{
+    gradient_batch_with, gradient_checkpointed, gradient_store_all, gradient_with_pool, ricker,
+    BatchOptions, SeismicConfig, ShotBatch,
+};
 use perforad_sched::{compile_schedule, run_schedule, run_tuned, SchedOptions};
 use perforad_tune::json::{self, Value};
 use perforad_tune::{autotune_adjoint, Measure, TuneOptions};
@@ -220,6 +233,85 @@ fn measure_seismic(n: usize, steps: usize, reps: usize) -> SeismicMeasured {
     }
 }
 
+/// The batched multi-shot gradient vs N sequential `gradient` calls on
+/// the same pool: the batch pays the adjoint transform, the tune-cache
+/// hit + schedule recompile, and workspace compilation once per survey
+/// instead of once per shot, then dispatches shots under the perf-model's
+/// chosen strategy. Outputs are asserted bitwise-identical in-bench.
+struct BatchMeasured {
+    n: usize,
+    steps: usize,
+    shots: usize,
+    sequential_s: f64,
+    batched_s: f64,
+    strategy: String,
+}
+
+fn measure_batch(
+    n: usize,
+    steps: usize,
+    shots: usize,
+    pool: &ThreadPool,
+    reps: usize,
+) -> BatchMeasured {
+    let cfg = SeismicConfig { n, steps, d: 0.1 };
+    let base = ricker(steps);
+    let c0 = Grid::from_fn(&[n; 3], |ix| 0.8 + 0.4 * (ix[2] as f64 / n as f64));
+    let mut batch = ShotBatch::new();
+    for k in 0..shots {
+        let scale = 1.0 + 0.2 * k as f64;
+        batch.push(
+            base.iter().map(|s| s * scale).collect(),
+            Grid::from_fn(&[n; 3], |ix| {
+                1e-3 * ((ix[0] + 2 * ix[1] + ix[2] + k) as f64).sin()
+            }),
+        );
+    }
+    let mut seq = None;
+    let sequential_s = time_best(reps, || {
+        seq = Some(
+            (0..shots)
+                .map(|k| gradient_with_pool(&cfg, &c0, &batch.observed[k], &batch.sources[k], pool))
+                .collect::<Vec<_>>(),
+        );
+    });
+    let mut batched = None;
+    let batched_s = time_best(reps, || {
+        batched = Some(gradient_batch_with(
+            &cfg,
+            &c0,
+            &batch,
+            &BatchOptions::default(),
+            pool,
+        ));
+    });
+    let batched = batched.expect("batched gradients ran");
+    let seq = seq.expect("sequential gradients ran");
+    for (k, (j, g)) in seq.iter().enumerate() {
+        assert_eq!(
+            batched.misfits[k].to_bits(),
+            j.to_bits(),
+            "shot {k}: batched misfit drifted"
+        );
+        assert!(
+            batched.gradients[k]
+                .as_slice()
+                .iter()
+                .zip(g.as_slice())
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "shot {k}: batched gradient drifted from sequential"
+        );
+    }
+    BatchMeasured {
+        n,
+        steps,
+        shots,
+        sequential_s,
+        batched_s,
+        strategy: format!("{:?}", batched.strategy),
+    }
+}
+
 /// `(case, label, seconds)` triples parsed from a bench JSON document.
 fn flatten(doc: &Value) -> Vec<(String, String, f64)> {
     let mut out = Vec::new();
@@ -263,12 +355,16 @@ fn gate(
     for (case, label, secs) in current {
         // Each case normalizes against its own reference series: the
         // serial interpreter for the kernel cases, the dense store-all
-        // gradient for the seismic time loop.
-        let reference = if lookup(current, case, "interpreter_serial").is_some() {
-            "interpreter_serial"
-        } else {
-            "storeall_gradient"
-        };
+        // gradient for the seismic time loop, the sequential per-shot
+        // loop for the batched survey.
+        let reference = [
+            "interpreter_serial",
+            "storeall_gradient",
+            "sequential_gradient",
+        ]
+        .into_iter()
+        .find(|r| lookup(current, case, r).is_some())
+        .unwrap_or("interpreter_serial");
         if label == reference {
             continue;
         }
@@ -304,6 +400,12 @@ fn main() {
     // The seismic time loop: ≥4× the 12-step example sweep by default.
     let sn = env_size("PERFORAD_SEISMIC_N", 20);
     let ssteps = env_size("PERFORAD_SEISMIC_STEPS", 48);
+    // The batched survey: small shots whose per-call setup (adjoint
+    // transform + tune-cache hit + recompile) dominates — the regime the
+    // batch API amortizes.
+    let shots = env_size("PERFORAD_SHOTS", 8);
+    let bn = env_size("PERFORAD_BATCH_N", 12);
+    let bsteps = env_size("PERFORAD_BATCH_STEPS", 24);
     let reps = env_size("PERFORAD_SAMPLES", 5);
     let threads = env_size(
         "PERFORAD_THREADS",
@@ -426,6 +528,34 @@ fn main() {
         seismic.budget
     ));
 
+    // The batched multi-shot survey (bitwise-asserted against the
+    // sequential per-shot loop inside the measurement).
+    let bm = measure_batch(bn, bsteps, shots, &pool, reps.min(3));
+    println!(
+        "\n## seismic_batch gradients ({} shots, {}³ grid, {} steps, {} threads)",
+        bm.shots, bm.n, bm.steps, threads
+    );
+    println!("{:<24} {:>12.6} s", "sequential_gradient", bm.sequential_s);
+    println!("{:<24} {:>12.6} s", "batched_gradient", bm.batched_s);
+    println!(
+        "batched: {:.2}x sequential, {:.1} shots/s (strategy {})",
+        bm.sequential_s / bm.batched_s,
+        bm.shots as f64 / bm.batched_s,
+        bm.strategy
+    );
+    case_json.push(format!(
+        "{{\"name\":\"seismic_batch\",\"points\":{},\"series\":[\
+         {{\"label\":\"sequential_gradient\",\"seconds\":{}}},\
+         {{\"label\":\"batched_gradient\",\"seconds\":{}}}],\
+         \"shots_per_sec\":{},\"batch_speedup\":{},\"batch_strategy\":{}}}",
+        (bm.n * bm.n * bm.n) as u64 * bm.steps as u64 * bm.shots as u64,
+        bm.sequential_s,
+        bm.batched_s,
+        bm.shots as f64 / bm.batched_s,
+        bm.sequential_s / bm.batched_s,
+        json_escape(&bm.strategy)
+    ));
+
     // The observability rollup: when recording is on (PERFORAD_TRACE=1)
     // the whole run — tuner search, JIT builds, checkpointed sweeps,
     // parallel regions — has been recording spans. Summarize them into
@@ -448,6 +578,7 @@ fn main() {
     let payload = format!(
         "{{\"bench\":\"exec_lowering\",\"threads\":{threads},\"samples\":{reps},\
          \"wave_n\":{n},\"burgers_n\":{nb},\"seismic_n\":{sn},\"seismic_steps\":{ssteps},\
+         \"shots\":{shots},\"batch_n\":{bn},\"batch_steps\":{bsteps},\
          \"cases\":[{}]{trace_json}}}",
         case_json.join(",")
     );
@@ -473,6 +604,9 @@ fn main() {
         "burgers_n",
         "seismic_n",
         "seismic_steps",
+        "shots",
+        "batch_n",
+        "batch_steps",
         "threads",
     ] {
         let (b, c) = (

@@ -82,7 +82,9 @@ pub fn checkpointed_adjoint_plan<S>(
     // mid-sweep toggle yields `None` semantics, not a partial count.
     let obs_on = perforad_obs::enabled();
     let mut obs_recomputed = 0u64;
-    for act in plan.actions() {
+    // The memoized stream: batched gradients replay one plan shape per
+    // shot, so the recursive construction is paid once per shape.
+    for &act in plan.actions_cached().iter() {
         match act {
             CkptAction::Advance {
                 from,

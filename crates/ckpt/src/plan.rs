@@ -20,6 +20,9 @@
 //! replaying it — the recomputation the stats report is pure reverse-
 //! sweep overhead on top of one primal and one adjoint sweep.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
 /// One primitive of a checkpointed reverse sweep, interpreted by
 /// [`checkpointed_adjoint_plan`](crate::checkpointed_adjoint_plan) (or by
 /// the stats simulator, which walks the same stream without any state).
@@ -111,6 +114,10 @@ fn advance_by(len: usize, avail: usize) -> usize {
     len.saturating_sub(binom(avail + r - 1, avail - 1))
         .clamp(1, len - 1)
 }
+
+/// Distinct `(steps, budget)` shapes the [`CheckpointPlan::actions_cached`]
+/// memo holds before resetting.
+const ACTION_CACHE_CAP: usize = 256;
 
 /// A memory-budgeted checkpoint schedule for a `steps`-long time loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -239,12 +246,34 @@ impl CheckpointPlan {
         self.reverse_segment(acts, lo, lo + m, avail);
     }
 
+    /// [`CheckpointPlan::actions`] behind a process-wide memo keyed on
+    /// `(steps, budget)`: the stream is derived once and shared via
+    /// `Arc`, so drivers that replay the same plan shape — every shot of
+    /// a batched seismic gradient, every iteration of an inversion loop —
+    /// skip the recursive construction. The cache is bounded (it resets
+    /// past [`ACTION_CACHE_CAP`] distinct shapes, far more than any
+    /// workload sweeps) and the entries are immutable, so sharing across
+    /// threads is free.
+    pub fn actions_cached(&self) -> Arc<Vec<CkptAction>> {
+        type ActionCache = Mutex<HashMap<(usize, usize), Arc<Vec<CkptAction>>>>;
+        static CACHE: OnceLock<ActionCache> = OnceLock::new();
+        let mut map = CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let key = (self.steps, self.budget);
+        if map.len() >= ACTION_CACHE_CAP && !map.contains_key(&key) {
+            map.clear();
+        }
+        Arc::clone(map.entry(key).or_insert_with(|| Arc::new(self.actions())))
+    }
+
     /// Simulate the action stream without any state: recompute count,
     /// peak snapshot liveness, store traffic.
     pub fn stats(&self) -> PlanStats {
         let mut stats = PlanStats::default();
         let mut live = 0usize;
-        for act in self.actions() {
+        for &act in self.actions_cached().iter() {
             match act {
                 CkptAction::Advance {
                     from,
@@ -441,6 +470,22 @@ mod tests {
         assert_eq!(shape.loads, stats.loads);
         assert!(shape.recompute_ratio > 0.0);
         assert_eq!(plan.mem_bytes(4096), 5 * 4096);
+    }
+
+    #[test]
+    fn cached_actions_share_one_allocation_and_match_fresh_construction() {
+        let plan = CheckpointPlan::with_budget(97, 6);
+        let first = plan.actions_cached();
+        // Pointer reuse: the same plan shape returns the same Arc, from
+        // this or any other CheckpointPlan value.
+        let second = CheckpointPlan::with_budget(97, 6).actions_cached();
+        assert!(Arc::ptr_eq(&first, &second), "memo must share the stream");
+        // Structural reuse: the cached stream is the fresh construction.
+        assert_eq!(*first, plan.actions());
+        // A different shape gets its own stream.
+        let other = CheckpointPlan::with_budget(97, 7).actions_cached();
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_ne!(*first, *other);
     }
 
     #[test]

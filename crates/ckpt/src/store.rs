@@ -261,6 +261,13 @@ impl DiskStore {
         std::env::var_os(CKPT_DIR_ENV).map(Self::new)
     }
 
+    /// The per-instance spill-file tag (`pid_seq`): unique within a
+    /// process, which is what lets concurrent sweeps — every shot of a
+    /// batched gradient — share one spill directory without collisions.
+    pub fn tag(&self) -> &str {
+        &self.tag
+    }
+
     fn path(&self, t: usize) -> PathBuf {
         self.dir.join(format!("ckpt_{}_{t}.bin", self.tag))
     }
@@ -434,6 +441,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("perforad_ckpt_shared_{}", std::process::id()));
         let mut a = DiskStore::new(&dir).unwrap();
         let mut b = DiskStore::new(&dir).unwrap();
+        assert_ne!(a.tag(), b.tag(), "instance tags must be unique");
         let (ga, gb) = (Grid::full(&[4], 1.0), Grid::full(&[4], 2.0));
         a.save(0, &ga).unwrap();
         b.save(0, &gb).unwrap();

@@ -90,7 +90,7 @@ pub use kernel::{
     compile_nests_opts, Plan, PlanOptions,
 };
 pub use native::{fnv1a64, native_lookup, register_native, NativeGroup, NativeTileFn};
-pub use pool::ThreadPool;
+pub use pool::{default_pool, ThreadPool};
 pub use regir::RegProgram;
 pub use run::{
     run, run_parallel, run_parallel_jit, run_parallel_rows, run_rayon, run_rayon_rows,

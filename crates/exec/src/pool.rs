@@ -190,6 +190,63 @@ impl ThreadPool {
             }
         });
     }
+
+    /// Work queue for coarse-grained *independent* jobs (whole seismic
+    /// shots, batch requests): workers pull job indices `0..njobs` from a
+    /// shared counter, each owning a worker-private state built lazily by
+    /// `init(worker_id)` on its first job — so idle workers never pay for
+    /// expensive per-worker state (a full adjoint workspace, say), and
+    /// jobs on one worker reuse it.
+    ///
+    /// Jobs must not re-enter this pool (a parallel region inside a
+    /// parallel region would deadlock on the shared job slot); run
+    /// per-job work serially, as `TunedStrategy::Serial` does. A 1-worker
+    /// pool (or a single job) runs everything inline on the caller.
+    pub fn work_queue<S>(
+        &self,
+        njobs: usize,
+        init: impl Fn(usize) -> S + Sync,
+        f: impl Fn(usize, &mut S) + Sync,
+    ) {
+        if njobs == 0 {
+            return;
+        }
+        if self.size() == 1 || njobs == 1 {
+            let mut s = init(0);
+            for k in 0..njobs {
+                f(k, &mut s);
+            }
+            return;
+        }
+        let counter = AtomicUsize::new(0);
+        self.run(&move |tid| {
+            let mut s: Option<S> = None;
+            loop {
+                let k = counter.fetch_add(1, Ordering::Relaxed);
+                if k >= njobs {
+                    break;
+                }
+                f(k, s.get_or_insert_with(|| init(tid)));
+            }
+        });
+    }
+}
+
+/// The process-wide shared pool for entry points whose caller did not
+/// bring one: sized like the drivers' historical per-call pools
+/// (`available_parallelism` capped at 8), spawned once on first use and
+/// parked between regions. Callers that care about thread count or
+/// isolation should construct their own [`ThreadPool`] and use the
+/// `_with_pool` variants of the drivers instead.
+pub fn default_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        ThreadPool::new(
+            std::thread::available_parallelism()
+                .map(|t| t.get().min(8))
+                .unwrap_or(2),
+        )
+    })
 }
 
 impl Drop for ThreadPool {
@@ -283,6 +340,64 @@ mod tests {
         pool.parallel_for(0, 3, |_, _| {
             assert_eq!(std::thread::current().id(), tid);
         });
+    }
+
+    #[test]
+    fn work_queue_runs_every_job_once_with_worker_private_state() {
+        let pool = ThreadPool::new(3);
+        let hits: Vec<AtomicUsize> = (0..23).map(|_| AtomicUsize::new(0)).collect();
+        let inits = AtomicUsize::new(0);
+        pool.work_queue(
+            23,
+            |_tid| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |k, scratch| {
+                scratch.push(k);
+                hits[k].fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // Lazy init: at most one state per worker, at least one total.
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "{n} states for 3 workers");
+    }
+
+    #[test]
+    fn work_queue_single_job_and_single_worker_run_inline() {
+        let caller = std::thread::current().id();
+        let pool = ThreadPool::new(4);
+        pool.work_queue(
+            1,
+            |tid| assert_eq!(tid, 0),
+            |_, ()| assert_eq!(std::thread::current().id(), caller),
+        );
+        let pool1 = ThreadPool::new(1);
+        let sum = AtomicUsize::new(0);
+        pool1.work_queue(
+            5,
+            |_| (),
+            |k, ()| {
+                assert_eq!(std::thread::current().id(), caller);
+                sum.fetch_add(k, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 10);
+        pool.work_queue(0, |_| panic!("no init for zero jobs"), |_, _: &mut ()| {});
+    }
+
+    #[test]
+    fn default_pool_is_shared_and_reusable() {
+        let p1 = default_pool();
+        let p2 = default_pool();
+        assert!(std::ptr::eq(p1, p2));
+        assert!(p1.size() >= 1);
+        let sum = AtomicUsize::new(0);
+        p1.parallel_for(0, 8, |lo, hi| {
+            sum.fetch_add((hi - lo) as usize, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   time-stepped wave equation with an active velocity model; long
 //!   sweeps run bounded-memory (streamed forward pass, tuner-chosen
 //!   snapshot budget) and bitwise-identical to the dense reference;
+//!   multi-shot surveys batch through [`seismic::gradient_batch`], which
+//!   compiles/tunes once and dispatches shots across a shared pool;
 //! * [`checkpoint`] — store-all and recursive-bisection conveniences for
 //!   multi-step reverse sweeps, plus the re-exported `perforad-ckpt`
 //!   budgeted plans and snapshot stores;
@@ -25,7 +27,12 @@ pub mod seismic;
 pub mod wave3d;
 
 pub use checkpoint::{checkpointed_adjoint, CheckpointStats, StoreAll};
+// The batch dispatch-strategy enum lives with the perf model (re-exported
+// through `perforad-tune`); surface it next to the batch API it steers.
+pub use perforad_tune::BatchStrategy;
 pub use seismic::{
-    forward, gradient, gradient_checkpointed, gradient_checkpointed_with, gradient_store_all,
-    misfit, ricker, SeismicConfig, SnapshotBackend, CKPT_THRESHOLD_STEPS,
+    forward, gradient, gradient_batch, gradient_batch_with, gradient_checkpointed,
+    gradient_checkpointed_with, gradient_checkpointed_with_pool, gradient_store_all,
+    gradient_store_all_with_pool, gradient_with_pool, misfit, ricker, BatchOptions, BatchPlan,
+    BatchResult, SeismicConfig, ShotBatch, SnapshotBackend, CKPT_THRESHOLD_STEPS,
 };

@@ -17,19 +17,36 @@
 //! same tuned fused/JIT schedule the short-sweep path uses. Both paths
 //! are **bitwise-identical**: checkpointing changes where states come
 //! from, never how steps execute.
+//!
+//! Real surveys fire many shots against one velocity model:
+//! [`gradient_batch`] (and [`BatchPlan`] for inversion loops) pays the
+//! adjoint transform, autotune, and compilation **once** and dispatches
+//! shots across a shared pool — whole shots per worker
+//! ([`BatchStrategy::ShotParallel`]) or the tuned grid-parallel sweep
+//! shot-by-shot ([`BatchStrategy::GridParallel`]), whichever the perf
+//! model's batch term prices cheaper. Every shot's output is bitwise
+//! the same as a standalone [`gradient`] call.
 
 use crate::wave3d;
 use perforad_ckpt::{
     checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, MemStore, Snapshot,
 };
-use perforad_core::AdjointOptions;
-use perforad_exec::{compile_nest, run_serial, Binding, Grid, Plan, ThreadPool, Workspace};
+use perforad_core::{Adjoint, AdjointOptions};
+use perforad_exec::{
+    compile_nest, default_pool, run_serial, Binding, Grid, Plan, ThreadPool, Workspace,
+};
 use perforad_sched::{
     compile_schedule, run_tuned, SchedOptions, Schedule, TunedConfig, TunedStrategy,
 };
-use perforad_tune::{autotune_adjoint, TimeLoop, TuneError, TuneOptions};
+use perforad_symbolic::Symbol;
+use perforad_tune::{
+    autotune_adjoint, host, pick_batch_strategy, profile, BatchShape, BatchStrategy, KernelProfile,
+    Machine, TimeLoop, TuneError, TuneOptions,
+};
 use std::cell::RefCell;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Sweeps at least this long default to the bounded-memory checkpointed
 /// path in [`gradient`]; shorter ones keep the dense store-all sweep
@@ -73,6 +90,7 @@ pub type WaveState = (Grid, Grid);
 /// module (the dense [`forward`], the checkpointed streaming pass, and
 /// its recomputed segments), so replayed segments are bitwise-identical
 /// to the first execution.
+#[derive(Clone)]
 struct Stepper {
     plan: Plan,
     ws: Workspace,
@@ -98,6 +116,15 @@ impl Stepper {
             src: cfg.source_index(),
             source: source.to_vec(),
         }
+    }
+
+    /// Swap in another shot's source trace; the compiled plan and the
+    /// workspace are shot-independent, so a batch clones one prototype
+    /// and re-targets it per shot instead of recompiling.
+    fn set_source(&mut self, source: &[f64]) {
+        assert_eq!(source.len(), self.source.len());
+        self.source.clear();
+        self.source.extend_from_slice(source);
     }
 
     /// Advance `(u_{t−1}, u_t)` to `(u_t, u_{t+1})`.
@@ -166,22 +193,41 @@ pub fn adjoint_schedule_tuned(
 
 /// The adjoint workspace + tuned schedule every reverse sweep drives.
 /// Tuning is best-effort: on failure the hand-picked fused row-executor
-/// schedule of PR 2 keeps the gradient available.
-struct ReverseSweep {
+/// schedule of PR 2 keeps the gradient available. The pool is borrowed
+/// from the caller (one process-wide [`default_pool`] for the zero-arg
+/// entry points), not spawned per call — an inversion loop calling
+/// [`gradient`] every iteration used to pay a full thread spawn/join
+/// cycle each time.
+#[derive(Clone)]
+struct ReverseSweep<'p> {
     ws: Workspace,
-    pool: ThreadPool,
+    pool: &'p ThreadPool,
     schedule: Schedule,
     tuned: TunedConfig,
 }
 
-impl ReverseSweep {
-    fn new(cfg: &SeismicConfig, c: &Grid, time_loop: Option<TimeLoop>) -> ReverseSweep {
-        let _span = perforad_obs::span!("seismic.setup", "seismic", "n" => cfg.n as u64);
-        let dims = [cfg.n, cfg.n, cfg.n];
-        let nest = wave3d::nest();
-        let adj = nest
+impl<'p> ReverseSweep<'p> {
+    fn new(
+        cfg: &SeismicConfig,
+        c: &Grid,
+        time_loop: Option<TimeLoop>,
+        pool: &'p ThreadPool,
+    ) -> ReverseSweep<'p> {
+        let adj = wave3d::nest()
             .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
             .expect("adjoint transforms");
+        Self::with_adjoint(cfg, c, time_loop, pool, &adj)
+    }
+
+    fn with_adjoint(
+        cfg: &SeismicConfig,
+        c: &Grid,
+        time_loop: Option<TimeLoop>,
+        pool: &'p ThreadPool,
+        adj: &Adjoint,
+    ) -> ReverseSweep<'p> {
+        let _span = perforad_obs::span!("seismic.setup", "seismic", "n" => cfg.n as u64);
+        let dims = [cfg.n, cfg.n, cfg.n];
         let bind = Binding::new().size("n", cfg.n as i64).param("D", cfg.d);
         let mut ws = Workspace::new();
         ws.insert("c", c.clone());
@@ -190,21 +236,17 @@ impl ReverseSweep {
         ws.insert("u_1_b", Grid::zeros(&dims));
         ws.insert("u_2_b", Grid::zeros(&dims));
         ws.insert("c_b", Grid::zeros(&dims));
-        let threads = std::thread::available_parallelism()
-            .map(|t| t.get().min(8))
-            .unwrap_or(2);
-        let pool = ThreadPool::new(threads);
         let mut topts = TuneOptions::quick();
         topts.time_loop = time_loop;
-        let (schedule, tuned) = match autotune_adjoint(&adj, &mut ws, &bind, &pool, &topts) {
+        let (schedule, tuned) = match autotune_adjoint(adj, &mut ws, &bind, pool, &topts) {
             Ok((s, report)) => (s, report.config),
             Err(_) => {
-                let s = compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_rows())
+                let s = compile_schedule(adj, &ws, &bind, &SchedOptions::default().with_rows())
                     .expect("adjoint schedules");
                 let fallback = TunedConfig {
                     strategy: TunedStrategy::Parallel,
                     lowering: perforad_exec::Lowering::Rows,
-                    threads,
+                    threads: pool.size(),
                     ..TunedConfig::default()
                 };
                 (s, fallback)
@@ -227,7 +269,7 @@ impl ReverseSweep {
         self.ws.grid_mut("u_1_b").fill(0.0);
         self.ws.grid_mut("u_2_b").fill(0.0);
         self.ws.grid_mut("c_b").fill(0.0);
-        run_tuned(&self.schedule, &self.tuned, &mut self.ws, &self.pool).expect("adjoint step");
+        run_tuned(&self.schedule, &self.tuned, &mut self.ws, self.pool).expect("adjoint step");
     }
 }
 
@@ -240,11 +282,32 @@ impl ReverseSweep {
 /// scheduled adjoint either way, and every configuration the tuner can
 /// select matches the serial interpreter reference bit for bit.
 pub fn gradient(cfg: &SeismicConfig, c: &Grid, data: &Grid, source: &[f64]) -> (f64, Grid) {
+    gradient_with_pool(cfg, c, data, source, default_pool())
+}
+
+/// [`gradient`] running on a caller-provided pool — inversion loops and
+/// batch drivers keep one pool alive across calls instead of paying a
+/// thread spawn/join cycle per gradient.
+pub fn gradient_with_pool(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    data: &Grid,
+    source: &[f64],
+    pool: &ThreadPool,
+) -> (f64, Grid) {
     if cfg.steps >= CKPT_THRESHOLD_STEPS {
-        let (j, grad, _) = gradient_checkpointed(cfg, c, data, source);
+        let (j, grad, _) = gradient_checkpointed_with_pool(
+            cfg,
+            c,
+            data,
+            source,
+            None,
+            &SnapshotBackend::Auto,
+            pool,
+        );
         (j, grad)
     } else {
-        gradient_store_all(cfg, c, data, source)
+        gradient_store_all_with_pool(cfg, c, data, source, pool)
     }
 }
 
@@ -258,14 +321,47 @@ pub fn gradient_store_all(
     data: &Grid,
     source: &[f64],
 ) -> (f64, Grid) {
+    gradient_store_all_with_pool(cfg, c, data, source, default_pool())
+}
+
+/// [`gradient_store_all`] on a caller-provided pool.
+pub fn gradient_store_all_with_pool(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    data: &Grid,
+    source: &[f64],
+    pool: &ThreadPool,
+) -> (f64, Grid) {
     let _root = perforad_obs::span!(
         "seismic.gradient_store_all", "seismic", "steps" => cfg.steps as u64, "n" => cfg.n as u64
     );
-    let dims = [cfg.n, cfg.n, cfg.n];
-    let traj = forward(cfg, c, source);
-    let j = misfit(&traj[cfg.steps], data);
+    let mut stepper = Stepper::new(cfg, c, source);
+    let mut sweep = ReverseSweep::new(cfg, c, None, pool);
+    store_all_core(cfg, data, &mut stepper, &mut sweep)
+}
 
-    let mut sweep = ReverseSweep::new(cfg, c, None);
+/// The dense sweep against one shot's compiled stepper + reverse sweep —
+/// the piece a batch repeats per shot after paying setup once.
+fn store_all_core(
+    cfg: &SeismicConfig,
+    data: &Grid,
+    stepper: &mut Stepper,
+    sweep: &mut ReverseSweep<'_>,
+) -> (f64, Grid) {
+    let dims = [cfg.n, cfg.n, cfg.n];
+    let mut traj = Vec::with_capacity(cfg.steps + 1);
+    {
+        let _fwd = perforad_obs::span!(
+            "seismic.forward", "seismic", "steps" => cfg.steps as u64, "n" => cfg.n as u64
+        );
+        traj.push(Grid::zeros(&dims));
+        let mut state: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
+        for t in 0..cfg.steps {
+            state = stepper.step(&state, t);
+            traj.push(state.1.clone());
+        }
+    }
+    let j = misfit(&traj[cfg.steps], data);
 
     // λ_t = ∂J/∂u_t; only λ_T seeded directly. Source injection is additive
     // and c-independent, so it contributes nothing to the adjoint.
@@ -338,25 +434,55 @@ pub fn gradient_checkpointed_with(
     budget: Option<usize>,
     backend: &SnapshotBackend,
 ) -> (f64, Grid, CkptReport) {
+    gradient_checkpointed_with_pool(cfg, c, data, source, budget, backend, default_pool())
+}
+
+/// [`gradient_checkpointed_with`] on a caller-provided pool.
+pub fn gradient_checkpointed_with_pool(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    data: &Grid,
+    source: &[f64],
+    budget: Option<usize>,
+    backend: &SnapshotBackend,
+    pool: &ThreadPool,
+) -> (f64, Grid, CkptReport) {
     assert_eq!(source.len(), cfg.steps);
     let _root = perforad_obs::span!(
         "seismic.gradient_checkpointed", "seismic", "steps" => cfg.steps as u64, "n" => cfg.n as u64
     );
     let dims = [cfg.n, cfg.n, cfg.n];
-    let s0: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
-    let state_bytes = s0.mem_bytes();
+    let state_bytes = (Grid::zeros(&dims), Grid::zeros(&dims)).mem_bytes();
 
-    let sweep = ReverseSweep::new(cfg, c, Some(TimeLoop::new(cfg.steps, state_bytes)));
+    let mut sweep = ReverseSweep::new(cfg, c, Some(TimeLoop::new(cfg.steps, state_bytes)), pool);
     let budget = budget
         .or(sweep.tuned.checkpoint)
         .unwrap_or_else(|| default_budget(cfg.steps));
+    let mut stepper = Stepper::new(cfg, c, source);
+    checkpointed_core(cfg, data, budget, backend, &mut stepper, &mut sweep)
+}
+
+/// The bounded-memory sweep against one shot's compiled stepper + reverse
+/// sweep, under an explicit (already resolved) snapshot budget — the
+/// piece a batch repeats per shot; [`CheckpointPlan`]'s memoized action
+/// stream makes the replayed plan shape free after the first shot.
+fn checkpointed_core(
+    cfg: &SeismicConfig,
+    data: &Grid,
+    budget: usize,
+    backend: &SnapshotBackend,
+    stepper: &mut Stepper,
+    sweep: &mut ReverseSweep<'_>,
+) -> (f64, Grid, CkptReport) {
+    let dims = [cfg.n, cfg.n, cfg.n];
+    let s0: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
     let plan = CheckpointPlan::with_budget(cfg.steps, budget);
 
     // Shared mutable sweep state: the driver calls `seed` and `back`
     // strictly sequentially, so a RefCell resolves the closure-borrow
     // overlap without locking.
-    struct Rolling {
-        sweep: ReverseSweep,
+    struct Rolling<'a, 'p> {
+        sweep: &'a mut ReverseSweep<'p>,
         j: f64,
         /// λ_{t+1}: fully accumulated, consumed by the next back step.
         lam_hi: Grid,
@@ -375,7 +501,6 @@ pub fn gradient_checkpointed_with(
         c_b: Grid::zeros(&dims),
     });
 
-    let mut stepper = Stepper::new(cfg, c, source);
     let mut step = |s: &WaveState, t: usize| stepper.step(s, t);
     let mut seed = |s: &WaveState| {
         let st = &mut *rolling.borrow_mut();
@@ -455,6 +580,309 @@ fn add_into(dst: &mut Grid, src: &Grid) {
     for (d, s) in dst.as_mut_slice().iter_mut().zip(src.as_slice()) {
         *d += s;
     }
+}
+
+/// A multi-shot survey: one source trace and one observed final wavefield
+/// per shot, all on the same grid/velocity model.
+#[derive(Clone, Debug, Default)]
+pub struct ShotBatch {
+    /// Per-shot source traces, each `cfg.steps` samples long.
+    pub sources: Vec<Vec<f64>>,
+    /// Per-shot observed data `d` for the misfit `½‖u_T − d‖²`.
+    pub observed: Vec<Grid>,
+}
+
+impl ShotBatch {
+    pub fn new() -> ShotBatch {
+        ShotBatch::default()
+    }
+
+    /// Append one shot.
+    pub fn push(&mut self, source: Vec<f64>, observed: Grid) {
+        self.sources.push(source);
+        self.observed.push(observed);
+    }
+
+    /// Number of shots.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+}
+
+/// Knobs for [`gradient_batch_with`]. The default asks the tuner's batch
+/// perf-model term to pick the dispatch strategy, lets the sweep tuner
+/// choose the snapshot budget, and keeps the usual
+/// [`CKPT_THRESHOLD_STEPS`] store-all/checkpointed dispatch.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOptions {
+    /// Force a dispatch strategy instead of consulting
+    /// [`pick_batch_strategy`]. Either choice is bitwise-identical; this
+    /// is a pure performance (and testing) knob.
+    pub strategy: Option<BatchStrategy>,
+    /// Explicit snapshot budget for checkpointed shots (tuner-chosen when
+    /// `None`).
+    pub budget: Option<usize>,
+    /// Where checkpointed shots spill snapshots. Each shot instantiates
+    /// its own store; [`DiskStore`]'s per-instance tags keep concurrent
+    /// shots collision-free in one directory.
+    pub backend: SnapshotBackend,
+    /// Force the checkpointed (`Some(true)`) or store-all (`Some(false)`)
+    /// sweep; `None` applies the [`CKPT_THRESHOLD_STEPS`] rule.
+    pub checkpointed: Option<bool>,
+}
+
+/// Per-shot outputs of a batched gradient, in shot order.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// `J_k` per shot.
+    pub misfits: Vec<f64>,
+    /// `∂J_k/∂c` per shot.
+    pub gradients: Vec<Grid>,
+    /// Checkpoint accounting per shot (`None` for store-all sweeps).
+    pub reports: Vec<Option<CkptReport>>,
+    /// The dispatch strategy that actually ran.
+    pub strategy: BatchStrategy,
+}
+
+impl BatchResult {
+    /// `Σ_k J_k` — the full-survey objective.
+    pub fn total_misfit(&self) -> f64 {
+        self.misfits.iter().sum()
+    }
+
+    /// `Σ_k ∂J_k/∂c`, accumulated in shot order (deterministic regardless
+    /// of dispatch strategy); `None` for an empty batch.
+    pub fn summed_gradient(&self) -> Option<Grid> {
+        let mut it = self.gradients.iter();
+        let mut sum = it.next()?.clone();
+        for g in it {
+            add_into(&mut sum, g);
+        }
+        Some(sum)
+    }
+}
+
+/// Amortized setup for a whole survey: the adjoint transform, the tuned
+/// schedule (one cache-keyed search + recompile), the compiled primal
+/// stepper, and the kernel profile for strategy selection are built
+/// **once**, then every shot reuses them. A sequential loop over
+/// [`gradient`] pays all of that per call.
+pub struct BatchPlan<'p> {
+    cfg: SeismicConfig,
+    pool: &'p ThreadPool,
+    stepper_proto: Stepper,
+    sweep_proto: ReverseSweep<'p>,
+    machine: Machine,
+    prof: KernelProfile,
+    nest_count: usize,
+    budget: usize,
+    checkpointed: bool,
+    opts: BatchOptions,
+}
+
+impl<'p> BatchPlan<'p> {
+    /// Compile + tune everything shot-independent. One adjoint transform,
+    /// one autotune (cache-keyed), one primal plan.
+    pub fn new(
+        cfg: &SeismicConfig,
+        c: &Grid,
+        opts: &BatchOptions,
+        pool: &'p ThreadPool,
+    ) -> BatchPlan<'p> {
+        let _span = perforad_obs::span!(
+            "seismic.batch_setup", "seismic", "n" => cfg.n as u64, "steps" => cfg.steps as u64
+        );
+        let checkpointed = opts
+            .checkpointed
+            .unwrap_or(cfg.steps >= CKPT_THRESHOLD_STEPS);
+        let dims = [cfg.n, cfg.n, cfg.n];
+        let state_bytes = (Grid::zeros(&dims), Grid::zeros(&dims)).mem_bytes();
+        let adj = wave3d::nest()
+            .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
+            .expect("c-active wave adjoint transforms");
+        let time_loop = checkpointed.then(|| TimeLoop::new(cfg.steps, state_bytes));
+        let sweep_proto = ReverseSweep::with_adjoint(cfg, c, time_loop, pool, &adj);
+        let budget = opts
+            .budget
+            .or(sweep_proto.tuned.checkpoint)
+            .unwrap_or_else(|| default_budget(cfg.steps));
+        let stepper_proto = Stepper::new(cfg, c, &vec![0.0; cfg.steps]);
+        let mut sizes = BTreeMap::new();
+        sizes.insert(Symbol::new("n"), cfg.n as i64);
+        let prof = profile(&adj.nests, &sizes);
+        BatchPlan {
+            cfg: *cfg,
+            pool,
+            stepper_proto,
+            nest_count: adj.nests.len(),
+            sweep_proto,
+            machine: host(pool.size()),
+            prof,
+            budget,
+            checkpointed,
+            opts: opts.clone(),
+        }
+    }
+
+    /// The dispatch strategy a batch of `shots` will run under: the
+    /// forced [`BatchOptions::strategy`] if set, else the perf-model's
+    /// [`pick_batch_strategy`] verdict for this kernel/pool/shape.
+    pub fn strategy_for(&self, shots: usize) -> BatchStrategy {
+        if let Some(s) = self.opts.strategy {
+            return s;
+        }
+        let shape = BatchShape {
+            shots,
+            threads: self.pool.size(),
+            steps: self.cfg.steps,
+        };
+        pick_batch_strategy(
+            &self.machine,
+            &self.prof,
+            self.nest_count,
+            &self.sweep_proto.tuned,
+            &shape,
+        )
+        .0
+    }
+
+    /// Run every shot; outputs are in shot order and **bitwise-identical**
+    /// to N sequential [`gradient`] calls under either strategy.
+    pub fn run(&self, batch: &ShotBatch) -> BatchResult {
+        let shots = batch.len();
+        assert_eq!(batch.observed.len(), shots, "one observed grid per shot");
+        for s in &batch.sources {
+            assert_eq!(s.len(), self.cfg.steps, "one source sample per step");
+        }
+        let _root = perforad_obs::span!(
+            "seismic.gradient_batch", "seismic",
+            "shots" => shots as u64, "n" => self.cfg.n as u64
+        );
+        let strategy = self.strategy_for(shots);
+        let shots_total = perforad_obs::counter("seismic.shots_total");
+        let shot_ns = perforad_obs::histogram("seismic.shot_ns");
+        let mut out: Vec<(f64, Grid, Option<CkptReport>)> = Vec::with_capacity(shots);
+        match strategy {
+            BatchStrategy::GridParallel => {
+                // Round-robin: one worker pair of protos, each shot's
+                // sweep runs grid-parallel through the tuned schedule.
+                let mut stepper = self.stepper_proto.clone();
+                let mut sweep = self.sweep_proto.clone();
+                for k in 0..shots {
+                    out.push(self.run_shot(
+                        k,
+                        batch,
+                        &mut stepper,
+                        &mut sweep,
+                        &shots_total,
+                        &shot_ns,
+                    ));
+                }
+            }
+            BatchStrategy::ShotParallel => {
+                // Workers own whole shots. Each worker clones the compiled
+                // prototypes once (its private workspace/snapshot state)
+                // and runs its shots strictly serially — `run_tuned` with
+                // a `Serial` strategy never re-enters the pool, which is
+                // not reentrant.
+                let serial = TunedConfig {
+                    strategy: TunedStrategy::Serial,
+                    ..self.sweep_proto.tuned.clone()
+                };
+                let slots = Mutex::new(Vec::with_capacity(shots));
+                self.pool.work_queue(
+                    shots,
+                    |_tid| {
+                        let mut sweep = self.sweep_proto.clone();
+                        sweep.tuned = serial.clone();
+                        (self.stepper_proto.clone(), sweep)
+                    },
+                    |k, state: &mut (Stepper, ReverseSweep<'p>)| {
+                        let (stepper, sweep) = state;
+                        let shot = self.run_shot(k, batch, stepper, sweep, &shots_total, &shot_ns);
+                        slots.lock().expect("batch results lock").push((k, shot));
+                    },
+                );
+                let mut slots = slots.into_inner().expect("batch results lock");
+                slots.sort_by_key(|&(k, _)| k);
+                out.extend(slots.into_iter().map(|(_, shot)| shot));
+            }
+        }
+        let mut misfits = Vec::with_capacity(shots);
+        let mut gradients = Vec::with_capacity(shots);
+        let mut reports = Vec::with_capacity(shots);
+        for (j, g, rep) in out {
+            misfits.push(j);
+            gradients.push(g);
+            reports.push(rep);
+        }
+        BatchResult {
+            misfits,
+            gradients,
+            reports,
+            strategy,
+        }
+    }
+
+    fn run_shot(
+        &self,
+        k: usize,
+        batch: &ShotBatch,
+        stepper: &mut Stepper,
+        sweep: &mut ReverseSweep<'_>,
+        shots_total: &perforad_obs::Counter,
+        shot_ns: &perforad_obs::Histogram,
+    ) -> (f64, Grid, Option<CkptReport>) {
+        let _span = perforad_obs::span!("seismic.shot", "seismic", "shot" => k as u64);
+        let t0 = perforad_obs::enabled().then(perforad_obs::now_ns);
+        stepper.set_source(&batch.sources[k]);
+        let shot = if self.checkpointed {
+            let (j, g, rep) = checkpointed_core(
+                &self.cfg,
+                &batch.observed[k],
+                self.budget,
+                &self.opts.backend,
+                stepper,
+                sweep,
+            );
+            (j, g, Some(rep))
+        } else {
+            let (j, g) = store_all_core(&self.cfg, &batch.observed[k], stepper, sweep);
+            (j, g, None)
+        };
+        shots_total.inc();
+        if let Some(t0) = t0 {
+            shot_ns.record(perforad_obs::now_ns().saturating_sub(t0));
+        }
+        shot
+    }
+}
+
+/// Misfits + gradients for every shot of a survey:
+/// [`gradient_batch_with`] with default options on the shared
+/// [`default_pool`].
+pub fn gradient_batch(cfg: &SeismicConfig, c: &Grid, batch: &ShotBatch) -> BatchResult {
+    gradient_batch_with(cfg, c, batch, &BatchOptions::default(), default_pool())
+}
+
+/// Batched multi-shot gradients: compile and tune once (via
+/// [`BatchPlan`]), then dispatch shots across `pool` under the
+/// perf-model-chosen (or forced) [`BatchStrategy`]. Outputs are in shot
+/// order and bitwise-identical to N sequential [`gradient`] calls —
+/// batching changes *when setup is paid and who runs which shot*, never
+/// how a shot executes.
+pub fn gradient_batch_with(
+    cfg: &SeismicConfig,
+    c: &Grid,
+    batch: &ShotBatch,
+    opts: &BatchOptions,
+    pool: &ThreadPool,
+) -> BatchResult {
+    BatchPlan::new(cfg, c, opts, pool).run(batch)
 }
 
 #[cfg(test)]

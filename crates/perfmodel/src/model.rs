@@ -226,6 +226,65 @@ pub fn predict_checkpoint(
     t_forward + t_adjoint + t_recompute + t_traffic
 }
 
+/// How a batch of independent right-hand sides (seismic shots) is
+/// dispatched over one compiled+tuned schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchStrategy {
+    /// Each pool worker owns whole shots and executes them serially:
+    /// zero extra barriers, perfect scaling while `shots ≥ threads`
+    /// (modulo the `ceil(shots/threads)` tail wave).
+    ShotParallel,
+    /// Shots run one after another, each through the tiled grid-parallel
+    /// schedule: the right shape for few large shots, where one shot's
+    /// grid has enough parallelism to feed the whole pool.
+    GridParallel,
+}
+
+/// Shape of one *batched gradient*: how many independent shots, over how
+/// many workers, each sweeping how many time steps. The per-shot costs
+/// are supplied by the caller (measured or predicted via
+/// [`predict_schedule`]); this shape only fixes the dispatch geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchShape {
+    /// Independent right-hand sides in the batch.
+    pub shots: usize,
+    /// Pool workers available for dispatch.
+    pub threads: usize,
+    /// Time steps per shot (forward + reverse sweep).
+    pub steps: usize,
+}
+
+/// Predicted wall-clock seconds for a batched gradient under a dispatch
+/// strategy, given the cost of evaluating one whole shot serially
+/// (`serial_shot_s` — the shot-parallel workers' per-job price) and
+/// through the grid-parallel schedule (`parallel_shot_s`):
+///
+/// * [`BatchStrategy::ShotParallel`] runs `ceil(shots/threads)` waves of
+///   serial shots plus one pool fork/join for the whole batch;
+/// * [`BatchStrategy::GridParallel`] runs the shots back to back, each
+///   at its grid-parallel price (whose barrier costs per sweep are
+///   already inside `parallel_shot_s`).
+///
+/// Like [`predict_schedule`], the model only has to *rank* the two
+/// strategies; the bitwise-identity invariant makes the choice a pure
+/// performance knob, never a correctness one.
+pub fn predict_batch(
+    m: &Machine,
+    serial_shot_s: f64,
+    parallel_shot_s: f64,
+    b: &BatchShape,
+    strategy: BatchStrategy,
+) -> f64 {
+    let shots = b.shots.max(1) as f64;
+    match strategy {
+        BatchStrategy::ShotParallel => {
+            let waves = (b.shots.max(1)).div_ceil(b.threads.max(1)) as f64;
+            waves * serial_shot_s + m.barrier_us * 1e-6
+        }
+        BatchStrategy::GridParallel => shots * parallel_shot_s,
+    }
+}
+
 /// `(threads, seconds, speedup-vs-1-thread)` across a sweep.
 pub fn speedup_series(m: &Machine, p: &KernelProfile, threads: &[usize]) -> Vec<(usize, f64, f64)> {
     let t1 = predict(m, p, 1);
@@ -532,6 +591,63 @@ mod tests {
                 < 64.0 * 6.0 * (1 << 20) as f64 * m.snapshot_cost * 1e-9 + 1e-12
         );
         assert_eq!(small(4, 0.0).mem_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn batch_model_ranks_shot_dispatch() {
+        let m = crate::machine::host(2);
+        // Per-shot costs where parallelism pays 1.5× per shot: a full
+        // batch amortizes the slower serial shots across workers.
+        let (serial_shot, parallel_shot) = (1.5e-3, 1.0e-3);
+        let shape = |shots: usize| BatchShape {
+            shots,
+            threads: 2,
+            steps: 16,
+        };
+        let sp = predict_batch(
+            &m,
+            serial_shot,
+            parallel_shot,
+            &shape(8),
+            BatchStrategy::ShotParallel,
+        );
+        let gp = predict_batch(
+            &m,
+            serial_shot,
+            parallel_shot,
+            &shape(8),
+            BatchStrategy::GridParallel,
+        );
+        // 4 waves × 1.5 ms < 8 shots × 1.0 ms.
+        assert!(
+            sp < gp,
+            "shot-parallel must win 8 shots on 2 threads: {sp} vs {gp}"
+        );
+        // A single shot cannot fill the pool: round-robin the grid instead.
+        let sp1 = predict_batch(
+            &m,
+            serial_shot,
+            parallel_shot,
+            &shape(1),
+            BatchStrategy::ShotParallel,
+        );
+        let gp1 = predict_batch(
+            &m,
+            serial_shot,
+            parallel_shot,
+            &shape(1),
+            BatchStrategy::GridParallel,
+        );
+        assert!(gp1 < sp1, "grid-parallel must win 1 shot: {gp1} vs {sp1}");
+        // The wave count rounds up: 3 shots on 2 threads still pay 2 waves.
+        let sp3 = predict_batch(
+            &m,
+            serial_shot,
+            parallel_shot,
+            &shape(3),
+            BatchStrategy::ShotParallel,
+        );
+        assert!((sp3 - (2.0 * serial_shot + m.barrier_us * 1e-6)).abs() < 1e-12);
     }
 
     #[test]

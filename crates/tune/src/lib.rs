@@ -72,10 +72,15 @@ pub mod timing;
 pub mod tuner;
 
 pub use cache::{cache_key, fingerprint_nests, machine_signature, CacheEntry, TuneCache};
+// Batch-dispatch model types ride along so `perforad-pde` (which has no
+// perfmodel dependency) can price shot-parallel vs grid-parallel batches.
+pub use perforad_perfmodel::{
+    host, predict_batch, profile, BatchShape, BatchStrategy, KernelProfile, Machine,
+};
 pub use perforad_sched::{run_tuned, TunedConfig, TunedStrategy};
 pub use space::{budget_palette, search_space, search_space_full, tile_palette};
 pub use timing::{time_best, time_once};
 pub use tuner::{
-    autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TimeLoop, TuneError, TuneOptions,
-    TuneReport,
+    autotune_adjoint, autotune_nests, pick_batch_strategy, Measure, ScheduleAutotune, TimeLoop,
+    TuneError, TuneOptions, TuneReport,
 };

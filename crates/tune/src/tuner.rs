@@ -23,7 +23,8 @@ use perforad_ckpt::CheckpointPlan;
 use perforad_core::{Adjoint, BoundaryStrategy, LoopNest};
 use perforad_exec::{Binding, Lowering, ThreadPool, Workspace};
 use perforad_perfmodel::{
-    host, predict_checkpoint, predict_schedule, profile, Machine, ScheduleShape,
+    host, predict_batch, predict_checkpoint, predict_schedule, profile, BatchShape, BatchStrategy,
+    KernelProfile, Machine, ScheduleShape,
 };
 use perforad_sched::{
     compile_schedule_nests, run_tuned, SchedError, SchedOptions, Schedule, TilePolicy, TunedConfig,
@@ -524,6 +525,56 @@ fn pick_budget(
     (budget, scored)
 }
 
+/// Choose how a batched gradient dispatches its shots over the pool:
+/// price both [`BatchStrategy`] variants with
+/// [`perforad_perfmodel::predict_batch`], deriving the per-shot costs
+/// from the tuned configuration's analytic sweep times (the serial
+/// variant for shot-parallel workers, the configured parallel variant
+/// for grid-parallel round-robin; the primal stepper runs serially in
+/// both at [`TimeLoop`]'s default half-an-adjoint-sweep factor). Returns
+/// the winner plus the scored axis; ties go to shot-parallel when the
+/// batch can fill the pool, grid-parallel otherwise. The bitwise-identity
+/// invariant makes this a pure performance choice — every strategy
+/// produces bit-identical gradients.
+pub fn pick_batch_strategy(
+    machine: &Machine,
+    prof: &KernelProfile,
+    nest_count: usize,
+    cfg: &TunedConfig,
+    shape: &BatchShape,
+) -> (BatchStrategy, Vec<(BatchStrategy, f64)>) {
+    let sweep_s = |strategy: TunedStrategy| {
+        let cand = TunedConfig {
+            strategy,
+            ..cfg.clone()
+        };
+        predict_schedule(machine, prof, &shape_of(&cand, nest_count, prof))
+    };
+    let serial_sweep = sweep_s(TunedStrategy::Serial);
+    let parallel_sweep = sweep_s(TunedStrategy::Parallel);
+    let steps = shape.steps.max(1) as f64;
+    let primal_s = 0.5 * serial_sweep;
+    let serial_shot_s = steps * (primal_s + serial_sweep);
+    let parallel_shot_s = steps * (primal_s + parallel_sweep);
+    let scored: Vec<(BatchStrategy, f64)> =
+        [BatchStrategy::ShotParallel, BatchStrategy::GridParallel]
+            .into_iter()
+            .map(|s| {
+                (
+                    s,
+                    predict_batch(machine, serial_shot_s, parallel_shot_s, shape, s),
+                )
+            })
+            .collect();
+    let (sp, gp) = (scored[0].1, scored[1].1);
+    let pick = if sp < gp || (sp == gp && shape.shots >= shape.threads) {
+        BatchStrategy::ShotParallel
+    } else {
+        BatchStrategy::GridParallel
+    };
+    (pick, scored)
+}
+
 /// Natively prepare a JIT candidate's schedule (registry → artifact
 /// cache → out-of-process build). Non-JIT candidates trivially succeed;
 /// a JIT candidate that cannot be prepared reports `false` so the tuner
@@ -1019,5 +1070,37 @@ mod tests {
         assert_eq!(s.threads, 4);
         let fused = shape_of(&TunedConfig { fuse: true, ..cfg }, 17, &prof);
         assert_eq!(fused.barriers, 1);
+    }
+
+    #[test]
+    fn batch_strategy_follows_the_shot_to_thread_ratio() {
+        // A grid big enough that the parallel sweep genuinely beats the
+        // serial one (barriers are noise against 10⁶ points)…
+        let m = host(2);
+        let prof = perforad_perfmodel::KernelProfile {
+            points: 1_000_000.0,
+            flops_per_point: 30.0,
+            bytes_per_point: 48.0,
+            ..Default::default()
+        };
+        let cfg = TunedConfig {
+            strategy: TunedStrategy::Parallel,
+            threads: 2,
+            tile: vec![100, 100, 100],
+            ..Default::default()
+        };
+        let shape = |shots: usize| BatchShape {
+            shots,
+            threads: 2,
+            steps: 16,
+        };
+        // …so a full batch should hand whole (serial) shots to workers,
+        let (pick, scored) = pick_batch_strategy(&m, &prof, 3, &cfg, &shape(8));
+        assert_eq!(pick, BatchStrategy::ShotParallel);
+        assert_eq!(scored.len(), 2);
+        assert!(scored.iter().all(|&(_, s)| s.is_finite() && s > 0.0));
+        // …while a lone shot keeps the tuned grid-parallel sweep.
+        let (pick, _) = pick_batch_strategy(&m, &prof, 3, &cfg, &shape(1));
+        assert_eq!(pick, BatchStrategy::GridParallel);
     }
 }

@@ -268,9 +268,9 @@ pub mod prelude {
         StencilSpec,
     };
     pub use perforad_exec::{
-        compile_adjoint, compile_nest, run_parallel, run_parallel_jit, run_parallel_rows,
-        run_scatter_atomic, run_serial, run_serial_jit, run_serial_rows, Binding, ExecMode, Grid,
-        Lowering, ThreadPool, Workspace,
+        compile_adjoint, compile_nest, default_pool, run_parallel, run_parallel_jit,
+        run_parallel_rows, run_scatter_atomic, run_serial, run_serial_jit, run_serial_rows,
+        Binding, ExecMode, Grid, Lowering, ThreadPool, Workspace,
     };
     pub use perforad_jit::{prepare_schedule, JitOptions, JitReport};
     pub use perforad_obs::{
@@ -283,7 +283,7 @@ pub mod prelude {
     };
     pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
     pub use perforad_tune::{
-        autotune_adjoint, autotune_nests, Measure, ScheduleAutotune, TimeLoop, TuneError,
-        TuneOptions, TuneReport,
+        autotune_adjoint, autotune_nests, pick_batch_strategy, BatchStrategy, Measure,
+        ScheduleAutotune, TimeLoop, TuneError, TuneOptions, TuneReport,
     };
 }

@@ -7,11 +7,13 @@
 //! metrics registry), so every test here serializes on one mutex and
 //! restores the disabled/empty state before releasing it.
 
-use perforad::exec::Grid;
+use perforad::exec::{Grid, ThreadPool};
 use perforad::pde::seismic::{
-    forward, gradient_checkpointed_with, ricker, SeismicConfig, SnapshotBackend,
+    forward, gradient_batch_with, gradient_checkpointed_with, ricker, BatchOptions, SeismicConfig,
+    ShotBatch, SnapshotBackend,
 };
 use perforad::pde::wave3d;
+use perforad::pde::BatchStrategy;
 use perforad::prelude::*;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -179,6 +181,60 @@ fn traced_seismic_gradient_rollup_accounts_for_the_wall_time() {
     assert!(json.starts_with("{\"traceEvents\":["));
     assert!(json.contains("\"ph\":\"X\""));
     assert!(json.contains("seismic.gradient_checkpointed"));
+    perforad::obs::clear_events();
+    perforad::obs::reset_metrics();
+}
+
+#[test]
+fn traced_batch_run_populates_shot_metrics_and_rollup() {
+    let _guard = obs_test();
+    let cfg = SeismicConfig {
+        n: 8,
+        steps: 6,
+        d: 0.1,
+    };
+    let src = ricker(cfg.steps);
+    let c0 = Grid::from_fn(&[cfg.n; 3], |ix| 0.8 + 0.4 * (ix[2] as f64 / cfg.n as f64));
+    let shots = 3usize;
+    let mut batch = ShotBatch::new();
+    for k in 0..shots {
+        let c_true = Grid::from_fn(&[cfg.n; 3], |ix| c0.get(ix) * (1.03 + 0.01 * k as f64));
+        batch.push(src.clone(), forward(&cfg, &c_true, &src)[cfg.steps].clone());
+    }
+
+    let pool = ThreadPool::new(2);
+    let opts = BatchOptions {
+        strategy: Some(BatchStrategy::ShotParallel),
+        checkpointed: Some(true),
+        budget: Some(3),
+        backend: SnapshotBackend::Memory,
+    };
+    perforad::obs::set_enabled(true);
+    let res = gradient_batch_with(&cfg, &c0, &batch, &opts, &pool);
+    perforad::obs::set_enabled(false);
+    assert_eq!(res.gradients.len(), shots);
+
+    // Batch accounting: one count + one duration sample per shot, even
+    // when the shots ran on pool worker threads.
+    assert_eq!(
+        perforad::obs::counter("seismic.shots_total").get(),
+        shots as u64
+    );
+    let hist = perforad::obs::histogram("seismic.shot_ns");
+    assert_eq!(hist.count(), shots as u64);
+    assert!(hist.sum() > 0, "per-shot durations must be non-trivial");
+
+    // The batch root span and the per-shot spans show up in the trace,
+    // and the rollup attributes them to the seismic phase.
+    let events = perforad::obs::collect_events();
+    assert!(events.iter().any(|e| e.name == "seismic.gradient_batch"));
+    assert!(events.iter().any(|e| e.name == "seismic.batch_setup"));
+    assert_eq!(
+        events.iter().filter(|e| e.name == "seismic.shot").count(),
+        shots
+    );
+    let trace = TraceReport::build(&events, 10);
+    assert!(trace.phases.iter().any(|p| p.phase == "seismic"));
     perforad::obs::clear_events();
     perforad::obs::reset_metrics();
 }
