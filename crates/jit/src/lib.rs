@@ -454,6 +454,7 @@ fn prepare_group(
     let t0 = Instant::now();
     let built = {
         let _span = perforad_obs::span!("jit.compile", "jit", "nests" => plan.nests.len() as u64);
+        perforad_obs::counter("jit.compiles").inc();
         compile_cdylib(opts, &src_path, &artifact)
     };
     report.compile_ms += t0.elapsed().as_secs_f64() * 1e3;

@@ -31,7 +31,7 @@ use crate::wave3d;
 use perforad_ckpt::{
     checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, MemStore, Snapshot,
 };
-use perforad_core::{Adjoint, AdjointOptions};
+use perforad_core::{Adjoint, AdjointOptions, BoundaryStrategy};
 use perforad_exec::{
     compile_nest, default_pool, run_serial, Binding, Grid, Plan, ThreadPool, Workspace,
 };
@@ -40,8 +40,8 @@ use perforad_sched::{
 };
 use perforad_symbolic::Symbol;
 use perforad_tune::{
-    autotune_adjoint, host, pick_batch_strategy, profile, BatchShape, BatchStrategy, KernelProfile,
-    Machine, TimeLoop, TuneError, TuneOptions,
+    autotune_adjoint, fingerprint_nests, host, pick_batch_strategy, profile, BatchShape,
+    BatchStrategy, KernelProfile, Machine, TimeLoop, TuneError, TuneOptions,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -184,11 +184,19 @@ pub fn adjoint_schedule_tuned(
     pool: &ThreadPool,
     topts: &TuneOptions,
 ) -> Result<(Schedule, TunedConfig), TuneError> {
-    let adj = wave3d::nest()
-        .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
-        .expect("c-active wave adjoint transforms");
+    let adj = wave_adjoint();
     let (schedule, report) = autotune_adjoint(&adj, ws, bind, pool, topts)?;
     Ok((schedule, report.config))
+}
+
+/// The c-active wave adjoint, counted in `seismic.adjoint_transforms` —
+/// cache layers above (the serve daemon's warm path in particular) assert
+/// zero re-transforms by diffing this counter.
+fn wave_adjoint() -> Adjoint {
+    perforad_obs::counter("seismic.adjoint_transforms").inc();
+    wave3d::nest()
+        .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
+        .expect("c-active wave adjoint transforms")
 }
 
 /// The adjoint workspace + tuned schedule every reverse sweep drives.
@@ -213,9 +221,7 @@ impl<'p> ReverseSweep<'p> {
         time_loop: Option<TimeLoop>,
         pool: &'p ThreadPool,
     ) -> ReverseSweep<'p> {
-        let adj = wave3d::nest()
-            .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
-            .expect("adjoint transforms");
+        let adj = wave_adjoint();
         Self::with_adjoint(cfg, c, time_loop, pool, &adj)
     }
 
@@ -679,6 +685,7 @@ pub struct BatchPlan<'p> {
     machine: Machine,
     prof: KernelProfile,
     nest_count: usize,
+    fingerprint: u64,
     budget: usize,
     checkpointed: bool,
     opts: BatchOptions,
@@ -701,9 +708,10 @@ impl<'p> BatchPlan<'p> {
             .unwrap_or(cfg.steps >= CKPT_THRESHOLD_STEPS);
         let dims = [cfg.n, cfg.n, cfg.n];
         let state_bytes = (Grid::zeros(&dims), Grid::zeros(&dims)).mem_bytes();
-        let adj = wave3d::nest()
-            .adjoint(&wave3d::activity_with_c(), &AdjointOptions::default())
-            .expect("c-active wave adjoint transforms");
+        let adj = wave_adjoint();
+        let bind = Binding::new().size("n", cfg.n as i64).param("D", cfg.d);
+        let fingerprint =
+            fingerprint_nests(&adj.nests, adj.strategy == BoundaryStrategy::Padded, &bind);
         let time_loop = checkpointed.then(|| TimeLoop::new(cfg.steps, state_bytes));
         let sweep_proto = ReverseSweep::with_adjoint(cfg, c, time_loop, pool, &adj);
         let budget = opts
@@ -722,10 +730,50 @@ impl<'p> BatchPlan<'p> {
             sweep_proto,
             machine: host(pool.size()),
             prof,
+            fingerprint,
             budget,
             checkpointed,
             opts: opts.clone(),
         }
+    }
+
+    /// The adjoint nest fingerprint this plan was tuned under — the same
+    /// value `perforad-tune` keys its persistent cache by, and the unit of
+    /// multi-request reuse for a serving layer.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The number of adjoint loop nests behind this plan's schedule.
+    pub fn nest_count(&self) -> usize {
+        self.nest_count
+    }
+
+    /// The tuned configuration every shot's reverse sweep runs under.
+    pub fn tuned(&self) -> &TunedConfig {
+        &self.sweep_proto.tuned
+    }
+
+    /// The snapshot budget checkpointed shots run with (also reported for
+    /// store-all plans, where it is simply unused).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Whether shots run the bounded-memory checkpointed sweep.
+    pub fn checkpointed(&self) -> bool {
+        self.checkpointed
+    }
+
+    /// Swap in a new velocity model without recompiling or retuning: the
+    /// schedule, tuned config, and checkpoint budget depend only on the
+    /// grid *shape*, so an inversion loop (or a serving daemon fielding a
+    /// same-shape `Compile` with fresh `c`) pays a grid copy, nothing else.
+    pub fn set_model(&mut self, c: &Grid) {
+        let dims = [self.cfg.n, self.cfg.n, self.cfg.n];
+        assert_eq!(c.dims(), &dims[..], "velocity model shape must match plan");
+        *self.stepper_proto.ws.grid_mut("c") = c.clone();
+        *self.sweep_proto.ws.grid_mut("c") = c.clone();
     }
 
     /// The dispatch strategy a batch of `shots` will run under: the

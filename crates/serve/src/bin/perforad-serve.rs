@@ -1,0 +1,23 @@
+//! The gradient daemon. Binds per `PERFORAD_SERVE_SOCKET` /
+//! `PERFORAD_SERVE_TCP` (default: a per-process socket under the temp
+//! dir), prints the endpoint, and serves until a `Shutdown` request.
+
+use perforad_serve::{ServeOptions, Server};
+use std::io::Write;
+
+fn main() {
+    let opts = ServeOptions::from_env();
+    let server = match Server::bind(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perforad-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("perforad-serve listening on {}", server.endpoint());
+    let _ = std::io::stdout().flush();
+    if let Err(e) = server.run() {
+        eprintln!("perforad-serve: {e}");
+        std::process::exit(1);
+    }
+}

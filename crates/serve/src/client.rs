@@ -1,0 +1,150 @@
+//! A blocking client for the serve protocol: one connection, typed
+//! request/reply helpers, server-side errors surfaced as
+//! [`ClientError::Server`].
+
+use crate::proto::{
+    self, BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest,
+    Reply, Request,
+};
+use crate::server::{connect, Conn, Endpoint};
+use perforad_tune::json::Value;
+use std::fmt;
+use std::io;
+
+/// What can go wrong on a round trip.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, framing).
+    Io(io::Error),
+    /// The peer sent a frame this client cannot decode.
+    Protocol(String),
+    /// The server answered with an `Error` reply.
+    Server(String),
+    /// The server answered with a well-formed reply of the wrong type.
+    UnexpectedReply(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::UnexpectedReply(m) => write!(f, "unexpected reply: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One blocking connection to a perforad-serve daemon.
+pub struct Client {
+    conn: Conn,
+}
+
+impl Client {
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
+        Ok(Client {
+            conn: connect(endpoint)?,
+        })
+    }
+
+    /// Send one request and decode the reply. [`Reply::Error`] comes back
+    /// as `Ok(Reply::Error(..))` here; the typed helpers below convert it
+    /// to [`ClientError::Server`].
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        proto::write_frame(&mut self.conn, &req.to_json())?;
+        let payload = proto::read_frame(&mut self.conn)?;
+        Reply::from_json(&payload).map_err(ClientError::Protocol)
+    }
+
+    fn expect<T>(
+        &mut self,
+        req: &Request,
+        pick: impl FnOnce(Reply) -> Result<T, Reply>,
+    ) -> Result<T, ClientError> {
+        match self.roundtrip(req)? {
+            Reply::Error(msg) => Err(ClientError::Server(msg)),
+            other => pick(other)
+                .map_err(|r| ClientError::UnexpectedReply(format!("{:.120?}", r.to_json()))),
+        }
+    }
+
+    /// Warm up (or hit the cache for) a kernel; returns its fingerprint.
+    pub fn compile(&mut self, req: CompileRequest) -> Result<CompiledReply, ClientError> {
+        self.expect(&Request::Compile(req), |r| match r {
+            Reply::Compiled(c) => Ok(c),
+            other => Err(other),
+        })
+    }
+
+    /// One shot against a compiled fingerprint.
+    pub fn gradient(
+        &mut self,
+        fingerprint: &str,
+        source: Vec<f64>,
+        observed: Vec<f64>,
+    ) -> Result<GradientReply, ClientError> {
+        let req = Request::Gradient(GradientRequest {
+            fingerprint: fingerprint.to_string(),
+            source,
+            observed,
+        });
+        self.expect(&req, |r| match r {
+            Reply::Gradient(g) => Ok(g),
+            other => Err(other),
+        })
+    }
+
+    /// A whole survey against a compiled fingerprint; `shots` is
+    /// `(source, observed)` per shot.
+    pub fn gradient_batch(
+        &mut self,
+        fingerprint: &str,
+        shots: Vec<(Vec<f64>, Vec<f64>)>,
+    ) -> Result<BatchReply, ClientError> {
+        let req = Request::GradientBatch(BatchRequest {
+            fingerprint: fingerprint.to_string(),
+            shots,
+        });
+        self.expect(&req, |r| match r {
+            Reply::GradientBatch(b) => Ok(b),
+            other => Err(other),
+        })
+    }
+
+    /// The server's stats object (uptime, queue depth, cache sizes,
+    /// per-kernel request counts, full metrics snapshot).
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.expect(&Request::Stats, |r| match r {
+            Reply::Stats(v) => Ok(v),
+            other => Err(other),
+        })
+    }
+
+    /// Ask the daemon to exit its accept loop.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.expect(&Request::Shutdown, |r| match r {
+            Reply::Ok => Ok(()),
+            other => Err(other),
+        })
+    }
+}
+
+/// Read a counter out of a stats object (0 when absent — counters only
+/// exist once touched).
+pub fn stats_counter(stats: &Value, name: &str) -> u64 {
+    stats
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_f64)
+        .map(|v| v as u64)
+        .unwrap_or(0)
+}

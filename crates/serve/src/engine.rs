@@ -1,0 +1,516 @@
+//! The request engine: one process-wide compile cache in front of the
+//! whole pipeline.
+//!
+//! A seismic `Compile` builds a [`BatchPlan`] — adjoint transform,
+//! cache-keyed autotune (JIT warm-up included), compiled primal stepper,
+//! checkpoint budget — exactly once per fingerprint and keeps it.
+//! Every later request with that fingerprint is pure warm path: zero
+//! adjoint transforms, zero tuner timings, zero out-of-process rustc
+//! invocations (the obs counters `seismic.adjoint_transforms`,
+//! `tune.timed`, and `jit.compiles` pin this in `tests/serve.rs`).
+//!
+//! Gradient executions are serialized behind one run lock: the shared
+//! [`default_pool`] is not reentrant and must host one parallel region
+//! at a time. The wait-plus-run population is exported as the
+//! `serve.queue_depth` gauge; admission itself is never blocked — `Stats`
+//! and cache-hit `Compile`s bypass the lock entirely.
+
+use crate::proto::{
+    BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest, Reply,
+    Request,
+};
+use perforad_codegen::parse_stencil;
+use perforad_core::{ActivityMap, AdjointOptions, BoundaryStrategy};
+use perforad_exec::{default_pool, Binding, Grid};
+use perforad_pde::seismic::{BatchOptions, BatchPlan, SeismicConfig, ShotBatch};
+use perforad_tune::{cache, fingerprint_nests};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Largest accepted grid edge: a 512³ shot is ~1 GiB of f64 grids per
+/// workspace — beyond that the request is almost certainly a mistake.
+const MAX_N: usize = 512;
+/// Largest accepted step count per shot.
+const MAX_STEPS: usize = 1 << 20;
+
+/// FNV-1a over the raw bytes of a request's identity fields — the cheap
+/// pre-transform dedup key (the real nest fingerprint needs the adjoint
+/// transform, which is exactly what a cache hit must avoid).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A warm seismic kernel: the amortized plan plus its request accounting.
+struct KernelEntry {
+    plan: BatchPlan<'static>,
+    cfg: SeismicConfig,
+    /// FNV over the velocity model's bit pattern — a repeat `Compile`
+    /// with identical `c` is a pure no-op.
+    c_digest: u64,
+    requests: u64,
+}
+
+/// A compiled raw-DSL kernel: fingerprinted and cached, no gradient
+/// driver attached (only the seismic kernel has a time-loop driver).
+struct DslEntry {
+    nests: usize,
+    requests: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    /// Serve fingerprint → warm kernel.
+    kernels: HashMap<u64, Arc<Mutex<KernelEntry>>>,
+    /// Request-parameter digest → serve fingerprint (the pre-transform
+    /// dedup index; hit = skip the build entirely).
+    by_params: HashMap<u64, u64>,
+    dsl: HashMap<u64, DslEntry>,
+    dsl_by_src: HashMap<u64, u64>,
+}
+
+/// The shared state behind every connection: compile caches, the pool
+/// run lock, and request accounting for `Stats`.
+pub struct Engine {
+    started: Instant,
+    registry: Mutex<Registry>,
+    /// Serializes everything that drives the shared pool (tuner runs and
+    /// gradient executions) — the pool hosts one parallel region at a time.
+    run_lock: Mutex<()>,
+    /// Requests waiting for or holding the run lock.
+    in_flight: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+/// Survive a poisoned mutex: a panicking request is turned into an
+/// `Error` reply by the connection handler, and the next request must
+/// still be served.
+fn lock_any<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Engine {
+    pub fn new() -> Engine {
+        Engine {
+            started: Instant::now(),
+            registry: Mutex::new(Registry::default()),
+            run_lock: Mutex::new(()),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Handle one decoded request. Validation failures come back as
+    /// [`Reply::Error`]; this method never panics on malformed *values*
+    /// (panics from deeper layers are caught by the connection handler).
+    pub fn handle(&self, req: &Request) -> Reply {
+        perforad_obs::counter("serve.requests_total").inc();
+        let t0 = Instant::now();
+        let _span = perforad_obs::span!("serve.request", "serve");
+        let reply = match req {
+            Request::Compile(c) => match self.compile(c) {
+                Ok(r) => Reply::Compiled(r),
+                Err(msg) => Reply::Error(msg),
+            },
+            Request::Gradient(g) => match self.gradient(g) {
+                Ok(r) => Reply::Gradient(r),
+                Err(msg) => Reply::Error(msg),
+            },
+            Request::GradientBatch(b) => match self.gradient_batch(b) {
+                Ok(r) => Reply::GradientBatch(r),
+                Err(msg) => Reply::Error(msg),
+            },
+            Request::Stats => Reply::Stats(self.stats()),
+            Request::Shutdown => Reply::Ok,
+        };
+        perforad_obs::histogram("serve.request_ns").record(t0.elapsed().as_nanos() as u64);
+        reply
+    }
+
+    /// Run `f` under the pool run lock, tracking the wait-plus-run
+    /// population in `serve.queue_depth`.
+    fn with_pool<T>(&self, f: impl FnOnce() -> T) -> T {
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let gauge = perforad_obs::gauge("serve.queue_depth");
+        gauge.set(depth);
+        let guard = lock_any(&self.run_lock);
+        let out = f();
+        drop(guard);
+        gauge.set(self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1);
+        out
+    }
+
+    fn compile(&self, req: &CompileRequest) -> Result<CompiledReply, String> {
+        let _span = perforad_obs::span!("serve.compile", "serve");
+        match req {
+            CompileRequest::Seismic {
+                n,
+                steps,
+                d,
+                c,
+                budget,
+                checkpointed,
+            } => self.compile_seismic(*n, *steps, *d, c.as_deref(), *budget, *checkpointed),
+            CompileRequest::Stencil {
+                stencil,
+                sizes,
+                params,
+                active,
+            } => self.compile_stencil(stencil, sizes, params, active),
+        }
+    }
+
+    fn compile_seismic(
+        &self,
+        n: usize,
+        steps: usize,
+        d: f64,
+        c: Option<&[f64]>,
+        budget: Option<usize>,
+        checkpointed: Option<bool>,
+    ) -> Result<CompiledReply, String> {
+        if !(4..=MAX_N).contains(&n) {
+            return Err(format!("n must be in 4..={MAX_N}, got {n}"));
+        }
+        if !(1..=MAX_STEPS).contains(&steps) {
+            return Err(format!("steps must be in 1..={MAX_STEPS}, got {steps}"));
+        }
+        if !d.is_finite() || d <= 0.0 {
+            return Err(format!("d must be finite and positive, got {d}"));
+        }
+        if let Some(c) = c {
+            if c.len() != n * n * n {
+                return Err(format!(
+                    "c has {} values, expected n³ = {}",
+                    c.len(),
+                    n * n * n
+                ));
+            }
+            if c.iter().any(|v| !v.is_finite()) {
+                return Err("c contains non-finite values".to_string());
+            }
+        }
+
+        // Identity of the *compiled artifact*: shape, step count, d bits,
+        // and the checkpointing knobs (they select the plan's sweep).
+        // The velocity model is deliberately excluded — same-shape
+        // requests share the schedule and swap models in place.
+        let mut key = format!("seismic|n={n}|steps={steps}|d={:016x}", d.to_bits());
+        key.push_str(&format!(
+            "|b={}|ck={:?}",
+            budget.map_or(-1i64, |b| b as i64),
+            checkpointed
+        ));
+        let param_key = fnv1a64(key.as_bytes());
+        let c_digest = c.map(digest_f64);
+
+        let hit = {
+            let reg = lock_any(&self.registry);
+            reg.by_params
+                .get(&param_key)
+                .and_then(|id| reg.kernels.get(id).map(|e| (*id, Arc::clone(e))))
+        };
+        if let Some((id, entry)) = hit {
+            perforad_obs::counter("serve.compile_cache_hits").inc();
+            let mut entry = lock_any(&entry);
+            if let (Some(c), Some(dig)) = (c, c_digest) {
+                if dig != entry.c_digest {
+                    let dims = [n, n, n];
+                    entry.plan.set_model(&Grid::from_vec(&dims, c.to_vec()));
+                    entry.c_digest = dig;
+                }
+            }
+            return Ok(CompiledReply {
+                fingerprint: format!("{id:016x}"),
+                cached: true,
+                nests: entry.plan.nest_count(),
+                config: Some(entry.plan.tuned().describe()),
+                checkpointed: Some(entry.plan.checkpointed()),
+                budget: Some(entry.plan.budget()),
+            });
+        }
+
+        perforad_obs::counter("serve.compile_cache_misses").inc();
+        let cfg = SeismicConfig { n, steps, d };
+        let dims = [n, n, n];
+        let model = match c {
+            Some(c) => Grid::from_vec(&dims, c.to_vec()),
+            None => Grid::full(&dims, 1.0),
+        };
+        let opts = BatchOptions {
+            budget,
+            checkpointed,
+            ..BatchOptions::default()
+        };
+        // The cold path: adjoint transform + autotune (JIT warm-up
+        // included) + primal compile + budget selection, all on the
+        // shared pool.
+        let plan = self.with_pool(|| BatchPlan::new(&cfg, &model, &opts, default_pool()));
+        // The serve fingerprint extends the nest fingerprint (the tuning
+        // cache's key, shape-only by design) with the time-loop length
+        // and d bits, because the service caches compiled *drivers*, not
+        // just schedules.
+        let id = fnv1a64(
+            format!(
+                "{:016x}|steps={steps}|d={:016x}|b={:?}|ck={:?}",
+                plan.fingerprint(),
+                d.to_bits(),
+                budget,
+                checkpointed
+            )
+            .as_bytes(),
+        );
+        let reply = CompiledReply {
+            fingerprint: format!("{id:016x}"),
+            cached: false,
+            nests: plan.nest_count(),
+            config: Some(plan.tuned().describe()),
+            checkpointed: Some(plan.checkpointed()),
+            budget: Some(plan.budget()),
+        };
+        let entry = KernelEntry {
+            plan,
+            cfg,
+            c_digest: c_digest.unwrap_or_else(|| digest_f64(model.as_slice())),
+            requests: 0,
+        };
+        let mut reg = lock_any(&self.registry);
+        reg.kernels.insert(id, Arc::new(Mutex::new(entry)));
+        reg.by_params.insert(param_key, id);
+        Ok(reply)
+    }
+
+    fn compile_stencil(
+        &self,
+        stencil: &str,
+        sizes: &[(String, i64)],
+        params: &[(String, f64)],
+        active: &[String],
+    ) -> Result<CompiledReply, String> {
+        let mut key = format!("dsl|{stencil}|");
+        for (k, v) in sizes {
+            key.push_str(&format!("{k}={v};"));
+        }
+        for (k, v) in params {
+            key.push_str(&format!("{k}={:016x};", v.to_bits()));
+        }
+        for a in active {
+            key.push_str(&format!("@{a}"));
+        }
+        let src_key = fnv1a64(key.as_bytes());
+        {
+            let mut reg = lock_any(&self.registry);
+            if let Some(&id) = reg.dsl_by_src.get(&src_key) {
+                if let Some(entry) = reg.dsl.get_mut(&id) {
+                    perforad_obs::counter("serve.compile_cache_hits").inc();
+                    entry.requests += 1;
+                    return Ok(CompiledReply {
+                        fingerprint: format!("{id:016x}"),
+                        cached: true,
+                        nests: entry.nests,
+                        config: None,
+                        checkpointed: None,
+                        budget: None,
+                    });
+                }
+            }
+        }
+        perforad_obs::counter("serve.compile_cache_misses").inc();
+        let nest = parse_stencil(stencil).map_err(|e| format!("stencil parse error: {e}"))?;
+        let mut activity = ActivityMap::new();
+        for a in active {
+            activity = activity.with_suffixed(a.as_str());
+        }
+        let adj = nest
+            .adjoint(&activity, &AdjointOptions::default())
+            .map_err(|e| format!("adjoint transform failed: {e}"))?;
+        let mut bind = Binding::new();
+        for (k, v) in sizes {
+            bind = bind.size(k.as_str(), *v);
+        }
+        for (k, v) in params {
+            bind = bind.param(k.as_str(), *v);
+        }
+        let id = fingerprint_nests(&adj.nests, adj.strategy == BoundaryStrategy::Padded, &bind);
+        let nests = adj.nests.len();
+        let mut reg = lock_any(&self.registry);
+        reg.dsl.insert(id, DslEntry { nests, requests: 1 });
+        reg.dsl_by_src.insert(src_key, id);
+        Ok(CompiledReply {
+            fingerprint: format!("{id:016x}"),
+            cached: false,
+            nests,
+            config: None,
+            checkpointed: None,
+            budget: None,
+        })
+    }
+
+    /// Look up a warm kernel by hex fingerprint.
+    fn kernel(&self, fingerprint: &str) -> Result<Arc<Mutex<KernelEntry>>, String> {
+        let id = u64::from_str_radix(fingerprint, 16)
+            .map_err(|_| format!("fingerprint {fingerprint:?} is not a hex id"))?;
+        let reg = lock_any(&self.registry);
+        if let Some(e) = reg.kernels.get(&id) {
+            return Ok(Arc::clone(e));
+        }
+        if reg.dsl.contains_key(&id) {
+            return Err(format!(
+                "fingerprint {fingerprint} was compiled from raw stencil DSL — it has no \
+                 gradient driver; only seismic kernels serve gradients"
+            ));
+        }
+        Err(format!(
+            "unknown fingerprint {fingerprint}; Compile it first (the cache is per-process)"
+        ))
+    }
+
+    fn gradient(&self, req: &GradientRequest) -> Result<GradientReply, String> {
+        let _span = perforad_obs::span!("serve.gradient", "serve", "shots" => 1u64);
+        let entry = self.kernel(&req.fingerprint)?;
+        let mut entry = lock_any(&entry);
+        let cfg = entry.cfg;
+        validate_shot(&cfg, &req.source, &req.observed, 0)?;
+        let dims = [cfg.n, cfg.n, cfg.n];
+        let mut batch = ShotBatch::new();
+        batch.push(
+            req.source.clone(),
+            Grid::from_vec(&dims, req.observed.clone()),
+        );
+        let result = self.with_pool(|| entry.plan.run(&batch));
+        entry.requests += 1;
+        Ok(GradientReply {
+            misfit: result.misfits[0],
+            gradient: result.gradients[0].as_slice().to_vec(),
+            checkpointed: entry.plan.checkpointed(),
+        })
+    }
+
+    fn gradient_batch(&self, req: &BatchRequest) -> Result<BatchReply, String> {
+        let _span = perforad_obs::span!(
+            "serve.gradient", "serve", "shots" => req.shots.len() as u64
+        );
+        if req.shots.is_empty() {
+            return Err("gradient_batch needs at least one shot".to_string());
+        }
+        let entry = self.kernel(&req.fingerprint)?;
+        let mut entry = lock_any(&entry);
+        let cfg = entry.cfg;
+        let dims = [cfg.n, cfg.n, cfg.n];
+        let mut batch = ShotBatch::new();
+        for (k, (source, observed)) in req.shots.iter().enumerate() {
+            validate_shot(&cfg, source, observed, k)?;
+            batch.push(source.clone(), Grid::from_vec(&dims, observed.clone()));
+        }
+        let result = self.with_pool(|| entry.plan.run(&batch));
+        entry.requests += req.shots.len() as u64;
+        Ok(BatchReply {
+            misfits: result.misfits,
+            gradients: result
+                .gradients
+                .iter()
+                .map(|g| g.as_slice().to_vec())
+                .collect(),
+            strategy: format!("{:?}", result.strategy),
+        })
+    }
+
+    /// The `Stats` payload: uptime, queue depth, cache populations,
+    /// per-fingerprint request counts, and the full metrics snapshot
+    /// (`serve.*`, `tune.*`, `jit.*`, `seismic.*` counters included —
+    /// clients diff these across requests to prove the warm path).
+    fn stats(&self) -> perforad_tune::json::Value {
+        use perforad_tune::json::Value;
+        let mut kernels = Vec::new();
+        let mut dsl = Vec::new();
+        {
+            let reg = lock_any(&self.registry);
+            for (id, entry) in &reg.kernels {
+                let e = lock_any(entry);
+                kernels.push(Value::Obj(vec![
+                    ("fingerprint".into(), Value::Str(format!("{id:016x}"))),
+                    ("requests".into(), Value::Num(e.requests as f64)),
+                    ("n".into(), Value::Num(e.cfg.n as f64)),
+                    ("steps".into(), Value::Num(e.cfg.steps as f64)),
+                    ("checkpointed".into(), Value::Bool(e.plan.checkpointed())),
+                    ("budget".into(), Value::Num(e.plan.budget() as f64)),
+                    ("config".into(), Value::Str(e.plan.tuned().describe())),
+                ]));
+            }
+            for (id, entry) in &reg.dsl {
+                dsl.push(Value::Obj(vec![
+                    ("fingerprint".into(), Value::Str(format!("{id:016x}"))),
+                    ("nests".into(), Value::Num(entry.nests as f64)),
+                    ("requests".into(), Value::Num(entry.requests as f64)),
+                ]));
+            }
+        }
+        let metrics =
+            perforad_tune::json::parse(&perforad_obs::MetricsSnapshot::collect().to_json())
+                .unwrap_or(Value::Null);
+        Value::Obj(vec![
+            (
+                "uptime_ns".into(),
+                Value::Num(self.started.elapsed().as_nanos() as f64),
+            ),
+            (
+                "queue_depth".into(),
+                Value::Num(self.in_flight.load(Ordering::SeqCst) as f64),
+            ),
+            (
+                "tune_cache_entries".into(),
+                Value::Num(cache::memory_len() as f64),
+            ),
+            ("kernels".into(), Value::Arr(kernels)),
+            ("dsl_kernels".into(), Value::Arr(dsl)),
+            ("metrics".into(), metrics),
+        ])
+    }
+}
+
+fn validate_shot(
+    cfg: &SeismicConfig,
+    source: &[f64],
+    observed: &[f64],
+    k: usize,
+) -> Result<(), String> {
+    let cells = cfg.n * cfg.n * cfg.n;
+    if source.len() != cfg.steps {
+        return Err(format!(
+            "shot {k}: source has {} samples, kernel has {} steps",
+            source.len(),
+            cfg.steps
+        ));
+    }
+    if observed.len() != cells {
+        return Err(format!(
+            "shot {k}: observed has {} values, kernel grid is n³ = {cells}",
+            observed.len()
+        ));
+    }
+    if source.iter().chain(observed).any(|v| !v.is_finite()) {
+        return Err(format!("shot {k}: non-finite values in source/observed"));
+    }
+    Ok(())
+}
+
+fn digest_f64(xs: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in xs {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}

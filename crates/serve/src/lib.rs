@@ -1,0 +1,54 @@
+//! Gradient-as-a-service: the long-running front for the whole
+//! adjoint-stencil pipeline.
+//!
+//! Everything below this crate is batch machinery: transform an adjoint
+//! (`perforad-core`), schedule it (`perforad-sched`), tune it
+//! (`perforad-tune`), JIT it (`perforad-jit`), budget its time loop
+//! (`perforad-ckpt`), and drive seismic shots through it
+//! (`perforad-pde`). What a production deployment needs on top is a
+//! process that pays all of that **once per kernel fingerprint** and
+//! then answers gradient requests from the warm path. That process is
+//! [`serve`]: an accept loop over a Unix-domain socket (localhost TCP
+//! fallback) speaking a length-prefixed JSON protocol.
+//!
+//! ```text
+//! client ──frame──►  Server (accept loop, thread per connection)
+//!                      │ Request::Compile      ── cold: BatchPlan::new
+//!                      ▼                          (adjoint+tune+JIT+ckpt)
+//!                    Engine ── fingerprint ───► warm: cache hit, zero work
+//!                      │ Request::Gradient[Batch]
+//!                      ▼
+//!                    run lock ──► exec::default_pool() ──► shots
+//! ```
+//!
+//! Request types: `Compile` (seismic driver or raw stencil DSL →
+//! fingerprint), `Gradient` / `GradientBatch` (shot data against a
+//! cached fingerprint), `Stats` (cache hit rates, queue depth,
+//! per-fingerprint request counts, full obs metrics snapshot),
+//! `Shutdown`. The serving guarantee, pinned by `tests/serve.rs`: a
+//! served gradient is **bitwise-identical** to the in-process
+//! [`perforad_pde::seismic::gradient`] call, and a second `Compile` of
+//! the same fingerprint performs zero adjoint transforms, zero tuner
+//! timings, and zero out-of-process rustc invocations.
+//!
+//! In-process embedding (no daemon) is two lines:
+//!
+//! ```no_run
+//! let server = perforad_serve::Server::bind(&perforad_serve::ServeOptions::default()).unwrap();
+//! let endpoint = server.endpoint();
+//! std::thread::spawn(move || server.run());
+//! let mut client = perforad_serve::Client::connect(&endpoint).unwrap();
+//! ```
+
+pub mod client;
+pub mod engine;
+pub mod proto;
+pub mod server;
+
+pub use client::{stats_counter, Client, ClientError};
+pub use engine::Engine;
+pub use proto::{
+    BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest, Reply,
+    Request,
+};
+pub use server::{connect, serve, Conn, Endpoint, ServeOptions, Server};

@@ -1,0 +1,322 @@
+//! The accept loop: a Unix-domain socket (TCP on localhost as the
+//! fallback), one handler thread per connection, the shared [`Engine`]
+//! behind all of them.
+//!
+//! A connection is a sequence of request frames, each answered with one
+//! reply frame. Protocol-level garbage (unparseable JSON, unknown
+//! `"type"`) earns a [`Reply::Error`] and the connection stays up; a
+//! broken *frame* (truncation, oversized prefix, non-UTF-8) drops that
+//! connection only — the daemon keeps serving everyone else. Panics out
+//! of the engine are caught per-request and surfaced as `Error` replies.
+
+use crate::engine::Engine;
+use crate::proto::{self, Reply, Request};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Where a server listens (and a client connects).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7070`.
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(p) => write!(f, "unix:{}", p.display()),
+            Endpoint::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Parse the `PERFORAD_SERVE_ENDPOINT` notation: `host:port` is TCP,
+    /// anything else (optionally prefixed `unix:`/`tcp:`) is a socket
+    /// path.
+    pub fn parse(s: &str) -> Endpoint {
+        if let Some(addr) = s.strip_prefix("tcp:") {
+            return Endpoint::Tcp(addr.to_string());
+        }
+        if let Some(path) = s.strip_prefix("unix:") {
+            return Endpoint::Unix(PathBuf::from(path));
+        }
+        if s.parse::<std::net::SocketAddr>().is_ok() {
+            return Endpoint::Tcp(s.to_string());
+        }
+        Endpoint::Unix(PathBuf::from(s))
+    }
+}
+
+/// How to bind. [`ServeOptions::from_env`] reads the `PERFORAD_SERVE_*`
+/// knobs; the plain default derives a per-process socket path under the
+/// system temp dir.
+#[derive(Clone, Debug, Default)]
+pub struct ServeOptions {
+    /// Unix socket path; `None` derives `perforad-serve-<pid>.sock` in
+    /// the temp dir.
+    pub socket: Option<PathBuf>,
+    /// Force TCP at this address instead of a Unix socket (`127.0.0.1:0`
+    /// picks an ephemeral port). TCP is also the automatic fallback when
+    /// the Unix bind fails.
+    pub tcp: Option<String>,
+    /// Skip enabling the obs metrics registry at bind time (it is on by
+    /// default so `Stats` has data even when `PERFORAD_TRACE` is unset).
+    pub quiet_metrics: bool,
+}
+
+impl ServeOptions {
+    /// `PERFORAD_SERVE_SOCKET` (path) and `PERFORAD_SERVE_TCP` (address;
+    /// takes precedence when both are set).
+    pub fn from_env() -> ServeOptions {
+        ServeOptions {
+            socket: std::env::var_os("PERFORAD_SERVE_SOCKET").map(PathBuf::from),
+            tcp: std::env::var("PERFORAD_SERVE_TCP").ok(),
+            quiet_metrics: false,
+        }
+    }
+}
+
+fn default_socket_path() -> PathBuf {
+    std::env::temp_dir().join(format!("perforad-serve-{}.sock", std::process::id()))
+}
+
+/// One live connection, Unix or TCP.
+pub enum Conn {
+    #[cfg(unix)]
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Connect to a serving endpoint.
+pub fn connect(endpoint: &Endpoint) -> io::Result<Conn> {
+    match endpoint {
+        #[cfg(unix)]
+        Endpoint::Unix(p) => UnixStream::connect(p).map(Conn::Unix),
+        #[cfg(not(unix))]
+        Endpoint::Unix(p) => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("no Unix sockets on this platform: {}", p.display()),
+        )),
+        Endpoint::Tcp(a) => TcpStream::connect(a.as_str()).map(Conn::Tcp),
+    }
+}
+
+enum Listener {
+    #[cfg(unix)]
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> io::Result<Conn> {
+        match self {
+            #[cfg(unix)]
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+/// A bound, not-yet-running server. [`Server::run`] consumes it and
+/// blocks until a `Shutdown` request arrives.
+pub struct Server {
+    listener: Listener,
+    endpoint: Endpoint,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    unlink: Option<PathBuf>,
+}
+
+impl Server {
+    /// Bind per `opts`: explicit TCP if requested, else the Unix socket
+    /// path, else localhost TCP as the fallback. Enables the obs metrics
+    /// registry (unless `quiet_metrics`) so `Stats` counters are live.
+    pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
+        if !opts.quiet_metrics {
+            perforad_obs::set_enabled(true);
+        }
+        let engine = Arc::new(Engine::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        if let Some(addr) = &opts.tcp {
+            let l = TcpListener::bind(addr.as_str())?;
+            let endpoint = Endpoint::Tcp(l.local_addr()?.to_string());
+            return Ok(Server {
+                listener: Listener::Tcp(l),
+                endpoint,
+                engine,
+                stop,
+                unlink: None,
+            });
+        }
+        let path = opts.socket.clone().unwrap_or_else(default_socket_path);
+        match bind_unix(&path) {
+            Ok(l) => Ok(Server {
+                listener: l,
+                endpoint: Endpoint::Unix(path.clone()),
+                engine,
+                stop,
+                unlink: Some(path),
+            }),
+            Err(e) => {
+                // Localhost TCP fallback: platforms or mount setups where
+                // the Unix bind is unavailable still get a daemon.
+                eprintln!(
+                    "perforad-serve: unix bind at {} failed ({e}); falling back to localhost TCP",
+                    path.display()
+                );
+                let l = TcpListener::bind("127.0.0.1:0")?;
+                let endpoint = Endpoint::Tcp(l.local_addr()?.to_string());
+                Ok(Server {
+                    listener: Listener::Tcp(l),
+                    endpoint,
+                    engine,
+                    stop,
+                    unlink: None,
+                })
+            }
+        }
+    }
+
+    /// Where this server is actually listening (ephemeral TCP ports are
+    /// resolved).
+    pub fn endpoint(&self) -> Endpoint {
+        self.endpoint.clone()
+    }
+
+    /// The shared engine — in-process embedders can drive it directly.
+    pub fn engine(&self) -> Arc<Engine> {
+        Arc::clone(&self.engine)
+    }
+
+    /// Accept connections until a `Shutdown` request flips the stop flag.
+    /// Handler threads are detached; connections still open at shutdown
+    /// see EOF when their clients hang up.
+    pub fn run(self) -> io::Result<()> {
+        loop {
+            let conn = self.listener.accept();
+            if self.stop.load(Ordering::Acquire) {
+                break;
+            }
+            match conn {
+                Ok(conn) => {
+                    let engine = Arc::clone(&self.engine);
+                    let stop = Arc::clone(&self.stop);
+                    let endpoint = self.endpoint.clone();
+                    std::thread::spawn(move || handle_conn(engine, stop, endpoint, conn));
+                }
+                Err(e) => {
+                    if self.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    eprintln!("perforad-serve: accept failed: {e}");
+                }
+            }
+        }
+        if let Some(p) = &self.unlink {
+            let _ = std::fs::remove_file(p);
+        }
+        Ok(())
+    }
+}
+
+fn bind_unix(path: &PathBuf) -> io::Result<Listener> {
+    #[cfg(unix)]
+    {
+        // A stale socket file from a dead daemon is reclaimable: if
+        // nothing answers a connect, unlink and rebind.
+        if path.exists() && UnixStream::connect(path).is_err() {
+            let _ = std::fs::remove_file(path);
+        }
+        UnixListener::bind(path).map(Listener::Unix)
+    }
+    #[cfg(not(unix))]
+    {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!("no Unix sockets on this platform: {}", path.display()),
+        ))
+    }
+}
+
+/// Bind and run in one call — the daemon entry point.
+pub fn serve(opts: &ServeOptions) -> io::Result<()> {
+    Server::bind(opts)?.run()
+}
+
+fn handle_conn(engine: Arc<Engine>, stop: Arc<AtomicBool>, endpoint: Endpoint, mut conn: Conn) {
+    loop {
+        let payload = match proto::read_frame(&mut conn) {
+            Ok(p) => p,
+            // EOF, truncated frame, hostile length prefix: this
+            // connection is done; the server is not.
+            Err(_) => return,
+        };
+        let (reply, is_shutdown) = match Request::from_json(&payload) {
+            Err(msg) => (Reply::Error(msg), false),
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let reply = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.handle(&req)
+                })) {
+                    Ok(r) => r,
+                    Err(p) => Reply::Error(format!("request panicked: {}", panic_msg(&p))),
+                };
+                (reply, is_shutdown)
+            }
+        };
+        if proto::write_frame(&mut conn, &reply.to_json()).is_err() {
+            return;
+        }
+        if is_shutdown {
+            stop.store(true, Ordering::Release);
+            // Self-connect to unblock the accept loop.
+            let _ = connect(&endpoint);
+            return;
+        }
+    }
+}
+
+fn panic_msg(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

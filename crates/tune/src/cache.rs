@@ -285,6 +285,12 @@ pub fn memory_store(key: &str, entry: CacheEntry) {
         .insert(key.to_string(), entry);
 }
 
+/// Number of entries in the process-wide in-memory cache — a cheap
+/// warm-path size readout for `Stats`-style introspection.
+pub fn memory_len() -> usize {
+    memory().lock().expect("tune cache lock").len()
+}
+
 /// Drop every in-memory entry (tests use this to force re-tuning).
 pub fn memory_clear() {
     memory().lock().expect("tune cache lock").clear();

@@ -26,7 +26,10 @@
 //! * [`autodiff`] — tape-based conventional AD (verification baseline);
 //! * [`perfmodel`] — Broadwell/KNL analytic models for the figures;
 //! * [`pde`] — the wave/Burgers/heat test cases, seismic gradients,
-//!   checkpointing.
+//!   checkpointing;
+//! * [`serve`] — gradient-as-a-service: a socket daemon that compiles,
+//!   tunes, and JITs once per kernel fingerprint and then streams
+//!   gradient requests against the cached plan.
 //!
 //! ```
 //! use perforad::prelude::*;
@@ -242,6 +245,40 @@
 //! let metrics = MetricsSnapshot::collect();
 //! assert!(metrics.counters.contains(&("demo.items".into(), 3)));
 //! ```
+//!
+//! ## Serving
+//!
+//! Everything above is batch machinery; the [`serve`] crate is the
+//! long-running front. A daemon (`perforad-serve`, or [`serve::Server`]
+//! embedded in-process) listens on a Unix-domain socket — localhost TCP
+//! as the fallback — and speaks a length-prefixed JSON protocol:
+//! `Compile` warms a kernel (adjoint transform + autotune + JIT +
+//! checkpoint budget, **once per fingerprint**, cached process-wide),
+//! `Gradient`/`GradientBatch` stream shot data against the cached plan
+//! through the shared pool, and `Stats` reports cache hit rates, queue
+//! depth, and per-fingerprint request counts from the [`obs`] registry.
+//! Served gradients are bitwise-identical to the in-process
+//! [`pde::seismic::gradient`] call (`tests/serve.rs` pins this, along
+//! with the zero-recompile warm path, via the obs counters).
+//!
+//! ```no_run
+//! use perforad::prelude::*;
+//!
+//! let server = ServeServer::bind(&ServeOptions::default()).unwrap();
+//! let endpoint = server.endpoint();
+//! std::thread::spawn(move || server.run());
+//!
+//! let mut client = ServeClient::connect(&endpoint).unwrap();
+//! let compiled = client
+//!     .compile(CompileRequest::Seismic {
+//!         n: 16, steps: 8, d: 0.1, c: None, budget: None, checkpointed: None,
+//!     })
+//!     .unwrap();
+//! let reply = client
+//!     .gradient(&compiled.fingerprint, vec![0.0; 8], vec![0.0; 16 * 16 * 16])
+//!     .unwrap();
+//! assert_eq!(reply.gradient.len(), 16 * 16 * 16);
+//! ```
 
 pub use perforad_autodiff as autodiff;
 pub use perforad_ckpt as ckpt;
@@ -253,6 +290,7 @@ pub use perforad_obs as obs;
 pub use perforad_pde as pde;
 pub use perforad_perfmodel as perfmodel;
 pub use perforad_sched as sched;
+pub use perforad_serve as serve;
 pub use perforad_symbolic as symbolic;
 pub use perforad_tune as tune;
 
@@ -280,6 +318,10 @@ pub mod prelude {
     pub use perforad_sched::{
         compile_schedule, run_schedule, run_tuned, SchedOptions, Schedule, TilePolicy, TunedConfig,
         TunedStrategy,
+    };
+    pub use perforad_serve::{
+        serve, Client as ServeClient, CompileRequest, Endpoint as ServeEndpoint, ServeOptions,
+        Server as ServeServer,
     };
     pub use perforad_symbolic::{ix, Array, Expr, Idx, Symbol};
     pub use perforad_tune::{

@@ -193,3 +193,109 @@ fn schedule_autotune_through_the_prelude() {
     run_tuned(&schedule, &cfg, &mut ws_run, &pool).unwrap();
     assert_eq!(ws_ref.grid("u_b").max_abs_diff(ws_run.grid("u_b")), 0.0);
 }
+
+#[test]
+fn json_round_trips_every_tuned_config_combination() {
+    // The cache format now also backs the serve wire protocol, so the
+    // FULL TunedConfig surface must survive write→read identically:
+    // every strategy × lowering × policy, checkpoint present and absent.
+    let mut cache = TuneCache::new();
+    let mut expected = Vec::new();
+    let mut i = 0usize;
+    for strategy in [TunedStrategy::Serial, TunedStrategy::Parallel] {
+        for lowering in [Lowering::PerPoint, Lowering::Rows, Lowering::Jit] {
+            for policy in [TilePolicy::Static, TilePolicy::Dynamic] {
+                for checkpoint in [None, Some(1), Some(4096)] {
+                    let config = TunedConfig {
+                        strategy,
+                        lowering,
+                        policy,
+                        tile: vec![1 + i as i64, 64, 100_000],
+                        fuse: i % 2 == 0,
+                        cse: i % 3 == 0,
+                        threads: 1 + i % 8,
+                        checkpoint,
+                    };
+                    let key = format!("combo|{i}");
+                    cache.insert(
+                        &key,
+                        CacheEntry {
+                            config: config.clone(),
+                            seconds: 1e-6 * (i + 1) as f64,
+                        },
+                    );
+                    expected.push((key, config));
+                    i += 1;
+                }
+            }
+        }
+    }
+    let reloaded = TuneCache::from_json(&cache.to_json()).unwrap();
+    assert_eq!(reloaded.len(), expected.len());
+    for (key, config) in &expected {
+        let got = reloaded.lookup(key).expect("entry survives");
+        assert_eq!(&got.config, config, "round trip must be identical: {key}");
+    }
+}
+
+#[test]
+fn json_checkpoint_null_and_absent_both_mean_none() {
+    // Pre-checkpoint cache files have no `checkpoint` field at all;
+    // current files write an explicit null when no time loop was tuned.
+    // Both must load as `checkpoint: None`, neither as an error.
+    let version = {
+        // Recover the current CACHE_VERSION from a written cache rather
+        // than hard-coding it here.
+        let doc = perforad::tune::json::parse(&TuneCache::new().to_json()).unwrap();
+        doc.get("version").and_then(|v| v.as_i64()).unwrap()
+    };
+    let body = |checkpoint_field: &str| {
+        format!(
+            "{{\"version\":{version},\"entries\":[{{\"key\":\"k\",\
+             \"strategy\":\"Parallel\",\"lowering\":\"Jit\",\"policy\":\"Dynamic\",\
+             \"tile\":[8,8],\"fuse\":true,\"cse\":false,\"threads\":4{checkpoint_field},\
+             \"seconds\":0.001}}]}}"
+        )
+    };
+    for field in ["", ",\"checkpoint\":null"] {
+        let cache = TuneCache::from_json(&body(field)).unwrap();
+        let entry = cache.lookup("k").expect("entry loads");
+        assert_eq!(entry.config.checkpoint, None, "field {field:?}");
+        assert_eq!(entry.config.lowering, Lowering::Jit);
+    }
+    // And an explicit budget still comes through.
+    let cache = TuneCache::from_json(&body(",\"checkpoint\":17")).unwrap();
+    assert_eq!(cache.lookup("k").unwrap().config.checkpoint, Some(17));
+}
+
+#[test]
+fn json_malformed_cache_input_is_an_error_or_clean_miss_never_a_panic() {
+    // Truncated / corrupt documents: Err, not panic.
+    for bad in [
+        "",
+        "{",
+        "{\"version\":",
+        "{\"version\":1,\"entries\":[{\"key\":\"k\"}]}",
+        "[1,2,3]",
+        "{\"version\":1}",
+    ] {
+        let _ = TuneCache::from_json(bad); // Err or empty — must not panic
+    }
+    // Unknown enum values inside an otherwise valid document are errors.
+    let version = {
+        let doc = perforad::tune::json::parse(&TuneCache::new().to_json()).unwrap();
+        doc.get("version").and_then(|v| v.as_i64()).unwrap()
+    };
+    let doc = format!(
+        "{{\"version\":{version},\"entries\":[{{\"key\":\"k\",\
+         \"strategy\":\"Quantum\",\"lowering\":\"Rows\",\"policy\":\"Static\",\
+         \"tile\":[8],\"fuse\":true,\"cse\":false,\"threads\":1,\
+         \"checkpoint\":null,\"seconds\":0.1}}]}}"
+    );
+    assert!(TuneCache::from_json(&doc).is_err());
+    // A version mismatch is a CLEAN MISS (empty cache), not an error —
+    // old cache files must never wedge a new binary.
+    let stale = "{\"version\":0,\"entries\":[{\"key\":\"k\"}]}";
+    let cache = TuneCache::from_json(stale).unwrap();
+    assert!(cache.is_empty());
+}
