@@ -40,4 +40,4 @@ mod store;
 pub use driver::{checkpointed_adjoint_plan, CkptReport};
 pub use error::CkptError;
 pub use plan::{CheckpointPlan, CkptAction, PlanStats};
-pub use store::{DiskStore, MemStore, Snapshot, SnapshotStore, CKPT_DIR_ENV};
+pub use store::{DiskStore, FallbackStore, MemStore, Snapshot, SnapshotStore, CKPT_DIR_ENV};

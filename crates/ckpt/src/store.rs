@@ -275,8 +275,18 @@ impl DiskStore {
 
 impl Drop for DiskStore {
     fn drop(&mut self) {
-        for &t in self.live.keys() {
-            let _ = std::fs::remove_file(self.path(t));
+        // Sweep by tag prefix rather than walking `self.live`: a panic
+        // between the `fs::write` and the `live.insert` in `save` (or a
+        // panicking sweep swallowed by `catch_unwind` upstream) can leave
+        // spill files the map never learned about. The tag is unique per
+        // instance, so the scan cannot touch a concurrent store's files.
+        let prefix = format!("ckpt_{}_", self.tag);
+        if let Ok(entries) = std::fs::read_dir(&self.dir) {
+            for e in entries.flatten() {
+                if e.file_name().to_string_lossy().starts_with(&prefix) {
+                    let _ = std::fs::remove_file(e.path());
+                }
+            }
         }
     }
 }
@@ -288,6 +298,12 @@ impl<S: Snapshot> SnapshotStore<S> for DiskStore {
         }
         let bytes = state.to_bytes();
         let path = self.path(t);
+        if perforad_obs::fault::should_fail("ckpt.disk.write") {
+            return Err(CkptError::Store(format!(
+                "write {}: injected fault (ckpt.disk.write)",
+                path.display()
+            )));
+        }
         std::fs::write(&path, &bytes)
             .map_err(|e| CkptError::Store(format!("write {}: {e}", path.display())))?;
         self.bytes += bytes.len();
@@ -303,6 +319,12 @@ impl<S: Snapshot> SnapshotStore<S> for DiskStore {
             return Err(CkptError::Protocol(format!("load of dead snapshot {t}")));
         }
         let path = self.path(t);
+        if perforad_obs::fault::should_fail("ckpt.disk.read") {
+            return Err(CkptError::Store(format!(
+                "read {}: injected fault (ckpt.disk.read)",
+                path.display()
+            )));
+        }
         let bytes = std::fs::read(&path)
             .map_err(|e| CkptError::Store(format!("read {}: {e}", path.display())))?;
         perforad_obs::counter("ckpt.load_bytes").add(bytes.len() as u64);
@@ -332,9 +354,108 @@ impl<S: Snapshot> SnapshotStore<S> for DiskStore {
     }
 }
 
+/// Disk-first store with an in-memory overflow: every save tries the
+/// [`DiskStore`] and, on a write failure (full disk, injected
+/// `ckpt.disk.write` fault), keeps the snapshot in a [`MemStore`]
+/// instead — counted in `ckpt.spill_fallbacks`. Loads and frees route
+/// to wherever the key landed, so a sweep survives any number of failed
+/// spills with a **bitwise-identical** result (both backends round-trip
+/// `f64` bit patterns).
+///
+/// A *read* failure is not absorbable here — the bytes are gone — so it
+/// propagates as `Err` and the caller decides (the seismic driver
+/// re-runs the whole sweep in memory).
+#[derive(Debug)]
+pub struct FallbackStore<S> {
+    disk: DiskStore,
+    mem: MemStore<S>,
+    /// Keys that fell back to memory.
+    in_mem: std::collections::HashSet<usize>,
+    fallbacks: usize,
+}
+
+impl<S> FallbackStore<S> {
+    pub fn new(disk: DiskStore) -> Self {
+        FallbackStore {
+            disk,
+            mem: MemStore::new(),
+            in_mem: std::collections::HashSet::new(),
+            fallbacks: 0,
+        }
+    }
+
+    /// How many saves fell back to memory.
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+}
+
+impl<S: Clone + Snapshot> SnapshotStore<S> for FallbackStore<S> {
+    fn save(&mut self, t: usize, state: &S) -> Result<(), CkptError> {
+        if self.in_mem.contains(&t) {
+            return Err(CkptError::Protocol(format!("double save at {t}")));
+        }
+        match self.disk.save(t, state) {
+            Ok(()) => Ok(()),
+            Err(CkptError::Protocol(m)) => Err(CkptError::Protocol(m)),
+            Err(_) => {
+                self.fallbacks += 1;
+                perforad_obs::counter("ckpt.spill_fallbacks").inc();
+                self.in_mem.insert(t);
+                self.mem.save(t, state)
+            }
+        }
+    }
+
+    fn load(&mut self, t: usize) -> Result<S, CkptError> {
+        if self.in_mem.contains(&t) {
+            self.mem.load(t)
+        } else {
+            self.disk.load(t)
+        }
+    }
+
+    fn free(&mut self, t: usize) -> Result<(), CkptError> {
+        if self.in_mem.remove(&t) {
+            self.mem.free(t)
+        } else {
+            SnapshotStore::<S>::free(&mut self.disk, t)
+        }
+    }
+
+    fn live(&self) -> usize {
+        SnapshotStore::<S>::live(&self.disk) + self.mem.live()
+    }
+
+    fn peak_bytes(&self) -> usize {
+        // Peaks of the two halves need not coincide in time; the sum is
+        // the conservative high-water mark.
+        SnapshotStore::<S>::peak_bytes(&self.disk) + self.mem.peak_bytes()
+    }
+
+    fn label(&self) -> &'static str {
+        // "disk" until a save actually fell back — a fault-free sweep
+        // reports exactly what a bare DiskStore would.
+        if self.fallbacks == 0 {
+            "disk"
+        } else {
+            "disk+mem"
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Fault-injection state is process-global, so every test that
+    /// drives a `DiskStore` serialises here — an armed window must not
+    /// leak into a neighbouring test's saves.
+    static STORE_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        STORE_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
 
     fn grid() -> Grid {
         Grid::from_fn(&[3, 4], |ix| (ix[0] * 7 + ix[1]) as f64 * 0.1 - 1.5)
@@ -421,6 +542,7 @@ mod tests {
 
     #[test]
     fn disk_store_contract_and_cleanup() {
+        let _g = locked();
         let dir = std::env::temp_dir().join(format!("perforad_ckpt_test_{}", std::process::id()));
         {
             let mut store = DiskStore::new(&dir).unwrap();
@@ -437,7 +559,80 @@ mod tests {
     }
 
     #[test]
+    fn fallback_store_absorbs_write_faults_bitwise() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join(format!("perforad_ckpt_fb_{}", std::process::id()));
+        let mut store = FallbackStore::new(DiskStore::new(&dir).unwrap());
+        let g = grid();
+        // Fault exactly the first write: snapshot 0 lands in memory,
+        // snapshot 1 on disk.
+        perforad_obs::fault::arm("ckpt.disk.write=fail@1").unwrap();
+        store.save(0, &g).unwrap();
+        store.save(1, &g).unwrap();
+        perforad_obs::fault::disarm();
+        assert_eq!(store.fallbacks(), 1);
+        assert_eq!(store.live(), 2);
+        for t in [0usize, 1] {
+            let back: Grid = store.load(t).unwrap();
+            for (a, b) in g.as_slice().iter().zip(back.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Protocol errors are NOT absorbed — a double save is a bug in
+        // the plan, not an environmental failure.
+        assert!(matches!(store.save(0, &g), Err(CkptError::Protocol(_))));
+        assert!(matches!(store.save(1, &g), Err(CkptError::Protocol(_))));
+        store.free(0).unwrap();
+        store.free(1).unwrap();
+        assert_eq!(store.live(), 0);
+        assert_eq!(
+            <FallbackStore<Grid> as SnapshotStore<Grid>>::label(&store),
+            "disk+mem"
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_read_fault_surfaces_as_store_error() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join(format!("perforad_ckpt_rf_{}", std::process::id()));
+        let mut store = DiskStore::new(&dir).unwrap();
+        store.save(3, &grid()).unwrap();
+        perforad_obs::fault::arm("ckpt.disk.read=fail").unwrap();
+        let got: Result<Grid, _> = store.load(3);
+        perforad_obs::fault::disarm();
+        assert!(matches!(got, Err(CkptError::Store(_))));
+        // The snapshot file itself is untouched; a fault-free retry works.
+        let back: Grid = store.load(3).unwrap();
+        assert_eq!(back.as_slice(), grid().as_slice());
+        SnapshotStore::<Grid>::free(&mut store, 3).unwrap();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drop_sweeps_untracked_spill_files_after_a_panic() {
+        let _g = locked();
+        let dir = std::env::temp_dir().join(format!("perforad_ckpt_panic_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut store = DiskStore::new(&dir).unwrap();
+            store.save(0, &grid()).unwrap();
+            // Orphan a file the live map never learns about — the shape
+            // of a panic between `fs::write` and `live.insert`.
+            std::fs::write(dir.join(format!("ckpt_{}_99.bin", store.tag())), b"orphan").unwrap();
+            panic!("injected panic mid-sweep");
+        }));
+        assert!(caught.is_err());
+        let files = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(files, 0, "Drop must sweep tracked and orphaned spill files");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn two_disk_stores_share_a_directory_without_collisions() {
+        let _g = locked();
         let dir = std::env::temp_dir().join(format!("perforad_ckpt_shared_{}", std::process::id()));
         let mut a = DiskStore::new(&dir).unwrap();
         let mut b = DiskStore::new(&dir).unwrap();

@@ -270,7 +270,15 @@ pub(crate) fn resolve_native(
     if lowering != Lowering::Jit || atomic {
         return None;
     }
-    native_lookup(plan.fingerprint()).filter(|g| g.nests() == plan.nests.len())
+    let native = native_lookup(plan.fingerprint()).filter(|g| g.nests() == plan.nests.len());
+    if native.is_none() {
+        // A Jit lowering that resolves no native module is a *degraded*
+        // execution (bitwise-identical, slower): a failed/skipped JIT
+        // prepare, a nest-count drift, or an evicted registration. Counted
+        // once per runner/run, not per tile.
+        perforad_obs::counter("jit.degraded_fallbacks").inc();
+    }
+    native
 }
 
 /// Execute a nest over `[lo0, hi0]` of the outermost counter with the

@@ -289,6 +289,12 @@ fn find_artifact(dir: &Path, exact: &Path, fp: u64) -> Option<PathBuf> {
 /// concurrent preparers of the same fingerprint race benignly — last
 /// rename wins with an equivalent artifact.
 fn compile_cdylib(opts: &JitOptions, src: &Path, out: &Path) -> Result<(), JitError> {
+    if perforad_obs::fault::should_fail("jit.rustc.spawn") {
+        return Err(JitError::Toolchain(format!(
+            "{}: injected fault (jit.rustc.spawn)",
+            opts.resolved_rustc().display()
+        )));
+    }
     let tmp = out.with_extension(format!("so.tmp.{}", unique_suffix()));
     let output = Command::new(opts.resolved_rustc())
         .args(["--edition", "2021", "-O", "-C", "debuginfo=0"])
@@ -417,14 +423,36 @@ fn prepare_group(
     let artifact = dir.join(format!("{stem}.so"));
 
     if let Some(cached) = find_artifact(&dir, &artifact, fp) {
-        let group = {
+        let loaded = if perforad_obs::fault::should_fail("jit.artifact.read") {
+            Err(JitError::Load(format!(
+                "{}: injected fault (jit.artifact.read)",
+                cached.display()
+            )))
+        } else {
             let _span = perforad_obs::span!("jit.load", "jit", "nests" => plan.nests.len() as u64);
-            load_group(&cached, plan.nests.len())?
+            load_group(&cached, plan.nests.len())
         };
-        register_native(fp, group);
-        report.loaded += 1;
-        perforad_obs::counter("jit.artifact_hits").inc();
-        return Ok(());
+        match loaded {
+            Ok(group) => {
+                register_native(fp, group);
+                report.loaded += 1;
+                perforad_obs::counter("jit.artifact_hits").inc();
+                return Ok(());
+            }
+            Err(e) => {
+                // A cached artifact that no longer loads (truncated write,
+                // wrong arch, bit rot) is quarantined — renamed aside so it
+                // never poisons another prepare — and the group falls
+                // through to a fresh compile instead of failing.
+                let quarantine = cached.with_extension("so.corrupt");
+                let _ = std::fs::rename(&cached, &quarantine);
+                perforad_obs::counter("jit.quarantined").inc();
+                eprintln!(
+                    "perforad-jit: quarantined corrupt artifact {} ({e})",
+                    cached.display()
+                );
+            }
+        }
     }
 
     if toolchain_version(opts).is_none() {
@@ -541,6 +569,15 @@ mod tests {
         std::env::temp_dir().join(format!("perforad-jit-test-{tag}-{}", std::process::id()))
     }
 
+    /// Fault-injection state is process-global, so the test that arms
+    /// `jit.rustc.spawn` must not overlap any other test's compile —
+    /// every prepare-driving test serialises here.
+    static COMPILE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn compile_locked() -> std::sync::MutexGuard<'static, ()> {
+        COMPILE_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Toolchain-less runners skip (with a reason) instead of failing —
     /// the runtime degrades the same way.
     macro_rules! require_toolchain {
@@ -554,6 +591,7 @@ mod tests {
 
     #[test]
     fn prepare_then_run_matches_interpreter_bitwise() {
+        let _lk = compile_locked();
         require_toolchain!();
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let adj = paper_nest()
@@ -590,6 +628,7 @@ mod tests {
 
     #[test]
     fn artifact_cache_avoids_recompiles_across_registry_misses() {
+        let _lk = compile_locked();
         require_toolchain!();
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let adj = paper_nest()
@@ -621,6 +660,7 @@ mod tests {
 
     #[test]
     fn binding_mismatch_is_rejected_not_miscompiled() {
+        let _lk = compile_locked();
         require_toolchain!();
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let adj = paper_nest()
@@ -677,6 +717,7 @@ mod tests {
 
     #[test]
     fn warm_artifact_cache_loads_without_a_toolchain() {
+        let _lk = compile_locked();
         require_toolchain!();
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let adj = paper_nest()
@@ -721,7 +762,72 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_cached_artifact_is_quarantined_and_rebuilt() {
+        let _lk = compile_locked();
+        require_toolchain!();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        // A size no other test uses: the fingerprint must miss the
+        // process-wide registry so prepare reaches the artifact cache.
+        let (ws, bind) = setup(293);
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let dir = test_cache_dir("quarantine");
+        let opts = JitOptions::default().with_cache_dir(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = schedule.groups[0].plan.fingerprint();
+        let stem = format!(
+            "pfjit_v{JIT_FORMAT_VERSION}_{}_{fp:016x}",
+            machine_signature(&opts)
+        );
+        // Plant garbage under the exact cached-artifact name.
+        std::fs::write(dir.join(format!("{stem}.so")), b"definitely not a cdylib").unwrap();
+        let report = prepare_schedule(&schedule, &bind, &opts).unwrap();
+        assert_eq!(report.compiled, 1, "corrupt artifact must be rebuilt");
+        assert!(
+            dir.join(format!("{stem}.so.corrupt")).exists(),
+            "corrupt artifact must be renamed aside, not deleted or reloaded"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_rustc_fault_degrades_like_a_missing_toolchain() {
+        let _lk = compile_locked();
+        require_toolchain!();
+        let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
+        let adj = paper_nest()
+            .adjoint(&act, &AdjointOptions::default())
+            .unwrap();
+        let (ws, bind) = setup(291); // unique size: registry must miss
+        let schedule =
+            compile_schedule(&adj, &ws, &bind, &SchedOptions::default().with_jit()).unwrap();
+        let dir = test_cache_dir("rustcfault");
+        perforad_obs::fault::arm("jit.rustc.spawn=fail").unwrap();
+        let err = prepare_schedule(
+            &schedule,
+            &bind,
+            &JitOptions::default().with_cache_dir(&dir),
+        )
+        .unwrap_err();
+        perforad_obs::fault::disarm();
+        assert!(matches!(err, JitError::Toolchain(_)), "{err}");
+        assert!(perforad_obs::fault::injected("jit.rustc.spawn") >= 1);
+        // Fault gone, the same prepare succeeds end to end.
+        prepare_schedule(
+            &schedule,
+            &bind,
+            &JitOptions::default().with_cache_dir(&dir),
+        )
+        .expect("fault-free prepare succeeds");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn missing_toolchain_reports_toolchain_error() {
+        let _lk = compile_locked();
         let act = ActivityMap::new().with_suffixed("u").with_suffixed("r");
         let adj = paper_nest()
             .adjoint(&act, &AdjointOptions::default())

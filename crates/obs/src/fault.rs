@@ -1,0 +1,349 @@
+//! Deterministic fault injection for the adjoint pipeline's risky I/O.
+//!
+//! Every site in the workspace that can fail for *environmental* reasons
+//! — a full disk under `DiskStore` spill, a vanished rustc, a corrupted
+//! cache file, a stalled socket — routes through a named **fault point**
+//! before doing the real operation:
+//!
+//! ```
+//! if perforad_obs::fault::should_fail("ckpt.disk.write") {
+//!     // return the same error type the real failure would produce
+//! }
+//! ```
+//!
+//! Points are armed via the `PERFORAD_FAULT` environment variable (read
+//! on first use) or programmatically with [`arm`]. The spec is a
+//! comma-separated list of `point=mode` rules:
+//!
+//! * `point=fail` — every hit fails;
+//! * `point=fail@N` — only the Nth hit fails (1-based);
+//! * `point=prob:<p>:<seed>` — each hit fails with probability `p`,
+//!   driven by a seeded xorshift64 stream so a chaos run is exactly
+//!   reproducible from its spec.
+//!
+//! Disarmed (the production default), [`should_fail`] is one relaxed
+//! atomic load — the same hot-path discipline as the crate's tracing
+//! flag. Injections are counted twice: the obs counter
+//! `fault.injected_total` (visible in `Stats` when metrics are on) and
+//! an internal per-point tally ([`injected`]) that works regardless of
+//! whether the metrics registry is enabled, so chaos tests can assert
+//! on it without touching global recording state.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable holding the fault spec.
+pub const FAULT_ENV: &str = "PERFORAD_FAULT";
+
+/// Every fault point wired into the workspace, for chaos suites that
+/// iterate the full matrix. Arming a point not in this list is allowed
+/// (it simply never fires); wiring a point without listing it here is a
+/// review error.
+pub const KNOWN_POINTS: &[&str] = &[
+    "ckpt.disk.write",
+    "ckpt.disk.read",
+    "jit.rustc.spawn",
+    "jit.artifact.read",
+    "tune.cache.read",
+    "tune.cache.write",
+    "serve.frame.read",
+    "serve.frame.write",
+];
+
+/// How an armed point decides each hit.
+#[derive(Clone, Debug)]
+enum Mode {
+    /// Every hit fails.
+    Always,
+    /// Only the Nth hit fails (1-based).
+    Nth(u64),
+    /// Each hit fails with probability `p`, from a seeded xorshift64.
+    Prob(f64, u64),
+}
+
+#[derive(Debug)]
+struct Rule {
+    mode: Mode,
+    hits: u64,
+    injected: u64,
+}
+
+#[derive(Default)]
+struct Table {
+    rules: HashMap<String, Rule>,
+}
+
+/// Tri-state armed flag mirroring the crate's `enabled()` discipline:
+/// 0 = not yet initialised from the environment, 1 = disarmed, 2 = armed.
+static ARMED: AtomicU8 = AtomicU8::new(0);
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+fn table() -> &'static Mutex<Table> {
+    static TABLE: OnceLock<Mutex<Table>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(Table::default()))
+}
+
+fn lock_table() -> std::sync::MutexGuard<'static, Table> {
+    table().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// xorshift64 — the workspace's deterministic PRNG for reproducible
+/// probabilistic injection (exported: the serve client reuses it for
+/// retry jitter, keeping the std-only workspace on one PRNG).
+pub fn xorshift64(state: &mut u64) -> u64 {
+    let mut x = *state;
+    if x == 0 {
+        x = 0x9e37_79b9_7f4a_7c15;
+    }
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Parse one `point=mode` rule.
+fn parse_rule(item: &str) -> Result<(String, Mode), String> {
+    let (point, mode) = item
+        .split_once('=')
+        .ok_or_else(|| format!("fault rule {item:?} has no `=`"))?;
+    let point = point.trim();
+    if point.is_empty() {
+        return Err(format!("fault rule {item:?} has an empty point name"));
+    }
+    let mode = mode.trim();
+    let parsed = if mode == "fail" {
+        Mode::Always
+    } else if let Some(n) = mode.strip_prefix("fail@") {
+        let n: u64 = n
+            .parse()
+            .map_err(|_| format!("fault rule {item:?}: bad hit index {n:?}"))?;
+        if n == 0 {
+            return Err(format!("fault rule {item:?}: hit index is 1-based"));
+        }
+        Mode::Nth(n)
+    } else if let Some(rest) = mode.strip_prefix("prob:") {
+        let (p, seed) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("fault rule {item:?}: prob needs `prob:<p>:<seed>`"))?;
+        let p: f64 = p
+            .parse()
+            .map_err(|_| format!("fault rule {item:?}: bad probability {p:?}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("fault rule {item:?}: probability outside [0,1]"));
+        }
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| format!("fault rule {item:?}: bad seed {seed:?}"))?;
+        Mode::Prob(p, seed)
+    } else {
+        return Err(format!(
+            "fault rule {item:?}: mode must be `fail`, `fail@<n>`, or `prob:<p>:<seed>`"
+        ));
+    };
+    Ok((point.to_string(), parsed))
+}
+
+/// Arm fault points from a spec string, replacing any previous spec.
+/// Hit and injection counters restart from zero.
+pub fn arm(spec: &str) -> Result<(), String> {
+    let mut rules = HashMap::new();
+    for item in spec.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let (point, mode) = parse_rule(item)?;
+        rules.insert(
+            point,
+            Rule {
+                mode,
+                hits: 0,
+                injected: 0,
+            },
+        );
+    }
+    let armed = !rules.is_empty();
+    {
+        let mut t = lock_table();
+        t.rules = rules;
+    }
+    ARMED.store(if armed { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarm every fault point (counters are kept until the next [`arm`],
+/// so a test can disarm and still read its injection tallies).
+pub fn disarm() {
+    ARMED.store(STATE_OFF, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    match std::env::var(FAULT_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => match arm(&spec) {
+            Ok(()) => ARMED.load(Ordering::Relaxed) == STATE_ON,
+            Err(e) => {
+                eprintln!("perforad: ignoring bad {FAULT_ENV} spec: {e}");
+                ARMED.store(STATE_OFF, Ordering::Relaxed);
+                false
+            }
+        },
+        _ => {
+            ARMED.store(STATE_OFF, Ordering::Relaxed);
+            false
+        }
+    }
+}
+
+/// Should the operation guarded by `point` fail now?
+///
+/// Disarmed processes pay one relaxed atomic load. Armed, the point's
+/// rule decides deterministically (per its mode and the hit count) and
+/// every injection bumps both `fault.injected_total` and the per-point
+/// tally.
+pub fn should_fail(point: &str) -> bool {
+    match ARMED.load(Ordering::Relaxed) {
+        STATE_OFF => return false,
+        STATE_ON => {}
+        _ => {
+            if !init_from_env() {
+                return false;
+            }
+        }
+    }
+    let mut t = lock_table();
+    let Some(rule) = t.rules.get_mut(point) else {
+        return false;
+    };
+    rule.hits += 1;
+    let fire = match &mut rule.mode {
+        Mode::Always => true,
+        Mode::Nth(n) => rule.hits == *n,
+        Mode::Prob(p, seed) => {
+            let draw = (xorshift64(seed) >> 11) as f64 / (1u64 << 53) as f64;
+            draw < *p
+        }
+    };
+    if fire {
+        rule.injected += 1;
+        drop(t);
+        crate::counter("fault.injected_total").inc();
+    }
+    fire
+}
+
+/// How many times `point` actually injected a failure since the last
+/// [`arm`]. Independent of the metrics registry's enabled flag.
+pub fn injected(point: &str) -> u64 {
+    lock_table().rules.get(point).map_or(0, |r| r.injected)
+}
+
+/// Total injections across all points since the last [`arm`].
+pub fn injected_total() -> u64 {
+    lock_table().rules.values().map(|r| r.injected).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    /// Fault state is process-global; tests serialise on this lock.
+    static FAULT_TEST_LOCK: StdMutex<()> = StdMutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        FAULT_TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disarmed_points_never_fire() {
+        let _g = locked();
+        disarm();
+        assert!(!should_fail("ckpt.disk.write"));
+        assert_eq!(injected("ckpt.disk.write"), 0);
+    }
+
+    #[test]
+    fn fail_fires_every_hit_and_counts() {
+        let _g = locked();
+        arm("t.always=fail").unwrap();
+        assert!(should_fail("t.always"));
+        assert!(should_fail("t.always"));
+        assert!(!should_fail("t.other"));
+        assert_eq!(injected("t.always"), 2);
+        assert_eq!(injected_total(), 2);
+        disarm();
+        assert!(!should_fail("t.always"));
+        // Tallies survive disarm for post-hoc assertions.
+        assert_eq!(injected("t.always"), 2);
+    }
+
+    #[test]
+    fn fail_nth_fires_exactly_once() {
+        let _g = locked();
+        arm("t.nth=fail@3").unwrap();
+        assert!(!should_fail("t.nth"));
+        assert!(!should_fail("t.nth"));
+        assert!(should_fail("t.nth"));
+        assert!(!should_fail("t.nth"));
+        assert_eq!(injected("t.nth"), 1);
+        disarm();
+    }
+
+    #[test]
+    fn prob_stream_is_reproducible_and_calibrated() {
+        let _g = locked();
+        let run = |spec: &str| -> Vec<bool> {
+            arm(spec).unwrap();
+            (0..64).map(|_| should_fail("t.prob")).collect()
+        };
+        let a = run("t.prob=prob:0.5:42");
+        let b = run("t.prob=prob:0.5:42");
+        assert_eq!(a, b, "same seed, same stream");
+        let c = run("t.prob=prob:0.5:43");
+        assert_ne!(a, c, "different seed, different stream");
+        assert!(run("t.prob=prob:0:7").iter().all(|f| !f));
+        assert!(run("t.prob=prob:1:7").iter().all(|f| *f));
+        disarm();
+    }
+
+    #[test]
+    fn multi_point_specs_and_rearm_reset() {
+        let _g = locked();
+        arm("a=fail, b=fail@1").unwrap();
+        assert!(should_fail("a"));
+        assert!(should_fail("b"));
+        assert!(!should_fail("b"));
+        assert_eq!(injected_total(), 2);
+        arm("a=fail").unwrap();
+        assert_eq!(injected_total(), 0, "re-arm resets tallies");
+        disarm();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = locked();
+        assert!(arm("nomode").is_err());
+        assert!(arm("p=flail").is_err());
+        assert!(arm("p=fail@0").is_err());
+        assert!(arm("p=fail@x").is_err());
+        assert!(arm("p=prob:2:1").is_err());
+        assert!(arm("p=prob:0.5").is_err());
+        assert!(arm("=fail").is_err());
+        // An empty spec disarms cleanly.
+        arm("").unwrap();
+        assert!(!should_fail("p"));
+    }
+
+    #[test]
+    fn known_points_are_unique_and_namespaced() {
+        let mut seen = std::collections::HashSet::new();
+        for p in KNOWN_POINTS {
+            assert!(seen.insert(p), "duplicate fault point {p}");
+            assert!(p.contains('.'), "fault point {p} has no namespace");
+        }
+    }
+}

@@ -25,6 +25,12 @@
 //!   names the file), and [`TraceReport`] rolls them up into per-phase
 //!   self/total times plus the top-N spans by self time.
 //!
+//! A fourth piece rides along for robustness work: deterministic
+//! [`fault`] injection ([`fault::should_fail`], armed via the
+//! `PERFORAD_FAULT` spec) that every risky I/O site in the pipeline
+//! routes through, with the same disarmed-is-one-atomic-load hot-path
+//! discipline as the tracing flag.
+//!
 //! Tracing is off by default. Enable it with `PERFORAD_TRACE=1` in the
 //! environment or programmatically with [`set_enabled`]:
 //!
@@ -39,6 +45,7 @@
 //! assert_eq!(events[0].name, "demo.sweep");
 //! ```
 
+pub mod fault;
 mod metrics;
 mod recorder;
 mod span;

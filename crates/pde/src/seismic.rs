@@ -29,7 +29,8 @@
 
 use crate::wave3d;
 use perforad_ckpt::{
-    checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, MemStore, Snapshot,
+    checkpointed_adjoint_plan, CheckpointPlan, CkptError, CkptReport, DiskStore, FallbackStore,
+    MemStore, Snapshot, SnapshotStore,
 };
 use perforad_core::{Adjoint, AdjointOptions, BoundaryStrategy};
 use perforad_exec::{
@@ -480,9 +481,55 @@ fn checkpointed_core(
     stepper: &mut Stepper,
     sweep: &mut ReverseSweep<'_>,
 ) -> (f64, Grid, CkptReport) {
+    let plan = CheckpointPlan::with_budget(cfg.steps, budget);
+
+    // Disk-backed sweeps must survive spill failures: per-snapshot write
+    // errors are absorbed inside [`FallbackStore`] (the snapshot lands in
+    // memory instead), and anything the store cannot absorb — a read
+    // failure, an unusable spill directory — falls back to re-running the
+    // *whole* sweep in memory. Both the stepper and the reverse sweep
+    // reset their workspace grids per call and the rolling adjoint state
+    // is rebuilt per attempt, so a retried gradient is bitwise-identical
+    // to a first-try one.
+    if let ResolvedBackend::Disk(dir) = resolve_backend(backend) {
+        match DiskStore::new(&dir) {
+            Ok(disk) => {
+                let mut store = FallbackStore::new(disk);
+                match checkpointed_attempt(cfg, data, &plan, &mut store, stepper, sweep) {
+                    Ok(out) => return out,
+                    Err(e) => {
+                        perforad_obs::counter("ckpt.spill_fallbacks").inc();
+                        eprintln!(
+                            "perforad: disk-backed checkpoint sweep failed ({e}); \
+                             re-running in memory"
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                perforad_obs::counter("ckpt.spill_fallbacks").inc();
+                eprintln!("perforad: snapshot spill directory unavailable ({e}); using memory");
+            }
+        }
+    }
+    checkpointed_attempt(cfg, data, &plan, &mut MemStore::new(), stepper, sweep)
+        .expect("in-memory checkpointed sweep")
+}
+
+/// One full checkpointed sweep against a concrete snapshot store: fresh
+/// rolling adjoint state, the memoized action stream replayed start to
+/// finish. Errors out of the store surface here for the caller's
+/// fallback decision.
+fn checkpointed_attempt(
+    cfg: &SeismicConfig,
+    data: &Grid,
+    plan: &CheckpointPlan,
+    store: &mut impl SnapshotStore<WaveState>,
+    stepper: &mut Stepper,
+    sweep: &mut ReverseSweep<'_>,
+) -> Result<(f64, Grid, CkptReport), CkptError> {
     let dims = [cfg.n, cfg.n, cfg.n];
     let s0: WaveState = (Grid::zeros(&dims), Grid::zeros(&dims));
-    let plan = CheckpointPlan::with_budget(cfg.steps, budget);
 
     // Shared mutable sweep state: the driver calls `seed` and `back`
     // strictly sequentially, so a RefCell resolves the closure-borrow
@@ -535,28 +582,9 @@ fn checkpointed_core(
         st.lam_lo.fill(0.0);
     };
 
-    let report = match resolve_backend(backend) {
-        ResolvedBackend::Memory => checkpointed_adjoint_plan(
-            &plan,
-            s0,
-            &mut MemStore::new(),
-            &mut step,
-            &mut seed,
-            &mut back,
-        ),
-        ResolvedBackend::Disk(dir) => checkpointed_adjoint_plan(
-            &plan,
-            s0,
-            &mut DiskStore::new(dir).expect("snapshot spill directory"),
-            &mut step,
-            &mut seed,
-            &mut back,
-        ),
-    }
-    .expect("checkpointed sweep");
-
+    let report = checkpointed_adjoint_plan(plan, s0, store, &mut step, &mut seed, &mut back)?;
     let st = rolling.into_inner();
-    (st.j, st.c_b, report)
+    Ok((st.j, st.c_b, report))
 }
 
 enum ResolvedBackend {

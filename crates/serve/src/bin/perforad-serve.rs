@@ -15,6 +15,11 @@ fn main() {
         }
     };
     println!("perforad-serve listening on {}", server.endpoint());
+    if let Ok(spec) = std::env::var(perforad_obs::fault::FAULT_ENV) {
+        if !spec.trim().is_empty() {
+            println!("perforad-serve: fault injection armed: {spec}");
+        }
+    }
     let _ = std::io::stdout().flush();
     if let Err(e) = server.run() {
         eprintln!("perforad-serve: {e}");

@@ -1,6 +1,8 @@
 //! A blocking client for the serve protocol: one connection, typed
 //! request/reply helpers, server-side errors surfaced as
-//! [`ClientError::Server`].
+//! [`ClientError::Server`], and an opt-in [`RetryPolicy`] that absorbs
+//! admission-control [`ClientError::Busy`] pushback and transport drops
+//! with bounded exponential backoff plus deterministic jitter.
 
 use crate::proto::{
     self, BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest,
@@ -20,6 +22,8 @@ pub enum ClientError {
     Protocol(String),
     /// The server answered with an `Error` reply.
     Server(String),
+    /// Admission control turned the request away; retry after the hint.
+    Busy { retry_after_ms: u64 },
     /// The server answered with a well-formed reply of the wrong type.
     UnexpectedReply(String),
 }
@@ -30,6 +34,9 @@ impl fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "transport error: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Busy { retry_after_ms } => {
+                write!(f, "server busy: retry after {retry_after_ms}ms")
+            }
             ClientError::UnexpectedReply(m) => write!(f, "unexpected reply: {m}"),
         }
     }
@@ -43,15 +50,61 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Bounded exponential backoff with deterministic jitter, for retrying
+/// [`ClientError::Busy`] pushback and transport drops. The jitter PRNG
+/// is the obs crate's xorshift seeded per `(seed, attempt)`, so a given
+/// policy replays the exact same delay sequence — chaos tests stay
+/// reproducible.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total tries including the first (so `1` disables retrying).
+    pub max_attempts: u32,
+    /// Backoff before retry `k` (1-based) starts from `base_ms << (k-1)`.
+    pub base_ms: u64,
+    /// Ceiling on any single backoff sleep.
+    pub max_ms: u64,
+    /// Jitter seed; vary per client to avoid synchronized retry storms.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_ms: 10,
+            max_ms: 500,
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before 1-based retry `attempt`, given the server's
+    /// `retry_after_ms` hint (0 when there was none): exponential base,
+    /// jittered into `[half, full]`, never below the hint.
+    pub fn backoff_ms(&self, attempt: u32, hint_ms: u64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.saturating_sub(1).min(16))
+            .min(self.max_ms)
+            .max(1);
+        let mut state = self.seed ^ ((attempt as u64) << 32);
+        let jittered = exp / 2 + perforad_obs::fault::xorshift64(&mut state) % (exp / 2 + 1);
+        jittered.max(hint_ms)
+    }
+}
+
 /// One blocking connection to a perforad-serve daemon.
 pub struct Client {
     conn: Conn,
+    endpoint: Endpoint,
 }
 
 impl Client {
     pub fn connect(endpoint: &Endpoint) -> io::Result<Client> {
         Ok(Client {
             conn: connect(endpoint)?,
+            endpoint: endpoint.clone(),
         })
     }
 
@@ -64,16 +117,54 @@ impl Client {
         Reply::from_json(&payload).map_err(ClientError::Protocol)
     }
 
+    /// [`Client::roundtrip`], retried per `policy`. Retryable outcomes:
+    /// a [`Reply::Busy`] pushback (sleep at least its hint) and any
+    /// transport error (reconnect first — the server drops connections
+    /// on frame corruption, so a fresh socket is the recovery path).
+    /// Server `Error` replies are NOT retried: they are deterministic
+    /// verdicts about the request, not about server load.
+    pub fn roundtrip_with_retry(
+        &mut self,
+        req: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Reply, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let hint_ms = match self.roundtrip(req) {
+                Ok(Reply::Busy { retry_after_ms }) => retry_after_ms,
+                Ok(other) => return Ok(other),
+                Err(ClientError::Io(e)) => {
+                    if attempt >= policy.max_attempts {
+                        return Err(ClientError::Io(e));
+                    }
+                    0
+                }
+                Err(e) => return Err(e),
+            };
+            if attempt >= policy.max_attempts {
+                return Err(ClientError::Busy {
+                    retry_after_ms: hint_ms,
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(
+                policy.backoff_ms(attempt, hint_ms),
+            ));
+            // Reconnect unconditionally: cheap, and it also clears a
+            // connection the server half-closed after a Busy-at-accept.
+            if let Ok(conn) = connect(&self.endpoint) {
+                self.conn = conn;
+            }
+        }
+    }
+
     fn expect<T>(
         &mut self,
         req: &Request,
         pick: impl FnOnce(Reply) -> Result<T, Reply>,
     ) -> Result<T, ClientError> {
-        match self.roundtrip(req)? {
-            Reply::Error(msg) => Err(ClientError::Server(msg)),
-            other => pick(other)
-                .map_err(|r| ClientError::UnexpectedReply(format!("{:.120?}", r.to_json()))),
-        }
+        let reply = self.roundtrip(req)?;
+        pick_reply(reply, pick)
     }
 
     /// Warm up (or hit the cache for) a kernel; returns its fingerprint.
@@ -95,8 +186,30 @@ impl Client {
             fingerprint: fingerprint.to_string(),
             source,
             observed,
+            deadline_ms: None,
         });
         self.expect(&req, |r| match r {
+            Reply::Gradient(g) => Ok(g),
+            other => Err(other),
+        })
+    }
+
+    /// [`Client::gradient`] with Busy/transport retry per `policy`.
+    pub fn gradient_with_retry(
+        &mut self,
+        fingerprint: &str,
+        source: Vec<f64>,
+        observed: Vec<f64>,
+        policy: &RetryPolicy,
+    ) -> Result<GradientReply, ClientError> {
+        let req = Request::Gradient(GradientRequest {
+            fingerprint: fingerprint.to_string(),
+            source,
+            observed,
+            deadline_ms: None,
+        });
+        let reply = self.roundtrip_with_retry(&req, policy)?;
+        pick_reply(reply, |r| match r {
             Reply::Gradient(g) => Ok(g),
             other => Err(other),
         })
@@ -112,8 +225,28 @@ impl Client {
         let req = Request::GradientBatch(BatchRequest {
             fingerprint: fingerprint.to_string(),
             shots,
+            deadline_ms: None,
         });
         self.expect(&req, |r| match r {
+            Reply::GradientBatch(b) => Ok(b),
+            other => Err(other),
+        })
+    }
+
+    /// [`Client::gradient_batch`] with Busy/transport retry per `policy`.
+    pub fn gradient_batch_with_retry(
+        &mut self,
+        fingerprint: &str,
+        shots: Vec<(Vec<f64>, Vec<f64>)>,
+        policy: &RetryPolicy,
+    ) -> Result<BatchReply, ClientError> {
+        let req = Request::GradientBatch(BatchRequest {
+            fingerprint: fingerprint.to_string(),
+            shots,
+            deadline_ms: None,
+        });
+        let reply = self.roundtrip_with_retry(&req, policy)?;
+        pick_reply(reply, |r| match r {
             Reply::GradientBatch(b) => Ok(b),
             other => Err(other),
         })
@@ -134,6 +267,21 @@ impl Client {
             Reply::Ok => Ok(()),
             other => Err(other),
         })
+    }
+}
+
+/// Shared reply triage for the typed helpers: `Error` → `Server`,
+/// `Busy` → `Busy`, anything else through `pick`.
+fn pick_reply<T>(
+    reply: Reply,
+    pick: impl FnOnce(Reply) -> Result<T, Reply>,
+) -> Result<T, ClientError> {
+    match reply {
+        Reply::Error(msg) => Err(ClientError::Server(msg)),
+        Reply::Busy { retry_after_ms } => Err(ClientError::Busy { retry_after_ms }),
+        other => {
+            pick(other).map_err(|r| ClientError::UnexpectedReply(format!("{:.120?}", r.to_json())))
+        }
     }
 }
 

@@ -12,8 +12,15 @@
 //! Gradient executions are serialized behind one run lock: the shared
 //! [`default_pool`] is not reentrant and must host one parallel region
 //! at a time. The wait-plus-run population is exported as the
-//! `serve.queue_depth` gauge; admission itself is never blocked — `Stats`
-//! and cache-hit `Compile`s bypass the lock entirely.
+//! `serve.queue_depth` gauge. Gradient admission is bounded by
+//! `PERFORAD_SERVE_MAX_QUEUE` (unset/0 = unlimited): a request that
+//! would push the population past the cap is turned away with a
+//! [`Reply::Busy`] carrying a `retry_after_ms` hint instead of piling
+//! onto the lock, and a request that is still queued when its
+//! client-supplied `deadline_ms` runs out earns an error reply without
+//! executing. `Stats` and cache-hit `Compile`s bypass the lock entirely,
+//! and cold `Compile`s are deliberately exempt from the cap — a
+//! fingerprint warms up exactly once and every later shot depends on it.
 
 use crate::proto::{
     BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest, Reply,
@@ -27,13 +34,39 @@ use perforad_tune::{cache, fingerprint_nests};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Largest accepted grid edge: a 512³ shot is ~1 GiB of f64 grids per
 /// workspace — beyond that the request is almost certainly a mistake.
 const MAX_N: usize = 512;
 /// Largest accepted step count per shot.
 const MAX_STEPS: usize = 1 << 20;
+
+/// Env knob bounding the gradient wait-plus-run population (the
+/// `serve.queue_depth` gauge). Unset or `0` means unlimited.
+pub const MAX_QUEUE_ENV: &str = "PERFORAD_SERVE_MAX_QUEUE";
+
+/// Why a request was refused without (fully) executing.
+enum Refusal {
+    /// Admission control: the run queue is full. Nothing ran.
+    Busy { retry_after_ms: u64 },
+    /// Validation or execution failure — becomes a [`Reply::Error`].
+    Error(String),
+}
+
+/// An admitted slot in the gradient run queue; releases the slot (and
+/// refreshes the `serve.queue_depth` gauge) on drop, whatever path the
+/// request exits through — success, validation error, or panic unwind.
+struct Admission<'a> {
+    engine: &'a Engine,
+}
+
+impl Drop for Admission<'_> {
+    fn drop(&mut self) {
+        let depth = self.engine.in_flight.fetch_sub(1, Ordering::SeqCst) - 1;
+        perforad_obs::gauge("serve.queue_depth").set(depth);
+    }
+}
 
 /// FNV-1a over the raw bytes of a request's identity fields — the cheap
 /// pre-transform dedup key (the real nest fingerprint needs the adjoint
@@ -85,6 +118,9 @@ pub struct Engine {
     run_lock: Mutex<()>,
     /// Requests waiting for or holding the run lock.
     in_flight: AtomicU64,
+    /// Admission cap on `in_flight` for gradient requests (0 = unlimited),
+    /// read once from [`MAX_QUEUE_ENV`] at construction.
+    max_queue: u64,
 }
 
 impl Default for Engine {
@@ -102,12 +138,23 @@ fn lock_any<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 impl Engine {
     pub fn new() -> Engine {
+        let max_queue = std::env::var(MAX_QUEUE_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0);
         Engine {
             started: Instant::now(),
             registry: Mutex::new(Registry::default()),
             run_lock: Mutex::new(()),
             in_flight: AtomicU64::new(0),
+            max_queue,
         }
+    }
+
+    /// Requests currently waiting for or holding the run lock — the
+    /// server's shutdown path drains this to zero before exiting.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::SeqCst)
     }
 
     /// Handle one decoded request. Validation failures come back as
@@ -124,11 +171,13 @@ impl Engine {
             },
             Request::Gradient(g) => match self.gradient(g) {
                 Ok(r) => Reply::Gradient(r),
-                Err(msg) => Reply::Error(msg),
+                Err(Refusal::Busy { retry_after_ms }) => Reply::Busy { retry_after_ms },
+                Err(Refusal::Error(msg)) => Reply::Error(msg),
             },
             Request::GradientBatch(b) => match self.gradient_batch(b) {
                 Ok(r) => Reply::GradientBatch(r),
-                Err(msg) => Reply::Error(msg),
+                Err(Refusal::Busy { retry_after_ms }) => Reply::Busy { retry_after_ms },
+                Err(Refusal::Error(msg)) => Reply::Error(msg),
             },
             Request::Stats => Reply::Stats(self.stats()),
             Request::Shutdown => Reply::Ok,
@@ -138,7 +187,8 @@ impl Engine {
     }
 
     /// Run `f` under the pool run lock, tracking the wait-plus-run
-    /// population in `serve.queue_depth`.
+    /// population in `serve.queue_depth`. No admission check — this is
+    /// the `Compile` path (a fingerprint warms up exactly once).
     fn with_pool<T>(&self, f: impl FnOnce() -> T) -> T {
         let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         let gauge = perforad_obs::gauge("serve.queue_depth");
@@ -148,6 +198,66 @@ impl Engine {
         drop(guard);
         gauge.set(self.in_flight.fetch_sub(1, Ordering::SeqCst) - 1);
         out
+    }
+
+    /// Bounded admission for the gradient path. Must be taken *before*
+    /// any per-kernel lock, so concurrent requests against the same
+    /// fingerprint are all visible to the depth check (contending on the
+    /// entry lock first would serialize them and the queue would never
+    /// look deeper than one). The returned guard keeps the request
+    /// counted in `in_flight` / `serve.queue_depth` until dropped.
+    fn admit(&self) -> Result<Admission<'_>, Refusal> {
+        let depth = self.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.max_queue > 0 && depth > self.max_queue {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            perforad_obs::counter("serve.rejected_total").inc();
+            // Back-pressure hint scales with how deep the queue is; the
+            // client's retry policy jitters around it.
+            return Err(Refusal::Busy {
+                retry_after_ms: (25 * depth).min(1000),
+            });
+        }
+        perforad_obs::gauge("serve.queue_depth").set(depth);
+        Ok(Admission { engine: self })
+    }
+
+    /// Admitted gradient work: the run lock, then a last-chance deadline
+    /// check before execution starts.
+    ///
+    /// The deadline is measured from `received` (request decode time). A
+    /// running sweep is never interrupted — there is no cancellation —
+    /// so the honest contract is "if this request already waited past
+    /// its budget, refuse to start it": the client has long since given
+    /// up, and running anyway would hold the lock against live requests.
+    fn run_deadlined<T>(
+        &self,
+        received: Instant,
+        deadline_ms: Option<u64>,
+        f: impl FnOnce() -> T,
+    ) -> Result<T, Refusal> {
+        let _guard = lock_any(&self.run_lock);
+        match deadline_ms {
+            Some(ms) if received.elapsed() >= Duration::from_millis(ms) => {
+                perforad_obs::counter("serve.deadline_exceeded_total").inc();
+                Err(Refusal::Error(format!(
+                    "deadline of {ms}ms exceeded after {}ms in queue; nothing was executed",
+                    received.elapsed().as_millis()
+                )))
+            }
+            _ => Ok(f()),
+        }
+    }
+
+    /// Run one warm plan and count a degraded execution (`plan.run` fell
+    /// back from its JIT'd kernels to the interpreted rows executor —
+    /// same bits, slower) via the `jit.degraded_fallbacks` delta.
+    fn run_plan(entry: &mut KernelEntry, batch: &ShotBatch) -> perforad_pde::seismic::BatchResult {
+        let degraded_before = perforad_obs::counter("jit.degraded_fallbacks").get();
+        let result = entry.plan.run(batch);
+        if perforad_obs::counter("jit.degraded_fallbacks").get() > degraded_before {
+            perforad_obs::counter("serve.degraded_total").inc();
+        }
+        result
     }
 
     fn compile(&self, req: &CompileRequest) -> Result<CompiledReply, String> {
@@ -375,19 +485,23 @@ impl Engine {
         ))
     }
 
-    fn gradient(&self, req: &GradientRequest) -> Result<GradientReply, String> {
+    fn gradient(&self, req: &GradientRequest) -> Result<GradientReply, Refusal> {
+        let received = Instant::now();
         let _span = perforad_obs::span!("serve.gradient", "serve", "shots" => 1u64);
-        let entry = self.kernel(&req.fingerprint)?;
+        let _admitted = self.admit()?;
+        let entry = self.kernel(&req.fingerprint).map_err(Refusal::Error)?;
         let mut entry = lock_any(&entry);
         let cfg = entry.cfg;
-        validate_shot(&cfg, &req.source, &req.observed, 0)?;
+        validate_shot(&cfg, &req.source, &req.observed, 0).map_err(Refusal::Error)?;
         let dims = [cfg.n, cfg.n, cfg.n];
         let mut batch = ShotBatch::new();
         batch.push(
             req.source.clone(),
             Grid::from_vec(&dims, req.observed.clone()),
         );
-        let result = self.with_pool(|| entry.plan.run(&batch));
+        let result = self.run_deadlined(received, req.deadline_ms, || {
+            Self::run_plan(&mut entry, &batch)
+        })?;
         entry.requests += 1;
         Ok(GradientReply {
             misfit: result.misfits[0],
@@ -396,23 +510,29 @@ impl Engine {
         })
     }
 
-    fn gradient_batch(&self, req: &BatchRequest) -> Result<BatchReply, String> {
+    fn gradient_batch(&self, req: &BatchRequest) -> Result<BatchReply, Refusal> {
+        let received = Instant::now();
         let _span = perforad_obs::span!(
             "serve.gradient", "serve", "shots" => req.shots.len() as u64
         );
         if req.shots.is_empty() {
-            return Err("gradient_batch needs at least one shot".to_string());
+            return Err(Refusal::Error(
+                "gradient_batch needs at least one shot".to_string(),
+            ));
         }
-        let entry = self.kernel(&req.fingerprint)?;
+        let _admitted = self.admit()?;
+        let entry = self.kernel(&req.fingerprint).map_err(Refusal::Error)?;
         let mut entry = lock_any(&entry);
         let cfg = entry.cfg;
         let dims = [cfg.n, cfg.n, cfg.n];
         let mut batch = ShotBatch::new();
         for (k, (source, observed)) in req.shots.iter().enumerate() {
-            validate_shot(&cfg, source, observed, k)?;
+            validate_shot(&cfg, source, observed, k).map_err(Refusal::Error)?;
             batch.push(source.clone(), Grid::from_vec(&dims, observed.clone()));
         }
-        let result = self.with_pool(|| entry.plan.run(&batch));
+        let result = self.run_deadlined(received, req.deadline_ms, || {
+            Self::run_plan(&mut entry, &batch)
+        })?;
         entry.requests += req.shots.len() as u64;
         Ok(BatchReply {
             misfits: result.misfits,

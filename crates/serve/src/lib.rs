@@ -31,6 +31,16 @@
 //! the same fingerprint performs zero adjoint transforms, zero tuner
 //! timings, and zero out-of-process rustc invocations.
 //!
+//! Production hardening (pinned by `tests/fault.rs`): gradient admission
+//! is bounded (`PERFORAD_SERVE_MAX_QUEUE` → [`Reply::Busy`] with a
+//! `retry_after_ms` hint), requests carry optional queue-side deadlines
+//! (`deadline_ms`), sockets get read/write timeouts
+//! (`PERFORAD_SERVE_TIMEOUT_MS`), open connections are capped
+//! (`PERFORAD_SERVE_MAX_CONNS`), `Shutdown` drains in-flight work, and
+//! the typed client retries Busy/transport failures with bounded
+//! jittered exponential backoff ([`RetryPolicy`]). Fault injection for
+//! all of it lives in `perforad_obs::fault` (`PERFORAD_FAULT`).
+//!
 //! In-process embedding (no daemon) is two lines:
 //!
 //! ```no_run
@@ -45,8 +55,8 @@ pub mod engine;
 pub mod proto;
 pub mod server;
 
-pub use client::{stats_counter, Client, ClientError};
-pub use engine::Engine;
+pub use client::{stats_counter, Client, ClientError, RetryPolicy};
+pub use engine::{Engine, MAX_QUEUE_ENV};
 pub use proto::{
     BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest, Reply,
     Request,

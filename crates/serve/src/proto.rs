@@ -110,6 +110,11 @@ pub struct GradientRequest {
     pub source: Vec<f64>,
     /// Observed data, row-major `n³`.
     pub observed: Vec<f64>,
+    /// Time budget for this request, measured from server receipt. A
+    /// request still *queued* when its budget runs out earns an error
+    /// reply instead of a stale gradient (a running sweep is never
+    /// interrupted — the check sits between queue and run).
+    pub deadline_ms: Option<u64>,
 }
 
 /// `GradientBatch` payload: a whole survey against one fingerprint.
@@ -118,6 +123,8 @@ pub struct BatchRequest {
     pub fingerprint: String,
     /// `(source, observed)` per shot.
     pub shots: Vec<(Vec<f64>, Vec<f64>)>,
+    /// Same queue-side time budget as [`GradientRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
 }
 
 /// A server reply; `"type"` selects the variant, `"error"` carries a
@@ -131,6 +138,13 @@ pub enum Reply {
     /// `metrics.counters.*`, `kernels[..]`, `queue_depth` directly.
     Stats(Value),
     Ok,
+    /// Admission control turned the request away: the run queue (or the
+    /// connection table) is full. Nothing was executed; retry after the
+    /// suggested delay. The typed client's retry policy handles this
+    /// automatically.
+    Busy {
+        retry_after_ms: u64,
+    },
     Error(String),
 }
 
@@ -270,6 +284,9 @@ impl Request {
                 push_f64_array(&mut o, &g.source);
                 o.push_str(",\"observed\":");
                 push_f64_array(&mut o, &g.observed);
+                if let Some(ms) = g.deadline_ms {
+                    o.push_str(&format!(",\"deadline_ms\":{ms}"));
+                }
                 o.push('}');
             }
             Request::GradientBatch(b) => {
@@ -286,7 +303,11 @@ impl Request {
                     push_f64_array(&mut o, obs);
                     o.push('}');
                 }
-                o.push_str("]}");
+                o.push(']');
+                if let Some(ms) = b.deadline_ms {
+                    o.push_str(&format!(",\"deadline_ms\":{ms}"));
+                }
+                o.push('}');
             }
             Request::Stats => o.push_str("{\"type\":\"stats\"}"),
             Request::Shutdown => o.push_str("{\"type\":\"shutdown\"}"),
@@ -308,6 +329,7 @@ impl Request {
                 fingerprint: req_str(&v, "fingerprint")?,
                 source: req_f64_array(&v, "source")?,
                 observed: req_f64_array(&v, "observed")?,
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
             })),
             "gradient_batch" => {
                 let fingerprint = req_str(&v, "fingerprint")?;
@@ -322,6 +344,7 @@ impl Request {
                 Ok(Request::GradientBatch(BatchRequest {
                     fingerprint,
                     shots: out,
+                    deadline_ms: opt_u64(&v, "deadline_ms")?,
                 }))
             }
             "stats" => Ok(Request::Stats),
@@ -402,6 +425,17 @@ fn req_usize(v: &Value, key: &str) -> Result<usize, String> {
         .ok_or(format!("missing non-negative integer field \"{key}\""))
 }
 
+fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(n) => n
+            .as_i64()
+            .and_then(|n| u64::try_from(n).ok())
+            .map(Some)
+            .ok_or(format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
 fn opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
@@ -470,6 +504,11 @@ impl Reply {
                 o.push('}');
             }
             Reply::Ok => o.push_str("{\"type\":\"ok\"}"),
+            Reply::Busy { retry_after_ms } => {
+                o.push_str(&format!(
+                    "{{\"type\":\"busy\",\"retry_after_ms\":{retry_after_ms}}}"
+                ));
+            }
             Reply::Error(msg) => {
                 o.push_str("{\"type\":\"error\",\"message\":");
                 push_str(&mut o, msg);
@@ -525,6 +564,9 @@ impl Reply {
             }
             "stats" => Ok(Reply::Stats(v.get("stats").cloned().unwrap_or(Value::Null))),
             "ok" => Ok(Reply::Ok),
+            "busy" => Ok(Reply::Busy {
+                retry_after_ms: opt_u64(&v, "retry_after_ms")?.unwrap_or(0),
+            }),
             "error" => Ok(Reply::Error(req_str(&v, "message")?)),
             other => Err(format!("unknown reply type {other:?}")),
         }
@@ -594,6 +636,7 @@ mod tests {
             fingerprint: "ab12".into(),
             source: vec![0.5, -1.25],
             observed: vec![0.0, 1.0, 2.0],
+            deadline_ms: None,
         });
         let Request::Gradient(back) = Request::from_json(&req.to_json()).unwrap() else {
             panic!("wrong variant");
@@ -601,6 +644,57 @@ mod tests {
         assert_eq!(back.fingerprint, "ab12");
         assert_eq!(back.source, vec![0.5, -1.25]);
         assert_eq!(back.observed, vec![0.0, 1.0, 2.0]);
+        assert_eq!(back.deadline_ms, None);
+    }
+
+    #[test]
+    fn deadline_round_trips_and_is_optional_on_the_wire() {
+        let req = Request::Gradient(GradientRequest {
+            fingerprint: "ab12".into(),
+            source: vec![1.0],
+            observed: vec![2.0],
+            deadline_ms: Some(250),
+        });
+        let json = req.to_json();
+        assert!(json.contains("\"deadline_ms\":250"));
+        let Request::Gradient(back) = Request::from_json(&json).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back.deadline_ms, Some(250));
+
+        let req = Request::GradientBatch(BatchRequest {
+            fingerprint: "ab12".into(),
+            shots: vec![(vec![1.0], vec![2.0])],
+            deadline_ms: Some(9),
+        });
+        let Request::GradientBatch(back) = Request::from_json(&req.to_json()).unwrap() else {
+            panic!("wrong variant");
+        };
+        assert_eq!(back.deadline_ms, Some(9));
+        // Absent on the wire stays absent — old clients keep working.
+        assert!(!Request::GradientBatch(BatchRequest {
+            fingerprint: "ab12".into(),
+            shots: vec![],
+            deadline_ms: None,
+        })
+        .to_json()
+        .contains("deadline_ms"));
+        // A negative deadline is malformed, not a panic.
+        assert!(Request::from_json(
+            "{\"type\":\"gradient\",\"fingerprint\":\"a\",\"source\":[],\
+             \"observed\":[],\"deadline_ms\":-4}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn busy_reply_round_trips() {
+        let Reply::Busy { retry_after_ms } =
+            Reply::from_json(&Reply::Busy { retry_after_ms: 40 }.to_json()).unwrap()
+        else {
+            panic!("wrong variant");
+        };
+        assert_eq!(retry_after_ms, 40);
     }
 
     #[test]

@@ -11,13 +11,15 @@
 
 use crate::engine::Engine;
 use crate::proto::{self, Reply, Request};
+use perforad_obs::fault;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Where a server listens (and a client connects).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,18 +72,33 @@ pub struct ServeOptions {
     /// Skip enabling the obs metrics registry at bind time (it is on by
     /// default so `Stats` has data even when `PERFORAD_TRACE` is unset).
     pub quiet_metrics: bool,
+    /// Per-socket read/write timeout. A peer that stops mid-frame (or
+    /// never drains its replies) errors out after this long instead of
+    /// pinning a handler thread forever. `None` = no timeout.
+    pub timeout_ms: Option<u64>,
+    /// Cap on simultaneously open connections; an accept past the cap is
+    /// answered with one `Busy` frame and closed. `None`/`0` = unlimited.
+    pub max_conns: Option<u64>,
 }
 
 impl ServeOptions {
-    /// `PERFORAD_SERVE_SOCKET` (path) and `PERFORAD_SERVE_TCP` (address;
-    /// takes precedence when both are set).
+    /// `PERFORAD_SERVE_SOCKET` (path), `PERFORAD_SERVE_TCP` (address;
+    /// takes precedence when both are set), `PERFORAD_SERVE_TIMEOUT_MS`
+    /// (per-socket read/write timeout), and `PERFORAD_SERVE_MAX_CONNS`
+    /// (open-connection cap).
     pub fn from_env() -> ServeOptions {
         ServeOptions {
             socket: std::env::var_os("PERFORAD_SERVE_SOCKET").map(PathBuf::from),
             tcp: std::env::var("PERFORAD_SERVE_TCP").ok(),
             quiet_metrics: false,
+            timeout_ms: env_u64("PERFORAD_SERVE_TIMEOUT_MS"),
+            max_conns: env_u64("PERFORAD_SERVE_MAX_CONNS"),
         }
     }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse().ok()
 }
 
 fn default_socket_path() -> PathBuf {
@@ -118,6 +135,25 @@ impl Write for Conn {
             #[cfg(unix)]
             Conn::Unix(s) => s.flush(),
             Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+impl Conn {
+    /// Arm read and write timeouts (`None` clears them). A zero duration
+    /// is invalid to the OS, so it is treated as "no timeout".
+    pub fn set_timeouts(&self, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout = timeout.filter(|t| !t.is_zero());
+        match self {
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            Conn::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
         }
     }
 }
@@ -160,6 +196,9 @@ pub struct Server {
     engine: Arc<Engine>,
     stop: Arc<AtomicBool>,
     unlink: Option<PathBuf>,
+    timeout: Option<Duration>,
+    max_conns: u64,
+    conns: Arc<AtomicU64>,
 }
 
 impl Server {
@@ -172,6 +211,9 @@ impl Server {
         }
         let engine = Arc::new(Engine::new());
         let stop = Arc::new(AtomicBool::new(false));
+        let timeout = opts.timeout_ms.map(Duration::from_millis);
+        let max_conns = opts.max_conns.unwrap_or(0);
+        let conns = Arc::new(AtomicU64::new(0));
         if let Some(addr) = &opts.tcp {
             let l = TcpListener::bind(addr.as_str())?;
             let endpoint = Endpoint::Tcp(l.local_addr()?.to_string());
@@ -181,6 +223,9 @@ impl Server {
                 engine,
                 stop,
                 unlink: None,
+                timeout,
+                max_conns,
+                conns,
             });
         }
         let path = opts.socket.clone().unwrap_or_else(default_socket_path);
@@ -191,6 +236,9 @@ impl Server {
                 engine,
                 stop,
                 unlink: Some(path),
+                timeout,
+                max_conns,
+                conns,
             }),
             Err(e) => {
                 // Localhost TCP fallback: platforms or mount setups where
@@ -207,6 +255,9 @@ impl Server {
                     engine,
                     stop,
                     unlink: None,
+                    timeout,
+                    max_conns,
+                    conns,
                 })
             }
         }
@@ -223,9 +274,11 @@ impl Server {
         Arc::clone(&self.engine)
     }
 
-    /// Accept connections until a `Shutdown` request flips the stop flag.
-    /// Handler threads are detached; connections still open at shutdown
-    /// see EOF when their clients hang up.
+    /// Accept connections until a `Shutdown` request flips the stop flag,
+    /// then drain: requests already waiting for or holding the engine's
+    /// run lock finish (and their replies flush) before this returns.
+    /// Connections past the `max_conns` cap are answered with one `Busy`
+    /// frame and closed — the accept loop itself is never blocked.
     pub fn run(self) -> io::Result<()> {
         loop {
             let conn = self.listener.accept();
@@ -234,10 +287,24 @@ impl Server {
             }
             match conn {
                 Ok(conn) => {
+                    let _ = conn.set_timeouts(self.timeout);
+                    let open = self.conns.fetch_add(1, Ordering::SeqCst) + 1;
+                    if self.max_conns > 0 && open > self.max_conns {
+                        self.conns.fetch_sub(1, Ordering::SeqCst);
+                        perforad_obs::counter("serve.rejected_total").inc();
+                        let mut conn = conn;
+                        let busy = Reply::Busy { retry_after_ms: 50 };
+                        let _ = proto::write_frame(&mut conn, &busy.to_json());
+                        continue;
+                    }
                     let engine = Arc::clone(&self.engine);
                     let stop = Arc::clone(&self.stop);
                     let endpoint = self.endpoint.clone();
-                    std::thread::spawn(move || handle_conn(engine, stop, endpoint, conn));
+                    let conns = Arc::clone(&self.conns);
+                    std::thread::spawn(move || {
+                        handle_conn(engine, stop, endpoint, conn);
+                        conns.fetch_sub(1, Ordering::SeqCst);
+                    });
                 }
                 Err(e) => {
                     if self.stop.load(Ordering::Acquire) {
@@ -246,6 +313,15 @@ impl Server {
                     eprintln!("perforad-serve: accept failed: {e}");
                 }
             }
+        }
+        // Graceful drain: wait (bounded) for in-flight work to clear the
+        // engine before tearing the socket down. New connections are no
+        // longer accepted; handlers that finish their current request
+        // and loop back onto an idle read just see EOF when their
+        // clients hang up.
+        let drain_deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.engine.in_flight() > 0 && std::time::Instant::now() < drain_deadline {
+            std::thread::sleep(Duration::from_millis(5));
         }
         if let Some(p) = &self.unlink {
             let _ = std::fs::remove_file(p);
@@ -280,6 +356,13 @@ pub fn serve(opts: &ServeOptions) -> io::Result<()> {
 
 fn handle_conn(engine: Arc<Engine>, stop: Arc<AtomicBool>, endpoint: Endpoint, mut conn: Conn) {
     loop {
+        // Injected frame faults take the exact same exits as the real
+        // failures they stand in for: a read fault is a truncated frame
+        // (drop this connection, keep serving), a write fault is a hung
+        // peer (likewise). `tests/fault.rs` drives both under traffic.
+        if fault::should_fail("serve.frame.read") {
+            return;
+        }
         let payload = match proto::read_frame(&mut conn) {
             Ok(p) => p,
             // EOF, truncated frame, hostile length prefix: this
@@ -299,7 +382,9 @@ fn handle_conn(engine: Arc<Engine>, stop: Arc<AtomicBool>, endpoint: Endpoint, m
                 (reply, is_shutdown)
             }
         };
-        if proto::write_frame(&mut conn, &reply.to_json()).is_err() {
+        if fault::should_fail("serve.frame.write")
+            || proto::write_frame(&mut conn, &reply.to_json()).is_err()
+        {
             return;
         }
         if is_shutdown {

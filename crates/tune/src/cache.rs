@@ -196,10 +196,32 @@ impl TuneCache {
         Ok(cache)
     }
 
-    /// Load from a file; a missing file is an empty cache.
+    /// Load from a file; a missing file is an empty cache. A file that
+    /// *exists but does not parse* is *quarantined* — renamed to
+    /// `<name>.corrupt` (kept for inspection, never deleted) — and the
+    /// load is a clean miss, so the next save rebuilds a healthy file
+    /// instead of tripping over the same garbage forever.
     pub fn load(path: &Path) -> Result<Self, String> {
+        if perforad_obs::fault::should_fail("tune.cache.read") {
+            return Err(format!(
+                "read {}: injected fault (tune.cache.read)",
+                path.display()
+            ));
+        }
         match std::fs::read_to_string(path) {
-            Ok(text) => Self::from_json(&text),
+            Ok(text) => match Self::from_json(&text) {
+                Ok(cache) => Ok(cache),
+                Err(e) => {
+                    let quarantine = corrupt_path(path);
+                    let _ = std::fs::rename(path, &quarantine);
+                    perforad_obs::counter("tune.cache_quarantined").inc();
+                    eprintln!(
+                        "perforad-tune: quarantined corrupt cache {} ({e})",
+                        path.display()
+                    );
+                    Ok(TuneCache::new())
+                }
+            },
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(TuneCache::new()),
             Err(e) => Err(format!("read {}: {e}", path.display())),
         }
@@ -207,11 +229,28 @@ impl TuneCache {
 
     /// Persist to a file (best effort atomicity: write-then-rename).
     pub fn save(&self, path: &Path) -> Result<(), String> {
+        if perforad_obs::fault::should_fail("tune.cache.write") {
+            return Err(format!(
+                "write {}: injected fault (tune.cache.write)",
+                path.display()
+            ));
+        }
         let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, self.to_json())
             .map_err(|e| format!("write {}: {e}", tmp.display()))?;
         std::fs::rename(&tmp, path).map_err(|e| format!("rename to {}: {e}", path.display()))
     }
+}
+
+/// `<file>.corrupt` next to the original — the quarantine name for a
+/// cache file that exists but does not parse.
+fn corrupt_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(".corrupt");
+    path.with_file_name(name)
 }
 
 fn field_str<'a>(e: &'a Value, name: &str) -> Result<&'a str, String> {
@@ -435,6 +474,35 @@ mod tests {
         let loaded = TuneCache::load(&path).unwrap();
         assert_eq!(loaded.lookup("k"), Some(&entry()));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_quarantined_and_rebuilt() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "perforad_tune_cache_corrupt_{}.json",
+            std::process::id()
+        ));
+        let quarantined = corrupt_path(&path);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantined);
+        std::fs::write(&path, "definitely { not json").unwrap();
+        // A corrupt file is a clean miss, renamed aside for inspection.
+        let loaded = TuneCache::load(&path).unwrap();
+        assert!(loaded.is_empty());
+        assert!(!path.exists(), "corrupt file must be moved away");
+        assert!(quarantined.exists(), "corrupt file must be kept, renamed");
+        // The next save rebuilds a healthy file in its place.
+        let mut cache = TuneCache::new();
+        cache.insert("k", entry());
+        cache.save(&path).unwrap();
+        assert_eq!(TuneCache::load(&path).unwrap().lookup("k"), Some(&entry()));
+        // A version mismatch is NOT corruption: clean miss, no rename.
+        std::fs::write(&path, r#"{"version":0,"entries":[]}"#).unwrap();
+        assert!(TuneCache::load(&path).unwrap().is_empty());
+        assert!(path.exists());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantined);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use perforad::exec::Grid;
 use perforad::pde::seismic::{forward, ricker, SeismicConfig};
-use perforad::serve::{stats_counter, Client, CompileRequest, Endpoint, ServeOptions, Server};
+use perforad::serve::{
+    stats_counter, Client, CompileRequest, Endpoint, RetryPolicy, ServeOptions, Server,
+};
 
 fn main() {
     let (endpoint, external) = match std::env::var("PERFORAD_SERVE_ENDPOINT") {
@@ -81,12 +83,16 @@ fn main() {
         again.fingerprint == compiled.fingerprint
     );
 
-    // One shot over the wire...
+    // One shot over the wire... retried under a backoff policy, so a
+    // daemon running with admission control (or armed fault injection —
+    // the CI chaos job) still answers correctly.
+    let retry = RetryPolicy::default();
     let g = client
-        .gradient(
+        .gradient_with_retry(
             &compiled.fingerprint,
             shots[0].0.clone(),
             shots[0].1.clone(),
+            &retry,
         )
         .expect("gradient");
     println!(
@@ -98,7 +104,7 @@ fn main() {
 
     // ...then the whole survey in one request.
     let batch = client
-        .gradient_batch(&compiled.fingerprint, shots)
+        .gradient_batch_with_retry(&compiled.fingerprint, shots, &retry)
         .expect("gradient batch");
     let total: f64 = batch.misfits.iter().sum();
     println!(
@@ -121,6 +127,18 @@ fn main() {
             .get("queue_depth")
             .and_then(|v| v.as_f64())
             .unwrap_or(-1.0)
+    );
+    // Robustness counters: what the daemon absorbed without a wrong
+    // answer (the CI chaos job greps this line for a nonzero
+    // fault.injected_total after arming PERFORAD_FAULT server-side).
+    println!(
+        "faults: fault.injected_total={} ckpt.spill_fallbacks={} serve.degraded_total={} \
+         serve.rejected_total={} serve.deadline_exceeded_total={}",
+        stats_counter(&stats, "fault.injected_total"),
+        stats_counter(&stats, "ckpt.spill_fallbacks"),
+        stats_counter(&stats, "serve.degraded_total"),
+        stats_counter(&stats, "serve.rejected_total"),
+        stats_counter(&stats, "serve.deadline_exceeded_total"),
     );
     for k in stats
         .get("kernels")

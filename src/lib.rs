@@ -261,6 +261,17 @@
 //! [`pde::seismic::gradient`] call (`tests/serve.rs` pins this, along
 //! with the zero-recompile warm path, via the obs counters).
 //!
+//! The daemon is hardened for unattended operation: bounded admission
+//! (`PERFORAD_SERVE_MAX_QUEUE` → `Busy` pushback with a retry hint,
+//! absorbed by the client's [`serve::RetryPolicy`]), per-request
+//! deadlines, socket timeouts, a connection cap, and graceful
+//! shutdown draining. Every risky I/O site (disk spill, rustc spawn,
+//! artifact/cache reads, socket frames) routes through the
+//! deterministic fault-injection points in [`obs::fault`]
+//! (`PERFORAD_FAULT`), and `tests/fault.rs` proves each injected
+//! failure degrades — bitwise-identical fallback or structured error —
+//! instead of corrupting or hanging.
+//!
 //! ```no_run
 //! use perforad::prelude::*;
 //!
@@ -297,8 +308,8 @@ pub use perforad_tune as tune;
 /// The most common imports in one place.
 pub mod prelude {
     pub use perforad_ckpt::{
-        checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, MemStore, Snapshot,
-        SnapshotStore,
+        checkpointed_adjoint_plan, CheckpointPlan, CkptReport, DiskStore, FallbackStore, MemStore,
+        Snapshot, SnapshotStore,
     };
     pub use perforad_codegen::{c_nest, parse_stencil, print_function, COptions};
     pub use perforad_core::{

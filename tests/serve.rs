@@ -301,6 +301,7 @@ fn request_and_reply_wire_format_round_trips() {
         fingerprint: "00ff".to_string(),
         source: source.clone(),
         observed: vec![std::f64::consts::PI; 3],
+        deadline_ms: None,
     });
     let Request::Gradient(back) = Request::from_json(&req.to_json()).expect("decode") else {
         panic!("wrong variant");
