@@ -30,10 +30,11 @@
 //! A `seismic_batch` case times the batched multi-shot gradient
 //! (`gradient_batch_with`: one compile/tune, shots dispatched under the
 //! perf-model-chosen strategy) against N sequential `gradient` calls on
-//! the same pool, reporting `shots_per_sec`, `batch_speedup`, and the
-//! chosen `batch_strategy`; the two are asserted bitwise-identical
-//! in-bench, and its gate reference is its own `sequential_gradient`
-//! series.
+//! the same pool, reporting `shots_per_sec`, `batch_speedup`, the chosen
+//! `batch_strategy`, and `request_latency_ns` (per-shot latency
+//! percentiles — p50/p95/p99/max in the same histogram shape the serve
+//! daemon exports); the two are asserted bitwise-identical in-bench, and
+//! its gate reference is its own `sequential_gradient` series.
 //!
 //! Knobs: `PERFORAD_N` (wave grid edge, default 48), `PERFORAD_N_BURGERS`
 //! (cells, default 2^18), `PERFORAD_SEISMIC_N` / `PERFORAD_SEISMIC_STEPS`
@@ -245,6 +246,10 @@ struct BatchMeasured {
     sequential_s: f64,
     batched_s: f64,
     strategy: String,
+    /// Per-shot request latencies (one timed `gradient` call each) rolled
+    /// into the same histogram shape the serve daemon exports — the bench
+    /// counterpart of `serve.request_ns`.
+    request_latency: perforad_obs::HistogramSnapshot,
 }
 
 fn measure_batch(
@@ -287,6 +292,16 @@ fn measure_batch(
     });
     let batched = batched.expect("batched gradients ran");
     let seq = seq.expect("sequential gradients ran");
+    // One more warm pass, timed per shot: the percentile view of what a
+    // client of the gradient service would observe per request.
+    let latencies: Vec<u64> = (0..shots)
+        .map(|k| {
+            let t0 = std::time::Instant::now();
+            gradient_with_pool(&cfg, &c0, &batch.observed[k], &batch.sources[k], pool);
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    let request_latency = perforad_obs::HistogramSnapshot::from_values(&latencies);
     for (k, (j, g)) in seq.iter().enumerate() {
         assert_eq!(
             batched.misfits[k].to_bits(),
@@ -309,6 +324,7 @@ fn measure_batch(
         sequential_s,
         batched_s,
         strategy: format!("{:?}", batched.strategy),
+        request_latency,
     }
 }
 
@@ -543,17 +559,26 @@ fn main() {
         bm.shots as f64 / bm.batched_s,
         bm.strategy
     );
+    println!(
+        "per-request latency: p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        bm.request_latency.p50 as f64 / 1e6,
+        bm.request_latency.p95 as f64 / 1e6,
+        bm.request_latency.p99 as f64 / 1e6,
+        bm.request_latency.max as f64 / 1e6,
+    );
     case_json.push(format!(
         "{{\"name\":\"seismic_batch\",\"points\":{},\"series\":[\
          {{\"label\":\"sequential_gradient\",\"seconds\":{}}},\
          {{\"label\":\"batched_gradient\",\"seconds\":{}}}],\
-         \"shots_per_sec\":{},\"batch_speedup\":{},\"batch_strategy\":{}}}",
+         \"shots_per_sec\":{},\"batch_speedup\":{},\"batch_strategy\":{},\
+         \"request_latency_ns\":{}}}",
         (bm.n * bm.n * bm.n) as u64 * bm.steps as u64 * bm.shots as u64,
         bm.sequential_s,
         bm.batched_s,
         bm.shots as f64 / bm.batched_s,
         bm.sequential_s / bm.batched_s,
-        json_escape(&bm.strategy)
+        json_escape(&bm.strategy),
+        bm.request_latency.to_json()
     ));
 
     // The observability rollup: when recording is on (PERFORAD_TRACE=1)

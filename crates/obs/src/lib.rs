@@ -31,6 +31,20 @@
 //! routes through, with the same disarmed-is-one-atomic-load hot-path
 //! discipline as the tracing flag.
 //!
+//! Two more pieces make the crate a live telemetry plane for the serve
+//! daemon:
+//!
+//! * **Request scoping** ([`RequestScope`], [`take_request_events`]):
+//!   the engine opens a scope per gradient request and every span
+//!   recorded while it is open — worker threads included — carries the
+//!   request id, which the Chrome exporter emits as a `request_id` arg
+//!   and the per-request rollup drains selectively.
+//! * **Flight recorder** ([`flight::dump`], [`set_ring_capacity`]): the
+//!   per-thread buffers are bounded rings of recent spans, snapshotted
+//!   together with the metrics registry and fault tallies to
+//!   `PERFORAD_FLIGHT_DIR` on panic, injected-fault degradation, or
+//!   deadline breach.
+//!
 //! Tracing is off by default. Enable it with `PERFORAD_TRACE=1` in the
 //! environment or programmatically with [`set_enabled`]:
 //!
@@ -46,16 +60,22 @@
 //! ```
 
 pub mod fault;
+pub mod flight;
 mod metrics;
 mod recorder;
 mod span;
 mod trace;
 
+pub use flight::{flight_dir, FLIGHT_DIR_ENV};
 pub use metrics::{
-    counter, gauge, histogram, reset_metrics, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsSnapshot, HIST_BUCKETS,
+    counter, gauge, histogram, histogram_labeled, quantile_upper_bound, reset_metrics, Counter,
+    Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS,
 };
-pub use recorder::{clear_events, collect_events, SpanEvent, SPAN_ARGS};
+pub use recorder::{
+    clear_events, collect_events, current_request, overwritten_total, ring_capacity,
+    set_ring_capacity, snapshot_events, take_request_events, RequestScope, SpanEvent,
+    DEFAULT_RING_CAPACITY, SPAN_ARGS,
+};
 pub use span::SpanGuard;
 pub use trace::{
     chrome_trace_json, trace_out_path, write_chrome_trace, write_trace_if_configured, PhaseStat,
@@ -191,6 +211,73 @@ mod tests {
             let inner = ev.iter().find(|e| e.name == "inner").unwrap();
             assert!(inner.start_ns >= outer.start_ns);
             assert!(inner.end_ns() <= outer.end_ns());
+        });
+    }
+
+    #[test]
+    fn request_scope_stamps_spans_across_threads() {
+        with_clean_state(|| {
+            {
+                let _scope = RequestScope::enter(17);
+                let _s = span!("scoped.main", "test");
+                std::thread::spawn(|| {
+                    let _w = span!("scoped.worker", "test");
+                })
+                .join()
+                .unwrap();
+            }
+            {
+                let _s = span!("unscoped", "test");
+            }
+            assert_eq!(current_request(), 0, "scope restored on drop");
+            let scoped = take_request_events(17);
+            assert_eq!(scoped.len(), 2, "worker span inherits the id");
+            assert!(scoped.iter().all(|e| e.req == 17));
+            let rest = collect_events();
+            assert_eq!(rest.len(), 1, "unscoped span left for the global trace");
+            assert_eq!(rest[0].name, "unscoped");
+        });
+    }
+
+    #[test]
+    fn request_scopes_nest_and_restore() {
+        with_clean_state(|| {
+            let outer = RequestScope::enter(1);
+            assert_eq!(current_request(), 1);
+            {
+                let _inner = RequestScope::enter(2);
+                assert_eq!(current_request(), 2);
+            }
+            assert_eq!(current_request(), 1);
+            drop(outer);
+            assert_eq!(current_request(), 0);
+        });
+    }
+
+    #[test]
+    fn ring_bounds_buffered_spans() {
+        with_clean_state(|| {
+            let before = overwritten_total();
+            set_ring_capacity(4);
+            for _ in 0..10 {
+                let _s = span!("ring.span", "test");
+            }
+            let events = collect_events();
+            set_ring_capacity(DEFAULT_RING_CAPACITY);
+            assert_eq!(events.len(), 4, "ring keeps the newest capacity spans");
+            assert_eq!(overwritten_total() - before, 6);
+        });
+    }
+
+    #[test]
+    fn snapshot_does_not_drain() {
+        with_clean_state(|| {
+            {
+                let _s = span!("snap.span", "test");
+            }
+            assert_eq!(snapshot_events().len(), 1);
+            assert_eq!(snapshot_events().len(), 1, "snapshot repeats");
+            assert_eq!(collect_events().len(), 1, "collect still sees the span");
         });
     }
 

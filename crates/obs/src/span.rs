@@ -57,6 +57,7 @@ impl Drop for SpanGuard {
                 start_ns: active.start_ns,
                 dur_ns: now_ns().saturating_sub(active.start_ns),
                 tid: 0, // stamped by the recorder
+                req: 0, // stamped by the recorder
                 args: active.args,
             });
         }

@@ -40,7 +40,18 @@ pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
             ev.dur_ns as f64 / 1e3,
             ev.tid,
         ));
-        let args: Vec<_> = ev.args.iter().filter(|(k, _)| !k.is_empty()).collect();
+        // The request id (when a request scope was open) rides along as
+        // an arg, so per-request spans group and interleave legibly
+        // across worker threads in the Perfetto UI.
+        let mut args: Vec<(&str, u64)> = ev
+            .args
+            .iter()
+            .filter(|(k, _)| !k.is_empty())
+            .map(|&(k, v)| (k, v))
+            .collect();
+        if ev.req != 0 {
+            args.push(("request_id", ev.req));
+        }
         if !args.is_empty() {
             s.push_str(",\"args\":{");
             for (j, (k, v)) in args.iter().enumerate() {
@@ -319,6 +330,7 @@ mod tests {
             start_ns,
             dur_ns,
             tid,
+            req: 0,
             args: [("", 0); SPAN_ARGS],
         }
     }
@@ -334,6 +346,22 @@ mod tests {
         assert!(json.contains("\"dur\":2.500"));
         assert!(json.contains("\"tid\":3"));
         assert!(json.contains("\"args\":{\"points\":64}"));
+    }
+
+    #[test]
+    fn chrome_trace_carries_request_ids() {
+        let mut e = ev("exec.tile", "exec", 3, 1_000, 2_500);
+        e.req = 42;
+        let json = chrome_trace_json(&[e]);
+        assert!(json.contains("\"args\":{\"request_id\":42}"));
+        let mut with_args = ev("exec.tile", "exec", 3, 1_000, 2_500);
+        with_args.args[0] = ("points", 64);
+        with_args.req = 7;
+        let json = chrome_trace_json(&[with_args]);
+        assert!(json.contains("\"args\":{\"points\":64,\"request_id\":7}"));
+        // No open scope (req 0): no synthetic arg.
+        let json = chrome_trace_json(&[ev("a", "exec", 0, 0, 1)]);
+        assert!(!json.contains("request_id"));
     }
 
     #[test]

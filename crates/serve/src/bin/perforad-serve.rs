@@ -1,12 +1,40 @@
 //! The gradient daemon. Binds per `PERFORAD_SERVE_SOCKET` /
 //! `PERFORAD_SERVE_TCP` (default: a per-process socket under the temp
 //! dir), prints the endpoint, and serves until a `Shutdown` request.
+//! `--metrics <addr>` (or `PERFORAD_SERVE_METRICS`) additionally binds
+//! a localhost HTTP endpoint serving Prometheus text at `/metrics` and
+//! JSON liveness at `/healthz`.
 
 use perforad_serve::{ServeOptions, Server};
 use std::io::Write;
 
 fn main() {
-    let opts = ServeOptions::from_env();
+    let mut opts = ServeOptions::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics" => match args.next() {
+                Some(addr) => opts.metrics = Some(addr),
+                None => {
+                    eprintln!("perforad-serve: --metrics needs an address (e.g. 127.0.0.1:9464)");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: perforad-serve [--metrics ADDR]\n\
+                     Env: PERFORAD_SERVE_SOCKET, PERFORAD_SERVE_TCP, PERFORAD_SERVE_METRICS,\n\
+                     PERFORAD_SERVE_TIMEOUT_MS, PERFORAD_SERVE_MAX_CONNS, PERFORAD_SERVE_MAX_QUEUE,\n\
+                     PERFORAD_FLIGHT_DIR, PERFORAD_FAULT"
+                );
+                return;
+            }
+            other => {
+                eprintln!("perforad-serve: unknown argument {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
     let server = match Server::bind(&opts) {
         Ok(s) => s,
         Err(e) => {
@@ -15,6 +43,9 @@ fn main() {
         }
     };
     println!("perforad-serve listening on {}", server.endpoint());
+    if let Some(addr) = server.metrics_addr() {
+        println!("perforad-serve metrics on http://{addr}/metrics");
+    }
     if let Ok(spec) = std::env::var(perforad_obs::fault::FAULT_ENV) {
         if !spec.trim().is_empty() {
             println!("perforad-serve: fault injection armed: {spec}");

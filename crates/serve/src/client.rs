@@ -187,6 +187,30 @@ impl Client {
             source,
             observed,
             deadline_ms: None,
+            trace: false,
+        });
+        self.expect(&req, |r| match r {
+            Reply::Gradient(g) => Ok(g),
+            other => Err(other),
+        })
+    }
+
+    /// [`Client::gradient`] with `trace: true`: the reply's `trace`
+    /// field carries the per-request span rollup (phase self times, the
+    /// top spans, the request id) for exactly this request — the
+    /// gradient bits are identical to an untraced call.
+    pub fn gradient_traced(
+        &mut self,
+        fingerprint: &str,
+        source: Vec<f64>,
+        observed: Vec<f64>,
+    ) -> Result<GradientReply, ClientError> {
+        let req = Request::Gradient(GradientRequest {
+            fingerprint: fingerprint.to_string(),
+            source,
+            observed,
+            deadline_ms: None,
+            trace: true,
         });
         self.expect(&req, |r| match r {
             Reply::Gradient(g) => Ok(g),
@@ -207,6 +231,7 @@ impl Client {
             source,
             observed,
             deadline_ms: None,
+            trace: false,
         });
         let reply = self.roundtrip_with_retry(&req, policy)?;
         pick_reply(reply, |r| match r {
@@ -226,6 +251,7 @@ impl Client {
             fingerprint: fingerprint.to_string(),
             shots,
             deadline_ms: None,
+            trace: false,
         });
         self.expect(&req, |r| match r {
             Reply::GradientBatch(b) => Ok(b),
@@ -244,6 +270,7 @@ impl Client {
             fingerprint: fingerprint.to_string(),
             shots,
             deadline_ms: None,
+            trace: false,
         });
         let reply = self.roundtrip_with_retry(&req, policy)?;
         pick_reply(reply, |r| match r {

@@ -123,6 +123,15 @@ pub struct Engine {
     max_queue: u64,
 }
 
+/// Next gradient request id (sequential, starting at 1; 0 means "no
+/// request" throughout the telemetry plane). Returned in replies,
+/// stamped on spans via [`perforad_obs::RequestScope`], and quoted in
+/// flight-recorder dumps. Process-global, not per-engine: the span
+/// recorder's request stamping is process-wide, so ids must stay unique
+/// across every engine in the process (tests and embedders run several)
+/// or a per-request drain could sweep up a different engine's spans.
+static REQUEST_SEQ: AtomicU64 = AtomicU64::new(1);
+
 impl Default for Engine {
     fn default() -> Self {
         Engine::new()
@@ -155,6 +164,16 @@ impl Engine {
     /// server's shutdown path drains this to zero before exiting.
     pub fn in_flight(&self) -> u64 {
         self.in_flight.load(Ordering::SeqCst)
+    }
+
+    fn next_request_id(&self) -> u64 {
+        REQUEST_SEQ.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// How long this engine has been up — the metrics endpoint and the
+    /// `Stats` reply both report it.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
     }
 
     /// Handle one decoded request. Validation failures come back as
@@ -233,12 +252,14 @@ impl Engine {
         &self,
         received: Instant,
         deadline_ms: Option<u64>,
+        request_id: u64,
         f: impl FnOnce() -> T,
     ) -> Result<T, Refusal> {
         let _guard = lock_any(&self.run_lock);
         match deadline_ms {
             Some(ms) if received.elapsed() >= Duration::from_millis(ms) => {
                 perforad_obs::counter("serve.deadline_exceeded_total").inc();
+                let _ = perforad_obs::flight::dump("deadline", request_id);
                 Err(Refusal::Error(format!(
                     "deadline of {ms}ms exceeded after {}ms in queue; nothing was executed",
                     received.elapsed().as_millis()
@@ -250,14 +271,78 @@ impl Engine {
 
     /// Run one warm plan and count a degraded execution (`plan.run` fell
     /// back from its JIT'd kernels to the interpreted rows executor —
-    /// same bits, slower) via the `jit.degraded_fallbacks` delta.
-    fn run_plan(entry: &mut KernelEntry, batch: &ShotBatch) -> perforad_pde::seismic::BatchResult {
+    /// same bits, slower) via the `jit.degraded_fallbacks` delta. A
+    /// degraded run or a checkpoint spill fallback (`ckpt.spill_fallbacks`
+    /// delta) also dumps the flight recorder: the request still answered,
+    /// but something in the pipeline gave way mid-flight and the recent
+    /// spans say what.
+    fn run_plan(
+        entry: &mut KernelEntry,
+        batch: &ShotBatch,
+        request_id: u64,
+    ) -> perforad_pde::seismic::BatchResult {
         let degraded_before = perforad_obs::counter("jit.degraded_fallbacks").get();
+        let spills_before = perforad_obs::counter("ckpt.spill_fallbacks").get();
         let result = entry.plan.run(batch);
-        if perforad_obs::counter("jit.degraded_fallbacks").get() > degraded_before {
+        let degraded = perforad_obs::counter("jit.degraded_fallbacks").get() > degraded_before;
+        let spilled = perforad_obs::counter("ckpt.spill_fallbacks").get() > spills_before;
+        if degraded {
             perforad_obs::counter("serve.degraded_total").inc();
         }
+        if degraded || spilled {
+            let _ = perforad_obs::flight::dump("degraded", request_id);
+        }
         result
+    }
+
+    /// Run one warm plan inside a [`perforad_obs::RequestScope`] so every
+    /// span — worker threads included — carries `request_id`, and
+    /// optionally build the per-request trace rollup the client asked for
+    /// with `trace: true`.
+    ///
+    /// When the client requests a trace but recording is off (an embedded
+    /// engine without the daemon's always-on ring), recording is forced on
+    /// for exactly this run and restored after — the rollup drains only
+    /// this request's spans, so the global ring is left as found either
+    /// way. Must be called under the run lock: the request scope is
+    /// process-wide, which is sound precisely because gradient executions
+    /// are serialized.
+    fn run_traced(
+        entry: &mut KernelEntry,
+        batch: &ShotBatch,
+        request_id: u64,
+        trace: bool,
+    ) -> (
+        perforad_pde::seismic::BatchResult,
+        Option<perforad_tune::json::Value>,
+    ) {
+        use perforad_tune::json::Value;
+        let forced = trace && !perforad_obs::enabled();
+        if forced {
+            perforad_obs::set_enabled(true);
+        }
+        let result = {
+            let _scope = perforad_obs::RequestScope::enter(request_id);
+            // Declared after the scope so it drops (and records) first,
+            // while the scope is still open — the rollup's root span.
+            let _root = perforad_obs::span!("serve.run", "serve", "request_id" => request_id);
+            Self::run_plan(entry, batch, request_id)
+        };
+        let rollup = if trace {
+            let events = perforad_obs::take_request_events(request_id);
+            let report = perforad_obs::TraceReport::build(&events, 10);
+            let mut v = perforad_tune::json::parse(&report.to_json()).unwrap_or(Value::Null);
+            if let Value::Obj(ref mut fields) = v {
+                fields.insert(0, ("request_id".into(), Value::Num(request_id as f64)));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        if forced {
+            perforad_obs::set_enabled(false);
+        }
+        (result, rollup)
     }
 
     fn compile(&self, req: &CompileRequest) -> Result<CompiledReply, String> {
@@ -487,7 +572,10 @@ impl Engine {
 
     fn gradient(&self, req: &GradientRequest) -> Result<GradientReply, Refusal> {
         let received = Instant::now();
-        let _span = perforad_obs::span!("serve.gradient", "serve", "shots" => 1u64);
+        let request_id = self.next_request_id();
+        let _span = perforad_obs::span!(
+            "serve.gradient", "serve", "shots" => 1u64, "request_id" => request_id
+        );
         let _admitted = self.admit()?;
         let entry = self.kernel(&req.fingerprint).map_err(Refusal::Error)?;
         let mut entry = lock_any(&entry);
@@ -499,21 +587,26 @@ impl Engine {
             req.source.clone(),
             Grid::from_vec(&dims, req.observed.clone()),
         );
-        let result = self.run_deadlined(received, req.deadline_ms, || {
-            Self::run_plan(&mut entry, &batch)
+        let (result, trace) = self.run_deadlined(received, req.deadline_ms, request_id, || {
+            Self::run_traced(&mut entry, &batch, request_id, req.trace)
         })?;
         entry.requests += 1;
+        record_request_latency(&req.fingerprint, received);
         Ok(GradientReply {
             misfit: result.misfits[0],
             gradient: result.gradients[0].as_slice().to_vec(),
             checkpointed: entry.plan.checkpointed(),
+            request_id,
+            trace,
         })
     }
 
     fn gradient_batch(&self, req: &BatchRequest) -> Result<BatchReply, Refusal> {
         let received = Instant::now();
+        let request_id = self.next_request_id();
         let _span = perforad_obs::span!(
-            "serve.gradient", "serve", "shots" => req.shots.len() as u64
+            "serve.gradient", "serve",
+            "shots" => req.shots.len() as u64, "request_id" => request_id
         );
         if req.shots.is_empty() {
             return Err(Refusal::Error(
@@ -530,10 +623,11 @@ impl Engine {
             validate_shot(&cfg, source, observed, k).map_err(Refusal::Error)?;
             batch.push(source.clone(), Grid::from_vec(&dims, observed.clone()));
         }
-        let result = self.run_deadlined(received, req.deadline_ms, || {
-            Self::run_plan(&mut entry, &batch)
+        let (result, trace) = self.run_deadlined(received, req.deadline_ms, request_id, || {
+            Self::run_traced(&mut entry, &batch, request_id, req.trace)
         })?;
         entry.requests += req.shots.len() as u64;
+        record_request_latency(&req.fingerprint, received);
         Ok(BatchReply {
             misfits: result.misfits,
             gradients: result
@@ -542,21 +636,35 @@ impl Engine {
                 .map(|g| g.as_slice().to_vec())
                 .collect(),
             strategy: format!("{:?}", result.strategy),
+            request_id,
+            trace,
         })
     }
 
     /// The `Stats` payload: uptime, queue depth, cache populations,
-    /// per-fingerprint request counts, and the full metrics snapshot
+    /// per-fingerprint request counts and latency percentiles, fault
+    /// tallies, degradation totals, and the full metrics snapshot
     /// (`serve.*`, `tune.*`, `jit.*`, `seismic.*` counters included —
-    /// clients diff these across requests to prove the warm path).
+    /// clients diff these across requests to prove the warm path). This
+    /// is deliberately a superset of what `perforad-top` renders, so the
+    /// dashboard needs no second endpoint.
     fn stats(&self) -> perforad_tune::json::Value {
         use perforad_tune::json::Value;
+        let hist_value = |snap: &perforad_obs::HistogramSnapshot| {
+            perforad_tune::json::parse(&snap.to_json()).unwrap_or(Value::Null)
+        };
         let mut kernels = Vec::new();
         let mut dsl = Vec::new();
         {
             let reg = lock_any(&self.registry);
             for (id, entry) in &reg.kernels {
                 let e = lock_any(entry);
+                let latency = perforad_obs::histogram_labeled(
+                    "serve.request_ns",
+                    "fingerprint",
+                    &format!("{id:016x}"),
+                )
+                .snapshot();
                 kernels.push(Value::Obj(vec![
                     ("fingerprint".into(), Value::Str(format!("{id:016x}"))),
                     ("requests".into(), Value::Num(e.requests as f64)),
@@ -565,6 +673,7 @@ impl Engine {
                     ("checkpointed".into(), Value::Bool(e.plan.checkpointed())),
                     ("budget".into(), Value::Num(e.plan.budget() as f64)),
                     ("config".into(), Value::Str(e.plan.tuned().describe())),
+                    ("latency_ns".into(), hist_value(&latency)),
                 ]));
             }
             for (id, entry) in &reg.dsl {
@@ -578,6 +687,17 @@ impl Engine {
         let metrics =
             perforad_tune::json::parse(&perforad_obs::MetricsSnapshot::collect().to_json())
                 .unwrap_or(Value::Null);
+        let mut faults = vec![(
+            "injected_total".into(),
+            Value::Num(perforad_obs::fault::injected_total() as f64),
+        )];
+        for point in perforad_obs::fault::KNOWN_POINTS {
+            let n = perforad_obs::fault::injected(point);
+            if n > 0 {
+                faults.push((point.to_string(), Value::Num(n as f64)));
+            }
+        }
+        let latency = perforad_obs::histogram("serve.request_ns").snapshot();
         Value::Obj(vec![
             (
                 "uptime_ns".into(),
@@ -591,11 +711,50 @@ impl Engine {
                 "tune_cache_entries".into(),
                 Value::Num(cache::memory_len() as f64),
             ),
+            (
+                "requests_total".into(),
+                Value::Num(perforad_obs::counter("serve.requests_total").get() as f64),
+            ),
+            (
+                "degraded_total".into(),
+                Value::Num(perforad_obs::counter("serve.degraded_total").get() as f64),
+            ),
+            (
+                "rejected_total".into(),
+                Value::Num(perforad_obs::counter("serve.rejected_total").get() as f64),
+            ),
+            (
+                "deadline_exceeded_total".into(),
+                Value::Num(perforad_obs::counter("serve.deadline_exceeded_total").get() as f64),
+            ),
+            ("faults".into(), Value::Obj(faults)),
+            ("latency_ns".into(), hist_value(&latency)),
             ("kernels".into(), Value::Arr(kernels)),
             ("dsl_kernels".into(), Value::Arr(dsl)),
             ("metrics".into(), metrics),
         ])
     }
+}
+
+/// Canonicalize a client-supplied hex fingerprint into the zero-padded
+/// lowercase form used as the metrics label, so `"ab"` and `"00AB"` feed
+/// the same per-fingerprint latency series.
+fn canonical_fp(fingerprint: &str) -> String {
+    u64::from_str_radix(fingerprint, 16)
+        .map(|id| format!("{id:016x}"))
+        .unwrap_or_else(|_| fingerprint.to_string())
+}
+
+/// Record end-to-end gradient latency into the per-fingerprint labeled
+/// histogram (`serve.request_ns{fingerprint=...}`) feeding the Stats
+/// reply and the Prometheus endpoint.
+fn record_request_latency(fingerprint: &str, received: Instant) {
+    perforad_obs::histogram_labeled(
+        "serve.request_ns",
+        "fingerprint",
+        &canonical_fp(fingerprint),
+    )
+    .record(received.elapsed().as_nanos() as u64);
 }
 
 fn validate_shot(

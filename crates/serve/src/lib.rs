@@ -41,6 +41,18 @@
 //! jittered exponential backoff ([`RetryPolicy`]). Fault injection for
 //! all of it lives in `perforad_obs::fault` (`PERFORAD_FAULT`).
 //!
+//! The live telemetry plane (pinned by `tests/telemetry.rs`): every
+//! gradient reply carries a `request_id`, and a request sent with
+//! `trace: true` comes back with a per-request span rollup — without
+//! changing a bit of the gradient. `--metrics`/`PERFORAD_SERVE_METRICS`
+//! binds a localhost HTTP endpoint serving Prometheus text at
+//! `/metrics` (per-fingerprint latency quantiles included) and a JSON
+//! `/healthz`; `perforad-top` renders the same numbers as a live
+//! terminal dashboard over the `Stats` request. When something gives
+//! way mid-flight — panic, injected-fault degradation, deadline breach
+//! — the flight recorder dumps the recent span ring to
+//! `PERFORAD_FLIGHT_DIR` with the failing request's id.
+//!
 //! In-process embedding (no daemon) is two lines:
 //!
 //! ```no_run
@@ -52,11 +64,13 @@
 
 pub mod client;
 pub mod engine;
+pub mod metrics;
 pub mod proto;
 pub mod server;
 
 pub use client::{stats_counter, Client, ClientError, RetryPolicy};
 pub use engine::{Engine, MAX_QUEUE_ENV};
+pub use metrics::{scrape, MetricsServer, METRICS_ENV};
 pub use proto::{
     BatchReply, BatchRequest, CompileRequest, CompiledReply, GradientReply, GradientRequest, Reply,
     Request,

@@ -115,6 +115,11 @@ pub struct GradientRequest {
     /// reply instead of a stale gradient (a running sweep is never
     /// interrupted — the check sits between queue and run).
     pub deadline_ms: Option<u64>,
+    /// Ask the server to trace this request and return a per-request
+    /// [`TraceReport`](perforad_obs::TraceReport) rollup in the reply's
+    /// `trace` field. Absent on the wire means `false`; tracing changes
+    /// timing only, never the gradient bits.
+    pub trace: bool,
 }
 
 /// `GradientBatch` payload: a whole survey against one fingerprint.
@@ -125,6 +130,8 @@ pub struct BatchRequest {
     pub shots: Vec<(Vec<f64>, Vec<f64>)>,
     /// Same queue-side time budget as [`GradientRequest::deadline_ms`].
     pub deadline_ms: Option<u64>,
+    /// Same per-request trace rollup opt-in as [`GradientRequest::trace`].
+    pub trace: bool,
 }
 
 /// A server reply; `"type"` selects the variant, `"error"` carries a
@@ -174,6 +181,14 @@ pub struct GradientReply {
     /// `∂J/∂c`, row-major `n³`, bitwise-identical to the in-process call.
     pub gradient: Vec<f64>,
     pub checkpointed: bool,
+    /// Server-assigned request id (sequential per daemon, never 0). The
+    /// same id stamps this request's spans, appears in flight-recorder
+    /// dumps, and keys the `trace` rollup — quote it when reporting a
+    /// slow or degraded request.
+    pub request_id: u64,
+    /// Per-request trace rollup (`wall_ns`/`phases`/`top_spans`, plus
+    /// `request_id`), present when the request set `trace: true`.
+    pub trace: Option<Value>,
 }
 
 /// Outcome of a `GradientBatch`.
@@ -184,6 +199,10 @@ pub struct BatchReply {
     /// The dispatch strategy that actually ran (`"ShotParallel"` /
     /// `"GridParallel"`).
     pub strategy: String,
+    /// Same server-assigned id as [`GradientReply::request_id`].
+    pub request_id: u64,
+    /// Same opt-in rollup as [`GradientReply::trace`].
+    pub trace: Option<Value>,
 }
 
 // ---------------------------------------------------------------------
@@ -287,6 +306,9 @@ impl Request {
                 if let Some(ms) = g.deadline_ms {
                     o.push_str(&format!(",\"deadline_ms\":{ms}"));
                 }
+                if g.trace {
+                    o.push_str(",\"trace\":true");
+                }
                 o.push('}');
             }
             Request::GradientBatch(b) => {
@@ -306,6 +328,9 @@ impl Request {
                 o.push(']');
                 if let Some(ms) = b.deadline_ms {
                     o.push_str(&format!(",\"deadline_ms\":{ms}"));
+                }
+                if b.trace {
+                    o.push_str(",\"trace\":true");
                 }
                 o.push('}');
             }
@@ -330,6 +355,7 @@ impl Request {
                 source: req_f64_array(&v, "source")?,
                 observed: req_f64_array(&v, "observed")?,
                 deadline_ms: opt_u64(&v, "deadline_ms")?,
+                trace: opt_bool(&v, "trace")?,
             })),
             "gradient_batch" => {
                 let fingerprint = req_str(&v, "fingerprint")?;
@@ -345,6 +371,7 @@ impl Request {
                     fingerprint,
                     shots: out,
                     deadline_ms: opt_u64(&v, "deadline_ms")?,
+                    trace: opt_bool(&v, "trace")?,
                 }))
             }
             "stats" => Ok(Request::Stats),
@@ -436,6 +463,14 @@ fn opt_u64(v: &Value, key: &str) -> Result<Option<u64>, String> {
     }
 }
 
+/// Absent or `null` means `false` — old clients never send the field.
+fn opt_bool(v: &Value, key: &str) -> Result<bool, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(b) => b.as_bool().ok_or(format!("\"{key}\" must be a bool")),
+    }
+}
+
 fn opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(None),
@@ -444,6 +479,14 @@ fn opt_usize(v: &Value, key: &str) -> Result<Option<usize>, String> {
             .and_then(|n| usize::try_from(n).ok())
             .map(Some)
             .ok_or(format!("\"{key}\" must be a non-negative integer")),
+    }
+}
+
+/// A structured optional field (absent or `null` → `None`).
+fn opt_value(v: &Value, key: &str) -> Option<Value> {
+    match v.get(key) {
+        None | Some(Value::Null) => None,
+        Some(t) => Some(t.clone()),
     }
 }
 
@@ -482,7 +525,13 @@ impl Reply {
                 push_f64(&mut o, g.misfit);
                 o.push_str(",\"gradient\":");
                 push_f64_array(&mut o, &g.gradient);
-                o.push_str(&format!(",\"checkpointed\":{}}}", g.checkpointed));
+                o.push_str(&format!(",\"checkpointed\":{}", g.checkpointed));
+                o.push_str(&format!(",\"request_id\":{}", g.request_id));
+                if let Some(t) = &g.trace {
+                    o.push_str(",\"trace\":");
+                    write_value(&mut o, t);
+                }
+                o.push('}');
             }
             Reply::GradientBatch(b) => {
                 o.push_str("{\"type\":\"gradient_batch\",\"misfits\":");
@@ -496,6 +545,11 @@ impl Reply {
                 }
                 o.push_str("],\"strategy\":");
                 push_str(&mut o, &b.strategy);
+                o.push_str(&format!(",\"request_id\":{}", b.request_id));
+                if let Some(t) = &b.trace {
+                    o.push_str(",\"trace\":");
+                    write_value(&mut o, t);
+                }
                 o.push('}');
             }
             Reply::Stats(v) => {
@@ -546,6 +600,8 @@ impl Reply {
                     .get("checkpointed")
                     .and_then(Value::as_bool)
                     .unwrap_or(false),
+                request_id: opt_u64(&v, "request_id")?.unwrap_or(0),
+                trace: opt_value(&v, "trace"),
             })),
             "gradient_batch" => {
                 let gradients = v
@@ -560,6 +616,8 @@ impl Reply {
                     misfits: req_f64_array(&v, "misfits")?,
                     gradients,
                     strategy: req_str(&v, "strategy")?,
+                    request_id: opt_u64(&v, "request_id")?.unwrap_or(0),
+                    trace: opt_value(&v, "trace"),
                 }))
             }
             "stats" => Ok(Reply::Stats(v.get("stats").cloned().unwrap_or(Value::Null))),
@@ -637,6 +695,7 @@ mod tests {
             source: vec![0.5, -1.25],
             observed: vec![0.0, 1.0, 2.0],
             deadline_ms: None,
+            trace: false,
         });
         let Request::Gradient(back) = Request::from_json(&req.to_json()).unwrap() else {
             panic!("wrong variant");
@@ -654,6 +713,7 @@ mod tests {
             source: vec![1.0],
             observed: vec![2.0],
             deadline_ms: Some(250),
+            trace: false,
         });
         let json = req.to_json();
         assert!(json.contains("\"deadline_ms\":250"));
@@ -666,6 +726,7 @@ mod tests {
             fingerprint: "ab12".into(),
             shots: vec![(vec![1.0], vec![2.0])],
             deadline_ms: Some(9),
+            trace: false,
         });
         let Request::GradientBatch(back) = Request::from_json(&req.to_json()).unwrap() else {
             panic!("wrong variant");
@@ -676,6 +737,7 @@ mod tests {
             fingerprint: "ab12".into(),
             shots: vec![],
             deadline_ms: None,
+            trace: false,
         })
         .to_json()
         .contains("deadline_ms"));

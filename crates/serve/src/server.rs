@@ -79,13 +79,18 @@ pub struct ServeOptions {
     /// Cap on simultaneously open connections; an accept past the cap is
     /// answered with one `Busy` frame and closed. `None`/`0` = unlimited.
     pub max_conns: Option<u64>,
+    /// Bind a metrics export endpoint (`/metrics` Prometheus text,
+    /// `/healthz` JSON) at this TCP address — `127.0.0.1:0` picks an
+    /// ephemeral port. `None` = no endpoint.
+    pub metrics: Option<String>,
 }
 
 impl ServeOptions {
     /// `PERFORAD_SERVE_SOCKET` (path), `PERFORAD_SERVE_TCP` (address;
     /// takes precedence when both are set), `PERFORAD_SERVE_TIMEOUT_MS`
-    /// (per-socket read/write timeout), and `PERFORAD_SERVE_MAX_CONNS`
-    /// (open-connection cap).
+    /// (per-socket read/write timeout), `PERFORAD_SERVE_MAX_CONNS`
+    /// (open-connection cap), and `PERFORAD_SERVE_METRICS` (metrics
+    /// endpoint bind address).
     pub fn from_env() -> ServeOptions {
         ServeOptions {
             socket: std::env::var_os("PERFORAD_SERVE_SOCKET").map(PathBuf::from),
@@ -93,6 +98,9 @@ impl ServeOptions {
             quiet_metrics: false,
             timeout_ms: env_u64("PERFORAD_SERVE_TIMEOUT_MS"),
             max_conns: env_u64("PERFORAD_SERVE_MAX_CONNS"),
+            metrics: std::env::var(crate::metrics::METRICS_ENV)
+                .ok()
+                .filter(|v| !v.is_empty()),
         }
     }
 }
@@ -199,6 +207,7 @@ pub struct Server {
     timeout: Option<Duration>,
     max_conns: u64,
     conns: Arc<AtomicU64>,
+    metrics: Option<crate::metrics::MetricsServer>,
 }
 
 impl Server {
@@ -214,6 +223,13 @@ impl Server {
         let timeout = opts.timeout_ms.map(Duration::from_millis);
         let max_conns = opts.max_conns.unwrap_or(0);
         let conns = Arc::new(AtomicU64::new(0));
+        let metrics = match &opts.metrics {
+            Some(addr) => Some(crate::metrics::MetricsServer::spawn(
+                addr,
+                Arc::clone(&engine),
+            )?),
+            None => None,
+        };
         if let Some(addr) = &opts.tcp {
             let l = TcpListener::bind(addr.as_str())?;
             let endpoint = Endpoint::Tcp(l.local_addr()?.to_string());
@@ -226,6 +242,7 @@ impl Server {
                 timeout,
                 max_conns,
                 conns,
+                metrics,
             });
         }
         let path = opts.socket.clone().unwrap_or_else(default_socket_path);
@@ -239,6 +256,7 @@ impl Server {
                 timeout,
                 max_conns,
                 conns,
+                metrics,
             }),
             Err(e) => {
                 // Localhost TCP fallback: platforms or mount setups where
@@ -258,6 +276,7 @@ impl Server {
                     timeout,
                     max_conns,
                     conns,
+                    metrics,
                 })
             }
         }
@@ -272,6 +291,12 @@ impl Server {
     /// The shared engine — in-process embedders can drive it directly.
     pub fn engine(&self) -> Arc<Engine> {
         Arc::clone(&self.engine)
+    }
+
+    /// The metrics endpoint's resolved bind address, if one was
+    /// requested (ephemeral ports resolved).
+    pub fn metrics_addr(&self) -> Option<&str> {
+        self.metrics.as_ref().map(|m| m.addr())
     }
 
     /// Accept connections until a `Shutdown` request flips the stop flag,

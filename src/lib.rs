@@ -222,7 +222,11 @@
 //! a process-wide registry, and a finished trace exports as Chrome-trace
 //! JSON (open in `chrome://tracing` or Perfetto; written automatically
 //! when `PERFORAD_TRACE_OUT` names a path) or rolls up into an
-//! [`obs::TraceReport`] of per-phase self/total times.
+//! [`obs::TraceReport`] of per-phase self/total times. Spans recorded
+//! inside an [`obs::RequestScope`] carry that request's id (it shows up
+//! as a `request_id` arg in the Chrome trace), and the always-on flight
+//! recorder dumps the recent-span ring plus metrics to
+//! `PERFORAD_FLIGHT_DIR` on a panic, degradation, or deadline breach.
 //!
 //! ```
 //! use perforad::prelude::*;
@@ -271,6 +275,15 @@
 //! (`PERFORAD_FAULT`), and `tests/fault.rs` proves each injected
 //! failure degrades — bitwise-identical fallback or structured error —
 //! instead of corrupting or hanging.
+//!
+//! The daemon's telemetry plane rides the same [`obs`] machinery: every
+//! reply echoes a server-assigned `request_id`, a request with
+//! `trace: true` ([`serve::Client::gradient_traced`]) gets its span
+//! rollup back inline, `perforad-serve --metrics` serves the registry
+//! as Prometheus text plus `/healthz`, `perforad-top` renders the
+//! `Stats` reply as a live dashboard, and incidents leave flight-recorder
+//! dumps under `PERFORAD_FLIGHT_DIR` (`tests/telemetry.rs` pins all of
+//! this, including that tracing never changes gradient bits).
 //!
 //! ```no_run
 //! use perforad::prelude::*;

@@ -284,6 +284,7 @@ fn client_killed_mid_large_batch_frame_costs_one_connection_only() {
             fingerprint: compiled.fingerprint.clone(),
             shots,
             deadline_ms: None,
+            trace: false,
         });
         let payload = req.to_json();
         assert!(payload.len() > 100_000, "frame must be large to matter");
@@ -537,6 +538,7 @@ fn expired_deadline_is_a_clean_error_not_a_stale_gradient() {
         source: source.clone(),
         observed: data.as_slice().to_vec(),
         deadline_ms: Some(0),
+        trace: false,
     });
     match client.roundtrip(&req).expect("roundtrip") {
         Reply::Error(msg) => assert!(msg.contains("deadline"), "{msg}"),
@@ -555,6 +557,7 @@ fn expired_deadline_is_a_clean_error_not_a_stale_gradient() {
         source: source.clone(),
         observed: data.as_slice().to_vec(),
         deadline_ms: Some(60_000),
+        trace: false,
     });
     let Reply::Gradient(reply) = client.roundtrip(&req).expect("roundtrip") else {
         panic!("expected a gradient reply");

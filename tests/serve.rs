@@ -302,6 +302,7 @@ fn request_and_reply_wire_format_round_trips() {
         source: source.clone(),
         observed: vec![std::f64::consts::PI; 3],
         deadline_ms: None,
+        trace: false,
     });
     let Request::Gradient(back) = Request::from_json(&req.to_json()).expect("decode") else {
         panic!("wrong variant");
@@ -314,11 +315,15 @@ fn request_and_reply_wire_format_round_trips() {
         misfits: vec![1.5, 2.5],
         gradients: vec![vec![0.0, -0.0], vec![1e-300, 1e300]],
         strategy: "ShotParallel".to_string(),
+        request_id: 42,
+        trace: None,
     });
     let Reply::GradientBatch(back) = Reply::from_json(&reply.to_json()).expect("decode") else {
         panic!("wrong variant");
     };
     assert_eq!(back.strategy, "ShotParallel");
+    assert_eq!(back.request_id, 42);
+    assert!(back.trace.is_none());
     assert_eq!(back.gradients[0][1].to_bits(), (-0.0f64).to_bits());
     assert_eq!(back.gradients[1][0].to_bits(), 1e-300f64.to_bits());
 }
